@@ -1,0 +1,75 @@
+// Ablation: robustness of every aggregation rule (core + extended
+// baselines) across the full attack zoo, centralized, mild heterogeneity,
+// f = 1.  Extends the paper's sign-flip/crash study (Contribution 3) with
+// the classic attacks from the surveyed literature.
+//
+//   ./bench/bench_ablation_attacks [--rounds N] [--seed S] [--csv file]
+
+#include <iostream>
+
+#include "core/bcl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcl;
+  const CliArgs args(argc, argv, {"rounds", "seed", "csv", "threads"});
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 50));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 29));
+  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+
+  ml::SyntheticSpec spec = ml::SyntheticSpec::mnist_small(seed);
+  spec.height = 10;
+  spec.width = 10;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  const auto data = ml::make_synthetic_dataset(spec);
+  const std::size_t dim = data.train.feature_dim();
+  ModelFactory factory = [dim] { return ml::make_mlp(dim, 16, 8, 10); };
+
+  const std::vector<std::string> rules = {
+      "MEAN",    "GEOMED",   "KRUM",    "MD-MEAN", "MD-GEOM",
+      "BOX-MEAN", "BOX-GEOM", "RFA",     "CCLIP",   "NORM-CLIP"};
+  const std::vector<std::string> attacks = {
+      "none",  "sign-flip", "sign-flip-10", "crash",
+      "random", "scale",    "zero",         "opposite-mean", "alie"};
+
+  std::cout << "=== Attack-vs-rule ablation: best accuracy over " << rounds
+            << " centralized rounds, f=1, mild heterogeneity ===\n\n";
+
+  std::vector<std::string> header{"rule"};
+  header.insert(header.end(), attacks.begin(), attacks.end());
+  Table table(header);
+
+  for (const auto& rule : rules) {
+    table.new_row().add(rule);
+    for (const auto& attack : attacks) {
+      TrainingConfig cfg;
+      cfg.num_clients = 10;
+      cfg.num_byzantine = 1;
+      cfg.rounds = rounds;
+      cfg.batch_size = 16;
+      cfg.rule = make_rule(rule);
+      cfg.attack = make_attack(attack);
+      cfg.schedule = ml::LearningRateSchedule(0.25, 0.25 / rounds);
+      cfg.heterogeneity = ml::Heterogeneity::Mild;
+      cfg.seed = seed;
+      cfg.pool = &pool;
+      CentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
+      table.add_num(trainer.run().best_accuracy(), 3);
+    }
+    std::cout << "[ablation-attacks] finished rule " << rule << "\n";
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: MEAN collapses to chance under the "
+               "amplified attacks (sign-flip-10, scale) while the geometric-"
+               "median and hyperbox rules stay near their no-attack "
+               "accuracy under every attack; alie degrades everyone "
+               "mildly.\n";
+  if (args.has("csv")) {
+    table.write_csv(args.get_string("csv", "ablation_attacks.csv"));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 1: centralized collaborative learning, MLP on the MNIST-like
+// dataset, f = 1 sign-flip attacker, all three data-heterogeneity levels.
+// Paper shape: all of MD-MEAN / MD-GEOM / BOX-MEAN / BOX-GEOM exceed 91%
+// under uniform and mild heterogeneity; Krum and Multi-Krum collapse under
+// extreme heterogeneity.
+//
+//   ./bench/bench_fig1_centralized_heterogeneity [--full] [--rounds N]
+//       [--seed S] [--csv basename] [--threads K]
+
+#include "figure_harness.hpp"
+
+int main(int argc, char** argv) {
+  bcl::bench::FigureSpec spec;
+  spec.figure = "fig1";
+  spec.rules = {"MEAN",    "GEOMED",  "KRUM",     "MULTIKRUM-3",
+                "MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"};
+  spec.heterogeneities = {bcl::ml::Heterogeneity::Uniform,
+                          bcl::ml::Heterogeneity::Mild,
+                          bcl::ml::Heterogeneity::Extreme};
+  spec.byzantine = 1;
+  spec.attack = "sign-flip";
+  spec.decentralized = false;
+  return bcl::bench::run_figure(spec, argc, argv);
+}

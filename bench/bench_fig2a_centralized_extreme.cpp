@@ -1,0 +1,24 @@
+// Figure 2a: centralized, MLP on MNIST-like data, f = 2 sign-flip
+// attackers, extreme (2-class) heterogeneity.  Paper shape: MD-MEAN fails
+// to converge, MD-GEOM is unstable but reaches the best accuracy, BOX-MEAN
+// and BOX-GEOM converge around 57%, Krum/Multi-Krum converge to low
+// accuracy (30-39%).
+//
+//   ./bench/bench_fig2a_centralized_extreme [--full] [--rounds N] ...
+
+#include "figure_harness.hpp"
+
+int main(int argc, char** argv) {
+  bcl::bench::FigureSpec spec;
+  spec.figure = "fig2a";
+  spec.rules = {"KRUM",    "MULTIKRUM-3", "MD-MEAN", "MD-GEOM",
+                "BOX-MEAN", "BOX-GEOM"};
+  spec.heterogeneities = {bcl::ml::Heterogeneity::Extreme};
+  spec.byzantine = 2;
+  spec.attack = "sign-flip";
+  spec.decentralized = false;
+  // The hardest setting of the evaluation: extreme heterogeneity plus two
+  // attackers converges slowly and unstably (as in the paper's Figure 2a).
+  spec.default_rounds = 100;
+  return bcl::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,20 @@
+// Figure 3a: decentralized collaborative learning, MLP, f = 1 sign-flip,
+// mild heterogeneity.  Paper shape: mean-based rules (MD-MEAN, BOX-MEAN,
+// plain MEAN) fail to converge under the sign flip, while MD-GEOM and
+// BOX-GEOM converge to 77.8% / 78.8%.
+//
+//   ./bench/bench_fig3a_decentralized_f1 [--full] [--rounds N] ...
+
+#include "figure_harness.hpp"
+
+int main(int argc, char** argv) {
+  bcl::bench::FigureSpec spec;
+  spec.figure = "fig3a";
+  spec.rules = {"MEAN", "GEOMED", "MD-MEAN", "MD-GEOM", "BOX-MEAN",
+                "BOX-GEOM"};
+  spec.heterogeneities = {bcl::ml::Heterogeneity::Mild};
+  spec.byzantine = 1;
+  spec.attack = "sign-flip";
+  spec.decentralized = true;
+  return bcl::bench::run_figure(spec, argc, argv);
+}

@@ -1,0 +1,18 @@
+// Figure 3b: decentralized collaborative learning, MLP, f = 2 sign-flip,
+// mild heterogeneity.  Paper shape: MD-MEAN and BOX-MEAN fail to converge;
+// MD-GEOM reaches ~65% but is unstable; BOX-GEOM converges around 62%.
+//
+//   ./bench/bench_fig3b_decentralized_f2 [--full] [--rounds N] ...
+
+#include "figure_harness.hpp"
+
+int main(int argc, char** argv) {
+  bcl::bench::FigureSpec spec;
+  spec.figure = "fig3b";
+  spec.rules = {"MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"};
+  spec.heterogeneities = {bcl::ml::Heterogeneity::Mild};
+  spec.byzantine = 2;
+  spec.attack = "sign-flip";
+  spec.decentralized = true;
+  return bcl::bench::run_figure(spec, argc, argv);
+}

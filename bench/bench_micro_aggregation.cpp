@@ -1,0 +1,84 @@
+// Microbenchmarks: throughput of every aggregation rule as a function of
+// input dimension (the engineering table behind rule selection; the
+// geometric-median-based rules pay for Weiszfeld over C(n, n-t) subsets).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bcl.hpp"
+
+namespace {
+
+using namespace bcl;
+
+VectorList make_inputs(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  VectorList inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v(d);
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    inputs.push_back(v);
+  }
+  // Two adversarial outliers in the last slots.
+  inputs[n - 1] = constant(d, 25.0);
+  inputs[n - 2] = constant(d, -25.0);
+  return inputs;
+}
+
+void run_rule(benchmark::State& state, const std::string& rule_name) {
+  const std::size_t n = 10;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const VectorList inputs = make_inputs(n, d, 7);
+  const auto rule = make_rule(rule_name);
+  AggregationContext ctx;
+  ctx.n = n;
+  ctx.t = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule->aggregate(inputs, ctx));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(d));
+}
+
+void BM_Mean(benchmark::State& s) { run_rule(s, "MEAN"); }
+void BM_GeoMedian(benchmark::State& s) { run_rule(s, "GEOMED"); }
+void BM_Medoid(benchmark::State& s) { run_rule(s, "MEDOID"); }
+void BM_CwMedian(benchmark::State& s) { run_rule(s, "CW-MEDIAN"); }
+void BM_TrimmedMean(benchmark::State& s) { run_rule(s, "TRIM-MEAN"); }
+void BM_Krum(benchmark::State& s) { run_rule(s, "KRUM"); }
+void BM_MultiKrum(benchmark::State& s) { run_rule(s, "MULTIKRUM-3"); }
+void BM_MdMean(benchmark::State& s) { run_rule(s, "MD-MEAN"); }
+void BM_MdGeom(benchmark::State& s) { run_rule(s, "MD-GEOM"); }
+void BM_BoxMean(benchmark::State& s) { run_rule(s, "BOX-MEAN"); }
+void BM_BoxGeom(benchmark::State& s) { run_rule(s, "BOX-GEOM"); }
+
+constexpr int kLo = 8;
+constexpr int kHi = 4096;
+
+BENCHMARK(BM_Mean)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_GeoMedian)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_Medoid)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_CwMedian)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_TrimmedMean)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_Krum)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_MultiKrum)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_MdMean)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_MdGeom)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_BoxMean)->RangeMultiplier(8)->Range(kLo, kHi);
+BENCHMARK(BM_BoxGeom)->RangeMultiplier(8)->Range(kLo, kHi);
+
+// Parallel subset evaluation inside BOX-GEOM: pool vs serial.
+void BM_BoxGeomParallel(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const VectorList inputs = make_inputs(10, d, 7);
+  ThreadPool pool;
+  AggregationContext ctx;
+  ctx.n = 10;
+  ctx.t = 2;
+  ctx.pool = &pool;
+  BoxGeoMedianRule rule;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule.aggregate(inputs, ctx));
+  }
+}
+BENCHMARK(BM_BoxGeomParallel)->RangeMultiplier(8)->Range(64, kHi);
+
+}  // namespace

@@ -1,0 +1,171 @@
+#pragma once
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Each bench_figN binary builds the experiment of one paper figure
+// (Section 5) at a reduced default scale (so the whole suite runs in
+// minutes on a laptop; pass --full for closer-to-paper scale), runs every
+// aggregation rule of that figure, and prints the accuracy-vs-round series
+// the figure plots, plus a summary row per rule.  CSV artifacts are written
+// next to the binary when --csv is given.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bcl.hpp"
+
+namespace bcl::bench {
+
+struct FigureScale {
+  std::size_t image = 10;          ///< square image side
+  std::size_t train_per_class = 60;
+  std::size_t test_per_class = 20;
+  std::size_t hidden1 = 16;
+  std::size_t hidden2 = 8;
+  std::size_t rounds = 60;
+  std::size_t batch = 16;
+  double lr = 0.25;
+};
+
+inline FigureScale reduced_scale() { return {}; }
+
+inline FigureScale full_scale() {
+  FigureScale s;
+  s.image = 28;                 // the paper's 28x28 MNIST shape
+  s.train_per_class = 200;
+  s.test_per_class = 40;
+  s.hidden1 = 64;
+  s.hidden2 = 32;
+  s.rounds = 150;
+  s.batch = 32;
+  s.lr = 0.1;
+  return s;
+}
+
+struct FigureSpec {
+  std::string figure;          ///< "fig1", "fig2a", ...
+  std::vector<std::string> rules;
+  std::vector<ml::Heterogeneity> heterogeneities;
+  std::size_t byzantine = 1;
+  std::string attack = "sign-flip";
+  bool decentralized = false;
+  /// Overrides the scale's default round count when nonzero (harder
+  /// settings need longer horizons); --rounds still wins.
+  std::size_t default_rounds = 0;
+};
+
+inline TrainingConfig make_training_config(const FigureSpec& spec,
+                                           const FigureScale& scale,
+                                           const std::string& rule,
+                                           ml::Heterogeneity heterogeneity,
+                                           std::uint64_t seed,
+                                           ThreadPool* pool) {
+  TrainingConfig cfg;
+  cfg.num_clients = 10;
+  cfg.num_byzantine = spec.byzantine;
+  cfg.rounds = scale.rounds;
+  cfg.batch_size = scale.batch;
+  cfg.rule = make_rule(rule);
+  cfg.attack = make_attack(spec.attack);
+  cfg.schedule = ml::LearningRateSchedule(scale.lr, scale.lr / scale.rounds);
+  cfg.heterogeneity = heterogeneity;
+  cfg.seed = seed;
+  cfg.pool = pool;
+  return cfg;
+}
+
+/// Runs one figure (all rules x heterogeneities), printing per-round
+/// accuracy series (sampled every `stride` rounds) and a summary table.
+inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"full", "rounds", "seed", "csv", "threads", "delay"});
+  FigureScale scale =
+      args.get_bool("full", false) ? full_scale() : reduced_scale();
+  if (spec.default_rounds != 0) scale.rounds = spec.default_rounds;
+  scale.rounds = static_cast<std::size_t>(
+      args.get_int("rounds", static_cast<long long>(scale.rounds)));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 11));
+  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+
+  ml::SyntheticSpec data_spec = ml::SyntheticSpec::mnist_like(seed);
+  data_spec.height = scale.image;
+  data_spec.width = scale.image;
+  data_spec.train_per_class = scale.train_per_class;
+  data_spec.test_per_class = scale.test_per_class;
+  const auto data = ml::make_synthetic_dataset(data_spec);
+  const std::size_t dim = data.train.feature_dim();
+  const FigureScale s = scale;
+  ModelFactory factory = [dim, s] {
+    return ml::make_mlp(dim, s.hidden1, s.hidden2, 10);
+  };
+
+  std::cout << "=== " << spec.figure << ": "
+            << (spec.decentralized ? "decentralized" : "centralized")
+            << " collaborative learning, attack=" << spec.attack
+            << ", f=" << spec.byzantine << ", MLP(" << dim << "-"
+            << scale.hidden1 << "-" << scale.hidden2 << "-10), rounds="
+            << scale.rounds << " ===\n\n";
+
+  Table summary({"heterogeneity", "rule", "best acc", "final acc",
+                 "rounds", "seconds"});
+  Table series({"heterogeneity", "rule", "round", "accuracy"});
+  const std::size_t stride = std::max<std::size_t>(1, scale.rounds / 12);
+
+  for (const auto heterogeneity : spec.heterogeneities) {
+    for (const auto& rule : spec.rules) {
+      TrainingConfig cfg = make_training_config(
+          spec, scale, rule, heterogeneity, seed, &pool);
+      // Optional honest-message delays during the agreement sub-rounds
+      // (decentralized figures only): --delay 0.3 etc.
+      cfg.honest_delay_probability = args.get_double("delay", 0.0);
+      Stopwatch watch;
+      TrainingResult result;
+      if (spec.decentralized) {
+        DecentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
+        result = trainer.run();
+      } else {
+        CentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
+        result = trainer.run();
+      }
+      const double secs = watch.seconds();
+      for (const auto& metrics : result.history) {
+        if (metrics.round % stride == 0 ||
+            metrics.round + 1 == scale.rounds) {
+          series.new_row()
+              .add(ml::heterogeneity_name(heterogeneity))
+              .add(rule)
+              .add_int(static_cast<long long>(metrics.round))
+              .add_num(metrics.accuracy, 4);
+        }
+      }
+      summary.new_row()
+          .add(ml::heterogeneity_name(heterogeneity))
+          .add(rule)
+          .add_num(result.best_accuracy(), 4)
+          .add_num(result.final_accuracy, 4)
+          .add_int(static_cast<long long>(scale.rounds))
+          .add_num(secs, 2);
+      std::cout << "[" << spec.figure << "] "
+                << ml::heterogeneity_name(heterogeneity) << " / " << rule
+                << ": best=" << format_double(result.best_accuracy(), 4)
+                << " final=" << format_double(result.final_accuracy, 4)
+                << " (" << format_double(secs, 2) << "s)\n";
+    }
+  }
+
+  std::cout << "\n--- accuracy series (" << spec.figure << ") ---\n";
+  series.print(std::cout);
+  std::cout << "\n--- summary (" << spec.figure << ") ---\n";
+  summary.print(std::cout);
+
+  if (args.has("csv")) {
+    const std::string base = args.get_string("csv", spec.figure);
+    series.write_csv(base + "_series.csv");
+    summary.write_csv(base + "_summary.csv");
+    std::cout << "\nCSV written to " << base << "_{series,summary}.csv\n";
+  }
+  return 0;
+}
+
+}  // namespace bcl::bench

@@ -1,0 +1,91 @@
+// Approximate-agreement demo: runs the hyperbox protocol (Algorithm 2) and
+// the MD-GEOM protocol (Algorithm 1) against two adversaries and prints the
+// per-round honest diameter, showing Theorem 4.4's halving and Lemma 4.2's
+// non-convergence side by side.
+//
+//   ./examples/agreement_demo [--nodes 10] [--byzantine 2] [--dim 3]
+//                             [--rounds 10] [--seed 1]
+
+#include <iostream>
+
+#include "core/bcl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bcl;
+  const CliArgs args(argc, argv,
+                     {"nodes", "byzantine", "dim", "rounds", "seed"});
+  const std::size_t n = static_cast<std::size_t>(args.get_int("nodes", 10));
+  const std::size_t t = static_cast<std::size_t>(args.get_int("byzantine", 2));
+  const std::size_t d = static_cast<std::size_t>(args.get_int("dim", 3));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 10));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  if (3 * t >= n) {
+    std::cerr << "need t < n/3\n";
+    return 1;
+  }
+
+  // Random honest inputs; Byzantine ids are the last t.
+  VectorList inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector v(d);
+    for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+    inputs.push_back(v);
+  }
+  std::vector<std::size_t> byz_ids;
+  for (std::size_t i = n - t; i < n; ++i) byz_ids.push_back(i);
+
+  auto run = [&](const std::string& fn_name, Adversary& adversary) {
+    AgreementConfig cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.round_function = make_round_function(fn_name);
+    cfg.epsilon = 0.0;  // run all rounds; we want the full trace
+    return run_fixed_rounds_agreement(inputs, adversary, rounds, cfg);
+  };
+
+  std::cout << "=== BOX-GEOM vs MD-GEOM under a sign-flip adversary ===\n";
+  {
+    SignFlipAdversary adv_a(byz_ids);
+    SignFlipAdversary adv_b(byz_ids);
+    const auto box = run("BOX-GEOM", adv_a);
+    const auto md = run("MD-GEOM-STICKY", adv_b);
+    Table table({"round", "BOX-GEOM diameter", "MD-GEOM diameter"});
+    for (std::size_t r = 0; r < box.trace.honest_diameter.size(); ++r) {
+      table.new_row()
+          .add_int(static_cast<long long>(r))
+          .add_num(box.trace.honest_diameter[r], 6)
+          .add_num(md.trace.honest_diameter[r], 6);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== Lemma 4.2: split-world adversary (n = 10, t = 2) ===\n";
+  {
+    // Two camps of 4 honest nodes; one Byzantine supporter per camp.
+    VectorList split_inputs(10, constant(d, 0.0));
+    for (std::size_t i = 4; i < 8; ++i) split_inputs[i] = constant(d, 1.0);
+    SplitWorldAdversary adv_a({0, 1, 2, 3}, {4, 5, 6, 7}, {8}, {9});
+    SplitWorldAdversary adv_b({0, 1, 2, 3}, {4, 5, 6, 7}, {8}, {9});
+    AgreementConfig cfg;
+    cfg.n = 10;
+    cfg.t = 2;
+    cfg.epsilon = 0.0;
+    cfg.round_function = make_round_function("BOX-GEOM");
+    const auto box = run_fixed_rounds_agreement(split_inputs, adv_a, rounds, cfg);
+    cfg.round_function = make_round_function("MD-GEOM-STICKY");
+    const auto md = run_fixed_rounds_agreement(split_inputs, adv_b, rounds, cfg);
+    Table table({"round", "BOX-GEOM diameter", "MD-GEOM diameter (stuck)"});
+    for (std::size_t r = 0; r < box.trace.honest_diameter.size(); ++r) {
+      table.new_row()
+          .add_int(static_cast<long long>(r))
+          .add_num(box.trace.honest_diameter[r], 6)
+          .add_num(md.trace.honest_diameter[r], 6);
+    }
+    table.print(std::cout);
+    std::cout << "\nBOX-GEOM halves the diameter every round (Theorem 4.4);\n"
+                 "MD-GEOM never leaves the initial configuration (Lemma 4.2).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "aggregation/approximation.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "geometry/subsets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+namespace {
+
+VectorList subset_points(const VectorList& inputs, std::size_t t,
+                         ThreadPool* pool,
+                         const std::function<Vector(const VectorList&)>& agg) {
+  const std::size_t n = inputs.size();
+  if (t >= n) {
+    throw std::invalid_argument("subset_points: t must be < n");
+  }
+  const auto combos = all_combinations(n, n - t);
+  VectorList points(combos.size());
+  auto compute = [&](std::size_t c) {
+    points[c] = agg(gather(inputs, combos[c]));
+  };
+  if (pool != nullptr && combos.size() > 1) {
+    pool->parallel_for(0, combos.size(), compute);
+  } else {
+    for (std::size_t c = 0; c < combos.size(); ++c) compute(c);
+  }
+  return points;
+}
+
+ApproximationReport measure(const VectorList& candidate_set,
+                            Vector true_aggregate, const Vector& output) {
+  ApproximationReport report;
+  report.true_aggregate = std::move(true_aggregate);
+  report.covering_ball = minimum_enclosing_ball(candidate_set);
+  report.distance_to_true = distance(output, report.true_aggregate);
+  if (report.covering_ball.radius > 0.0) {
+    report.ratio = report.distance_to_true / report.covering_ball.radius;
+  } else {
+    report.ratio = report.distance_to_true == 0.0
+                       ? 0.0
+                       : std::numeric_limits<double>::infinity();
+  }
+  return report;
+}
+
+}  // namespace
+
+VectorList compute_sgeo(const VectorList& inputs, std::size_t t,
+                        ThreadPool* pool, const WeiszfeldOptions& options) {
+  return subset_points(inputs, t, pool, [options](const VectorList& subset) {
+    return geometric_median_point(subset, options);
+  });
+}
+
+VectorList compute_smean(const VectorList& inputs, std::size_t t,
+                         ThreadPool* pool) {
+  return subset_points(inputs, t, pool,
+                       [](const VectorList& subset) { return mean(subset); });
+}
+
+ApproximationReport measure_geo_approximation(
+    const VectorList& all_inputs, const VectorList& honest_inputs,
+    std::size_t t, const Vector& output, ThreadPool* pool) {
+  if (honest_inputs.empty()) {
+    throw std::invalid_argument("measure_geo_approximation: no honest inputs");
+  }
+  return measure(compute_sgeo(all_inputs, t, pool),
+                 geometric_median_point(honest_inputs), output);
+}
+
+ApproximationReport measure_mean_approximation(
+    const VectorList& all_inputs, const VectorList& honest_inputs,
+    std::size_t t, const Vector& output, ThreadPool* pool) {
+  if (honest_inputs.empty()) {
+    throw std::invalid_argument("measure_mean_approximation: no honest inputs");
+  }
+  return measure(compute_smean(all_inputs, t, pool), mean(honest_inputs),
+                 output);
+}
+
+}  // namespace bcl

@@ -1,0 +1,59 @@
+#pragma once
+// Approximation of the geometric median in the Byzantine setting
+// (Section 3.1 of the paper).
+//
+// S_geo is the set of geometric medians of all (n - t)-subsets of the
+// inputs (Definition 3.1).  Because no algorithm can tell which subset is
+// the honest one, the best any algorithm can do is the center of the
+// minimum covering ball of S_geo; a vector within c * r_cov of the true
+// geometric median mu* is a c-approximation (Definition 3.3).  These
+// helpers measure that ratio for any rule's output, powering the
+// approximation-ratio benchmark table.
+
+#include <optional>
+
+#include "geometry/enclosing_ball.hpp"
+#include "geometry/weiszfeld.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+/// S_geo: geometric medians of all (n - t)-subsets of `inputs`
+/// (Definition 3.1).  Runs subsets in parallel when `pool` is given.
+VectorList compute_sgeo(const VectorList& inputs, std::size_t t,
+                        ThreadPool* pool = nullptr,
+                        const WeiszfeldOptions& options = {});
+
+/// The analogous set for the mean aggregation rule: subset means.
+VectorList compute_smean(const VectorList& inputs, std::size_t t,
+                         ThreadPool* pool = nullptr);
+
+/// Everything needed to judge one output vector against Definition 3.3.
+struct ApproximationReport {
+  /// The true aggregate over honest inputs only (mu* or nu*).
+  Vector true_aggregate;
+  /// Minimum covering ball of the candidate-aggregate set.
+  Ball covering_ball;
+  /// dist(output, true_aggregate).
+  double distance_to_true = 0.0;
+  /// distance_to_true / r_cov.  Infinity when r_cov == 0 and the distance
+  /// is positive; 0 when both vanish.
+  double ratio = 0.0;
+};
+
+/// Measures the geometric-median approximation of `output`.
+/// `honest_inputs` are the vectors of the non-faulty nodes only (used for
+/// mu*); `all_inputs` includes the Byzantine vectors as received (used for
+/// S_geo).
+ApproximationReport measure_geo_approximation(
+    const VectorList& all_inputs, const VectorList& honest_inputs,
+    std::size_t t, const Vector& output, ThreadPool* pool = nullptr);
+
+/// Same measurement against the mean aggregation target nu*.
+ApproximationReport measure_mean_approximation(
+    const VectorList& all_inputs, const VectorList& honest_inputs,
+    std::size_t t, const Vector& output, ThreadPool* pool = nullptr);
+
+}  // namespace bcl

@@ -1,0 +1,76 @@
+#include "aggregation/hyperbox_rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geometry/subsets.hpp"
+#include "linalg/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+VectorList subset_aggregates(
+    const VectorList& received, std::size_t keep, ThreadPool* pool,
+    const std::function<Vector(const VectorList&)>& subset_aggregate) {
+  const auto combos = all_combinations(received.size(), keep);
+  VectorList points(combos.size());
+  auto compute = [&](std::size_t c) {
+    points[c] = subset_aggregate(gather(received, combos[c]));
+  };
+  if (pool != nullptr && combos.size() > 1) {
+    pool->parallel_for(0, combos.size(), compute);
+  } else {
+    for (std::size_t c = 0; c < combos.size(); ++c) compute(c);
+  }
+  return points;
+}
+
+Vector hyperbox_aggregate(
+    const VectorList& received, const AggregationContext& ctx,
+    const std::function<Vector(const VectorList&)>& subset_aggregate) {
+  const std::size_t keep = ctx.keep();
+  // TH_i: coordinate-wise trim of |M_i| - (n - t) values per side
+  // (Definition 2.5).
+  const Hyperbox trusted = trimmed_hyperbox(received, keep);
+  // GH_i (or its mean analogue): bounding box of subset aggregates
+  // (Definition 3.5).
+  const VectorList points =
+      subset_aggregates(received, keep, ctx.pool, subset_aggregate);
+  const Hyperbox aggregate_box = Hyperbox::bounding(points);
+
+  auto intersection = Hyperbox::intersect(trusted, aggregate_box);
+  if (!intersection) {
+    // Theorem 4.4 proves TH_i ∩ GH_i is non-empty; an empty result can only
+    // come from Weiszfeld's finite tolerance placing a subset median
+    // epsilon-outside the trusted interval.  Retry with a tolerance
+    // proportional to the data scale before declaring a logic error.
+    const double tol =
+        1e-9 * (1.0 + std::max(trusted.max_edge(), aggregate_box.max_edge()));
+    intersection =
+        Hyperbox::intersect(trusted.inflated(tol), aggregate_box.inflated(tol));
+    if (!intersection) {
+      throw std::logic_error(
+          "hyperbox_aggregate: TH ∩ GH empty — violates Theorem 4.4");
+    }
+  }
+  return intersection->midpoint();
+}
+
+Vector BoxMeanRule::aggregate(const VectorList& received,
+                              const AggregationContext& ctx) const {
+  validate(received, ctx);
+  return hyperbox_aggregate(received, ctx,
+                            [](const VectorList& subset) { return mean(subset); });
+}
+
+Vector BoxGeoMedianRule::aggregate(const VectorList& received,
+                                   const AggregationContext& ctx) const {
+  validate(received, ctx);
+  const WeiszfeldOptions options = options_;
+  return hyperbox_aggregate(
+      received, ctx, [options](const VectorList& subset) {
+        return geometric_median_point(subset, options);
+      });
+}
+
+}  // namespace bcl

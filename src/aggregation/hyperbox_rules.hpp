@@ -1,0 +1,62 @@
+#pragma once
+// Hyperbox aggregation rules — the paper's core contribution.
+//
+// BOX-GEOM is one round step of Algorithm 2 (Section 4.2): compute the
+// locally trusted hyperbox TH_i (Definition 2.5) by coordinate-wise
+// trimming, compute the local geometric-median hyperbox GH_i (Definition
+// 3.5) as the bounding box of the geometric medians of all (n - t)-subsets
+// of the received vectors, and output mid(TH_i ∩ GH_i).  Theorem 4.4 proves
+// the intersection is never empty, the iteration halves E_max every round,
+// and a single step is a 2*sqrt(d)-approximation of the true geometric
+// median.
+//
+// BOX-MEAN is the centroid variant of Cambus-Melnyk: GH_i is replaced by the
+// bounding box of subset *means*.
+
+#include <functional>
+
+#include "aggregation/rule.hpp"
+#include "geometry/weiszfeld.hpp"
+#include "linalg/hyperbox.hpp"
+
+namespace bcl {
+
+/// Computes the per-subset aggregate points used by the hyperbox rules:
+/// one point per (n-t)-subset of `received`.  `subset_aggregate` maps a
+/// subset of vectors to its aggregate (mean or geometric median).  Runs
+/// subsets in parallel when ctx.pool is set.
+VectorList subset_aggregates(
+    const VectorList& received, std::size_t keep, ThreadPool* pool,
+    const std::function<Vector(const VectorList&)>& subset_aggregate);
+
+/// Shared implementation of the two hyperbox rules: output
+/// mid(trimmed_hyperbox(received) ∩ bounding_box(subset aggregates)).
+/// Throws std::logic_error if the intersection is empty beyond numerical
+/// tolerance (Theorem 4.4 guarantees non-emptiness; a tiny per-coordinate
+/// tolerance absorbs Weiszfeld rounding).
+Vector hyperbox_aggregate(
+    const VectorList& received, const AggregationContext& ctx,
+    const std::function<Vector(const VectorList&)>& subset_aggregate);
+
+/// BOX-MEAN: hyperbox rule with subset means.
+class BoxMeanRule final : public AggregationRule {
+ public:
+  std::string name() const override { return "BOX-MEAN"; }
+  Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+};
+
+/// BOX-GEOM: hyperbox rule with subset geometric medians (Algorithm 2).
+class BoxGeoMedianRule final : public AggregationRule {
+ public:
+  explicit BoxGeoMedianRule(WeiszfeldOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "BOX-GEOM"; }
+  Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+
+ private:
+  WeiszfeldOptions options_;
+};
+
+}  // namespace bcl

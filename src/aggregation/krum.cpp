@@ -1,0 +1,69 @@
+#include "aggregation/krum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bcl {
+
+std::vector<double> krum_scores(const VectorList& received,
+                                std::size_t closest, KrumScore flavour) {
+  const std::size_t m = received.size();
+  if (closest >= m) {
+    throw std::invalid_argument("krum_scores: closest must be < m");
+  }
+  std::vector<double> scores(m, 0.0);
+  std::vector<double> dists;
+  dists.reserve(m - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    dists.clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const double d2 = distance_squared(received[i], received[j]);
+      dists.push_back(flavour == KrumScore::Squared ? d2 : std::sqrt(d2));
+    }
+    std::partial_sort(dists.begin(),
+                      dists.begin() + static_cast<long>(closest),
+                      dists.end());
+    scores[i] = std::accumulate(dists.begin(),
+                                dists.begin() + static_cast<long>(closest),
+                                0.0);
+  }
+  return scores;
+}
+
+Vector KrumRule::aggregate(const VectorList& received,
+                           const AggregationContext& ctx) const {
+  validate(received, ctx);
+  // C_i contains the n - t - 1 closest vectors to v_i (Equation 3).
+  const std::size_t closest =
+      std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+  if (closest == 0) return received.front();
+  const auto scores = krum_scores(received, closest, flavour_);
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+  return received[best];
+}
+
+Vector MultiKrumRule::aggregate(const VectorList& received,
+                                const AggregationContext& ctx) const {
+  validate(received, ctx);
+  if (q_ == 0) throw std::invalid_argument("MultiKrum: q must be positive");
+  const std::size_t closest =
+      std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+  if (closest == 0) return received.front();
+  const auto scores = krum_scores(received, closest, flavour_);
+  std::vector<std::size_t> order(received.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  const std::size_t take = std::min(q_, received.size());
+  VectorList best;
+  best.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) best.push_back(received[order[i]]);
+  return mean(best);
+}
+
+}  // namespace bcl

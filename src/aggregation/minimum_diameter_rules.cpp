@@ -1,0 +1,22 @@
+#include "aggregation/minimum_diameter_rules.hpp"
+
+#include "geometry/min_diameter.hpp"
+#include "geometry/subsets.hpp"
+
+namespace bcl {
+
+Vector MinimumDiameterMeanRule::aggregate(const VectorList& received,
+                                          const AggregationContext& ctx) const {
+  validate(received, ctx);
+  const auto md = min_diameter_subset(received, ctx.keep());
+  return mean(gather(received, md.indices));
+}
+
+Vector MinimumDiameterGeoMedianRule::aggregate(
+    const VectorList& received, const AggregationContext& ctx) const {
+  validate(received, ctx);
+  const auto md = min_diameter_subset(received, ctx.keep());
+  return geometric_median_point(gather(received, md.indices), options_);
+}
+
+}  // namespace bcl

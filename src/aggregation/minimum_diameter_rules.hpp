@@ -1,0 +1,39 @@
+#pragma once
+// Minimum-diameter aggregation rules.
+//
+// MD-MEAN is the Minimum Diameter Averaging rule of El-Mhamdi et al.: pick
+// an (n - t)-subset MD of the received vectors with minimum diameter and
+// output its mean.  MD-GEOM is the paper's Algorithm 1 round step: output
+// the geometric median of the MD set instead.  Lemma 4.2 shows the MD-GEOM
+// agreement iteration need not converge, but a single application is a
+// 2-approximation of the true geometric median (Section 4.1), which is why
+// it is the strongest rule in the *centralized* evaluation.
+
+#include "aggregation/rule.hpp"
+#include "geometry/weiszfeld.hpp"
+
+namespace bcl {
+
+/// MD-MEAN (MDA): mean of a minimum-diameter (n - t)-subset.
+class MinimumDiameterMeanRule final : public AggregationRule {
+ public:
+  std::string name() const override { return "MD-MEAN"; }
+  Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+};
+
+/// MD-GEOM (Algorithm 1 step): geometric median of a minimum-diameter
+/// (n - t)-subset.
+class MinimumDiameterGeoMedianRule final : public AggregationRule {
+ public:
+  explicit MinimumDiameterGeoMedianRule(WeiszfeldOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "MD-GEOM"; }
+  Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+
+ private:
+  WeiszfeldOptions options_;
+};
+
+}  // namespace bcl

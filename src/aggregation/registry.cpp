@@ -1,0 +1,46 @@
+#include "aggregation/registry.hpp"
+
+#include <stdexcept>
+
+#include "aggregation/hyperbox_rules.hpp"
+#include "aggregation/krum.hpp"
+#include "aggregation/minimum_diameter_rules.hpp"
+#include "aggregation/robust_baselines.hpp"
+#include "aggregation/simple_rules.hpp"
+
+namespace bcl {
+
+AggregationRulePtr make_rule(const std::string& name) {
+  if (name == "MEAN") return std::make_shared<MeanRule>();
+  if (name == "GEOMED") return std::make_shared<GeometricMedianRule>();
+  if (name == "MEDOID") return std::make_shared<MedoidRule>();
+  if (name == "CW-MEDIAN") return std::make_shared<CoordinatewiseMedianRule>();
+  if (name == "TRIM-MEAN") return std::make_shared<TrimmedMeanRule>();
+  if (name == "KRUM") return std::make_shared<KrumRule>();
+  if (name == "MD-MEAN") return std::make_shared<MinimumDiameterMeanRule>();
+  if (name == "MD-GEOM") return std::make_shared<MinimumDiameterGeoMedianRule>();
+  if (name == "BOX-MEAN") return std::make_shared<BoxMeanRule>();
+  if (name == "BOX-GEOM") return std::make_shared<BoxGeoMedianRule>();
+  if (name == "RFA") return std::make_shared<RfaRule>();
+  if (name == "CCLIP") return std::make_shared<CenteredClippingRule>();
+  if (name == "NORM-CLIP") return std::make_shared<NormClippingRule>();
+  constexpr const char* kPrefix = "MULTIKRUM-";
+  if (name.rfind(kPrefix, 0) == 0) {
+    const std::string q_str = name.substr(std::string(kPrefix).size());
+    const std::size_t q = static_cast<std::size_t>(std::stoul(q_str));
+    return std::make_shared<MultiKrumRule>(q);
+  }
+  throw std::invalid_argument("make_rule: unknown rule '" + name + "'");
+}
+
+std::vector<std::string> all_rule_names() {
+  return {"MEAN",      "GEOMED",  "MEDOID",  "CW-MEDIAN",  "TRIM-MEAN",
+          "KRUM",      "MULTIKRUM-3", "MD-MEAN", "MD-GEOM", "BOX-MEAN",
+          "BOX-GEOM"};
+}
+
+std::vector<std::string> extended_rule_names() {
+  return {"RFA", "CCLIP", "NORM-CLIP"};
+}
+
+}  // namespace bcl

@@ -1,0 +1,26 @@
+#pragma once
+// Name-based factory for aggregation rules, used by experiment configs,
+// examples and bench harnesses ("--rule BOX-GEOM").
+
+#include <vector>
+
+#include "aggregation/rule.hpp"
+
+namespace bcl {
+
+/// Creates a rule by its canonical name: MEAN, GEOMED, MEDOID, CW-MEDIAN,
+/// TRIM-MEAN, KRUM, MULTIKRUM-<q>, MD-MEAN, MD-GEOM, BOX-MEAN, BOX-GEOM.
+/// Throws std::invalid_argument for unknown names.
+AggregationRulePtr make_rule(const std::string& name);
+
+/// All canonical rule names (MULTIKRUM listed as MULTIKRUM-3, the paper's
+/// configuration).
+std::vector<std::string> all_rule_names();
+
+/// The additional robust baselines from the wider literature (RFA, CCLIP,
+/// NORM-CLIP), used by the ablation benches.  NORM-CLIP is intentionally
+/// not translation-equivariant (it clips norms measured from the origin),
+/// so it is kept out of all_rule_names().
+std::vector<std::string> extended_rule_names();
+
+}  // namespace bcl

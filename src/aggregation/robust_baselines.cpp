@@ -1,0 +1,58 @@
+#include "aggregation/robust_baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.hpp"
+
+namespace bcl {
+
+Vector RfaRule::aggregate(const VectorList& received,
+                          const AggregationContext& ctx) const {
+  validate(received, ctx);
+  // Scale the absolute smoothing radius by the data spread so the rule is
+  // scale-equivariant.
+  const double spread = Hyperbox::bounding(received).diagonal();
+  const double nu = std::max(nu_ * (1.0 + spread), 1e-300);
+  return smoothed_geometric_median(received, nu, options_).point;
+}
+
+Vector CenteredClippingRule::aggregate(const VectorList& received,
+                                       const AggregationContext& ctx) const {
+  validate(received, ctx);
+  Vector center = coordinatewise_median(received);
+  for (std::size_t it = 0; it < iterations_; ++it) {
+    // Clip radius: tau_scale times the median distance to the center.
+    std::vector<double> dists;
+    dists.reserve(received.size());
+    for (const auto& v : received) dists.push_back(distance(v, center));
+    const double tau = tau_scale_ * median(dists);
+    Vector shift = zeros(center.size());
+    for (const auto& v : received) {
+      Vector residual = sub(v, center);
+      const double norm = norm2(residual);
+      const double factor = (tau > 0.0 && norm > tau) ? tau / norm : 1.0;
+      axpy(shift, factor / static_cast<double>(received.size()), residual);
+    }
+    axpy(center, 1.0, shift);
+  }
+  return center;
+}
+
+Vector NormClippingRule::aggregate(const VectorList& received,
+                                   const AggregationContext& ctx) const {
+  validate(received, ctx);
+  std::vector<double> norms;
+  norms.reserve(received.size());
+  for (const auto& v : received) norms.push_back(norm2(v));
+  const double bound = median(norms);
+  Vector out = zeros(received.front().size());
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    const double factor =
+        (bound > 0.0 && norms[i] > bound) ? bound / norms[i] : 1.0;
+    axpy(out, factor / static_cast<double>(received.size()), received[i]);
+  }
+  return out;
+}
+
+}  // namespace bcl

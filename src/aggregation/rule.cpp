@@ -1,0 +1,39 @@
+#include "aggregation/rule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl {
+
+std::size_t AggregationRule::validate(const VectorList& received,
+                                      const AggregationContext& ctx) {
+  if (ctx.n == 0) {
+    throw std::invalid_argument("AggregationContext: n must be positive");
+  }
+  if (ctx.t >= ctx.n) {
+    throw std::invalid_argument("AggregationContext: t must be < n");
+  }
+  if (received.size() < ctx.keep()) {
+    throw std::invalid_argument(
+        "aggregate: fewer than n - t vectors received");
+  }
+  if (received.size() > ctx.n) {
+    throw std::invalid_argument("aggregate: more than n vectors received");
+  }
+  const std::size_t d = check_same_dimension(received);
+  if (d == 0) throw std::invalid_argument("aggregate: zero-dimensional input");
+  // A Byzantine NaN/Inf would silently poison every arithmetic rule (NaN
+  // propagates through means, medians and distances alike); reject at the
+  // boundary so callers get a diagnosable error instead of a NaN model.
+  for (const auto& v : received) {
+    for (double x : v) {
+      if (!std::isfinite(x)) {
+        throw std::invalid_argument(
+            "aggregate: received vector contains a non-finite value");
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace bcl

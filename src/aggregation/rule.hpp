@@ -1,0 +1,57 @@
+#pragma once
+// Gradient aggregation rule interface.
+//
+// An aggregation rule maps the multiset of vectors a node (or the central
+// server) received in one round to a single output vector.  In the
+// centralized model the server applies a rule once per learning round; in
+// the decentralized model every node applies a rule once per agreement
+// sub-round (Section 2.1 of the paper).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+/// Static system parameters every rule needs: the nominal number of clients
+/// n and the Byzantine tolerance t (maximum faults designed for; the actual
+/// fault count f <= t is unknown to the rule).
+struct AggregationContext {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  /// Optional worker pool for subset-parallel rules; nullptr runs serially.
+  ThreadPool* pool = nullptr;
+
+  /// Number of vectors every rule trusts to exist: n - t.
+  std::size_t keep() const { return n - t; }
+};
+
+/// Interface for one-shot aggregation.  Implementations are stateless and
+/// thread-compatible: a single instance may be used concurrently from many
+/// nodes.
+class AggregationRule {
+ public:
+  virtual ~AggregationRule() = default;
+
+  /// Stable identifier used in tables and experiment configs (for example
+  /// "BOX-GEOM").
+  virtual std::string name() const = 0;
+
+  /// Aggregates the received vectors.  `received.size()` must be at least
+  /// ctx.keep(); rules throw std::invalid_argument otherwise.
+  virtual Vector aggregate(const VectorList& received,
+                           const AggregationContext& ctx) const = 0;
+
+ protected:
+  /// Shared argument validation: non-empty, same dimension, enough vectors.
+  static std::size_t validate(const VectorList& received,
+                              const AggregationContext& ctx);
+};
+
+using AggregationRulePtr = std::shared_ptr<const AggregationRule>;
+
+}  // namespace bcl

@@ -1,0 +1,42 @@
+#include "aggregation/simple_rules.hpp"
+
+#include <algorithm>
+
+#include "geometry/medoid.hpp"
+#include "linalg/stats.hpp"
+
+namespace bcl {
+
+Vector MeanRule::aggregate(const VectorList& received,
+                           const AggregationContext& ctx) const {
+  validate(received, ctx);
+  return mean(received);
+}
+
+Vector GeometricMedianRule::aggregate(const VectorList& received,
+                                      const AggregationContext& ctx) const {
+  validate(received, ctx);
+  return geometric_median_point(received, options_);
+}
+
+Vector MedoidRule::aggregate(const VectorList& received,
+                             const AggregationContext& ctx) const {
+  validate(received, ctx);
+  return medoid(received);
+}
+
+Vector CoordinatewiseMedianRule::aggregate(
+    const VectorList& received, const AggregationContext& ctx) const {
+  validate(received, ctx);
+  return coordinatewise_median(received);
+}
+
+Vector TrimmedMeanRule::aggregate(const VectorList& received,
+                                  const AggregationContext& ctx) const {
+  validate(received, ctx);
+  const std::size_t m = received.size();
+  const std::size_t trim = std::min(ctx.t, (m - 1) / 2);
+  return coordinatewise_trimmed_mean(received, trim);
+}
+
+}  // namespace bcl

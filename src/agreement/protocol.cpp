@@ -1,0 +1,127 @@
+#include "agreement/protocol.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "linalg/hyperbox.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+namespace {
+
+/// Honest participant: holds its current vector, broadcasts it, applies the
+/// round function to each inbox.
+class AgreementNode final : public HonestProcess {
+ public:
+  AgreementNode(Vector input, RoundFunctionPtr round_function,
+                AggregationContext ctx)
+      : current_(std::move(input)),
+        round_function_(std::move(round_function)),
+        ctx_(ctx) {}
+
+  Vector outgoing(std::size_t /*round*/) const override { return current_; }
+
+  void receive(std::size_t /*round*/, const std::vector<Message>& inbox) override {
+    current_ = round_function_->step(payloads(inbox), current_, ctx_);
+  }
+
+  const Vector& current() const { return current_; }
+
+ private:
+  Vector current_;
+  RoundFunctionPtr round_function_;
+  AggregationContext ctx_;
+};
+
+VectorList honest_vectors(const std::vector<std::unique_ptr<AgreementNode>>& nodes) {
+  VectorList out;
+  for (const auto& node : nodes) {
+    if (node) out.push_back(node->current());
+  }
+  return out;
+}
+
+AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
+                         const AgreementConfig& config, bool fixed,
+                         std::size_t fixed_rounds) {
+  if (config.n == 0 || config.n != inputs.size()) {
+    throw std::invalid_argument(
+        "run_approximate_agreement: inputs.size() must equal config.n");
+  }
+  if (!config.round_function) {
+    throw std::invalid_argument("run_approximate_agreement: no round function");
+  }
+  const std::size_t f = adversary.count_byzantine(config.n);
+  if (f > config.t) {
+    throw std::invalid_argument(
+        "run_approximate_agreement: adversary controls more than t nodes");
+  }
+
+  AggregationContext ctx;
+  ctx.n = config.n;
+  ctx.t = config.t;
+  ctx.pool = nullptr;  // node-level parallelism is across nodes, not subsets
+
+  std::vector<std::unique_ptr<AgreementNode>> nodes(config.n);
+  std::vector<HonestProcess*> processes(config.n, nullptr);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    if (!adversary.is_byzantine(i)) {
+      nodes[i] = std::make_unique<AgreementNode>(inputs[i],
+                                                 config.round_function, ctx);
+      processes[i] = nodes[i].get();
+    }
+  }
+
+  // Delivery floor n - t: the network honors adversarial delays of honest
+  // messages only down to the guaranteed "up to n messages" minimum.
+  SyncNetwork network(processes, adversary, config.pool,
+                      config.n - config.t);
+  AgreementResult result;
+  for (std::size_t i = 0; i < config.n; ++i) {
+    if (nodes[i]) result.honest_ids.push_back(i);
+  }
+
+  auto record_trace = [&] {
+    const VectorList current = honest_vectors(nodes);
+    result.trace.honest_diameter.push_back(diameter(current));
+    result.trace.honest_max_edge.push_back(
+        Hyperbox::bounding(current).max_edge());
+  };
+
+  record_trace();
+  const std::size_t rounds = fixed ? fixed_rounds : config.max_rounds;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (!fixed && result.trace.honest_diameter.back() < config.epsilon) {
+      result.converged = true;
+      break;
+    }
+    network.run_round();
+    ++result.rounds;
+    record_trace();
+  }
+  if (result.trace.honest_diameter.back() < config.epsilon) {
+    result.converged = true;
+  }
+
+  result.outputs = honest_vectors(nodes);
+  result.network = network.stats();
+  return result;
+}
+
+}  // namespace
+
+AgreementResult run_approximate_agreement(const VectorList& inputs,
+                                          Adversary& adversary,
+                                          const AgreementConfig& config) {
+  return run_impl(inputs, adversary, config, /*fixed=*/false, 0);
+}
+
+AgreementResult run_fixed_rounds_agreement(const VectorList& inputs,
+                                           Adversary& adversary,
+                                           std::size_t rounds,
+                                           const AgreementConfig& config) {
+  return run_impl(inputs, adversary, config, /*fixed=*/true, rounds);
+}
+
+}  // namespace bcl

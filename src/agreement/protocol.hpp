@@ -1,0 +1,74 @@
+#pragma once
+// Multidimensional approximate agreement protocols (Section 2.3).
+//
+// Every honest node starts with an input vector; in each synchronous round
+// it reliably broadcasts its vector, collects the inbox and applies a round
+// function.  The protocol targets epsilon-agreement: any two honest outputs
+// within Euclidean distance epsilon.  For the hyperbox round function this
+// is Algorithm 2 and Theorem 4.4 guarantees E_max halves every round; for
+// MD-GEOM it is Algorithm 1, which Lemma 4.2 shows need not converge.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "agreement/round_function.hpp"
+#include "network/adversary.hpp"
+#include "network/sync_network.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+struct AgreementConfig {
+  std::size_t n = 0;  ///< nodes in the system (honest + Byzantine)
+  std::size_t t = 0;  ///< designed fault tolerance (t < n/3 for hyperbox)
+  /// Round function applied by every honest node.
+  RoundFunctionPtr round_function;
+  /// Stop once the honest vectors have pairwise distance < epsilon
+  /// (checked omnisciently by the harness, as usual in the agreement
+  /// literature when the round count is not fixed a priori).
+  double epsilon = 1e-6;
+  /// Hard round cap (also the fixed round count when run_fixed_rounds).
+  std::size_t max_rounds = 64;
+  /// Optional pool for parallel node execution.
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-round convergence trace.
+struct AgreementTrace {
+  /// Diameter of the honest vector set at the start of each round
+  /// (index 0 = inputs).
+  std::vector<double> honest_diameter;
+  /// E_max of the bounding box of honest vectors at the start of each round.
+  std::vector<double> honest_max_edge;
+};
+
+struct AgreementResult {
+  /// Final vector of each honest node, ordered by node id.
+  VectorList outputs;
+  /// Ids of the honest nodes, aligned with `outputs`.
+  std::vector<std::size_t> honest_ids;
+  std::size_t rounds = 0;
+  bool converged = false;  ///< pairwise distance < epsilon reached
+  AgreementTrace trace;
+  NetworkStats network;
+};
+
+/// Runs approximate agreement.  `inputs[i]` is the input vector of node i;
+/// entries at Byzantine ids (per the adversary) are ignored.  Throws if the
+/// adversary controls more than t ids or if fewer than n - t honest nodes
+/// remain.
+AgreementResult run_approximate_agreement(const VectorList& inputs,
+                                          Adversary& adversary,
+                                          const AgreementConfig& config);
+
+/// Same protocol but always runs exactly `rounds` rounds (the decentralized
+/// learning schedule of the paper uses ceil(log2 t) sub-rounds per learning
+/// iteration instead of an epsilon test).
+AgreementResult run_fixed_rounds_agreement(const VectorList& inputs,
+                                           Adversary& adversary,
+                                           std::size_t rounds,
+                                           const AgreementConfig& config);
+
+}  // namespace bcl

@@ -1,0 +1,51 @@
+#include "agreement/round_function.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "aggregation/registry.hpp"
+#include "geometry/min_diameter.hpp"
+#include "geometry/subsets.hpp"
+
+namespace bcl {
+
+RuleRound::RuleRound(AggregationRulePtr rule) : rule_(std::move(rule)) {
+  if (!rule_) throw std::invalid_argument("RuleRound: null rule");
+}
+
+std::string RuleRound::name() const { return rule_->name(); }
+
+Vector RuleRound::step(const VectorList& received, const Vector& /*current*/,
+                       const AggregationContext& ctx) const {
+  return rule_->aggregate(received, ctx);
+}
+
+Vector StickyMinDiameterGeoRound::step(const VectorList& received,
+                                       const Vector& current,
+                                       const AggregationContext& ctx) const {
+  if (received.size() < ctx.keep()) {
+    throw std::invalid_argument("StickyMinDiameterGeoRound: too few vectors");
+  }
+  const auto tied = min_diameter_subsets(received, ctx.keep());
+  Vector best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : tied) {
+    const Vector median =
+        geometric_median_point(gather(received, candidate.indices), options_);
+    const double dist = distance(median, current);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = median;
+    }
+  }
+  return best;
+}
+
+RoundFunctionPtr make_round_function(const std::string& rule_name) {
+  if (rule_name == "MD-GEOM-STICKY") {
+    return std::make_shared<StickyMinDiameterGeoRound>();
+  }
+  return std::make_shared<RuleRound>(make_rule(rule_name));
+}
+
+}  // namespace bcl

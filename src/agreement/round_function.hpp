@@ -1,0 +1,64 @@
+#pragma once
+// Round functions: how an honest node maps its inbox to its next vector.
+//
+// Most protocols apply a stateless aggregation rule to the received
+// multiset.  MD-GEOM additionally depends on tie-breaking among equally
+// minimal-diameter subsets (Definition 3.4 notes the set is not unique);
+// StickyMinDiameterGeoRound exposes the natural "prefer a subset close to
+// my current vector" choice, which is exactly the freedom Lemma 4.2's
+// adversary needs to stall convergence.
+
+#include <memory>
+#include <string>
+
+#include "aggregation/rule.hpp"
+#include "geometry/weiszfeld.hpp"
+
+namespace bcl {
+
+/// Maps (inbox, own current vector) to the node's next vector.
+class RoundFunction {
+ public:
+  virtual ~RoundFunction() = default;
+  virtual std::string name() const = 0;
+  /// `received` is the round's inbox (>= n - t vectors); `current` is the
+  /// node's own vector at the start of the round.
+  virtual Vector step(const VectorList& received, const Vector& current,
+                      const AggregationContext& ctx) const = 0;
+};
+
+using RoundFunctionPtr = std::shared_ptr<const RoundFunction>;
+
+/// Adapter: apply a stateless aggregation rule, ignoring `current`.
+class RuleRound final : public RoundFunction {
+ public:
+  explicit RuleRound(AggregationRulePtr rule);
+  std::string name() const override;
+  Vector step(const VectorList& received, const Vector& current,
+              const AggregationContext& ctx) const override;
+
+ private:
+  AggregationRulePtr rule_;
+};
+
+/// MD-GEOM with sticky tie-breaking: among all minimum-diameter
+/// (n - t)-subsets, pick the one whose geometric median is closest to the
+/// node's current vector.  Deterministic, and a natural implementation
+/// choice — which is precisely why Lemma 4.2's non-convergence is a real
+/// hazard rather than an adversarial curiosity.
+class StickyMinDiameterGeoRound final : public RoundFunction {
+ public:
+  explicit StickyMinDiameterGeoRound(WeiszfeldOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "MD-GEOM-STICKY"; }
+  Vector step(const VectorList& received, const Vector& current,
+              const AggregationContext& ctx) const override;
+
+ private:
+  WeiszfeldOptions options_;
+};
+
+/// Convenience constructors.
+RoundFunctionPtr make_round_function(const std::string& rule_name);
+
+}  // namespace bcl

@@ -1,0 +1,103 @@
+#include "attacks/attack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl {
+
+std::optional<Vector> SignFlipAttack::corrupt(
+    const Vector& own_gradient, const VectorList& /*honest_gradients*/,
+    std::size_t /*round*/, Rng& /*rng*/) const {
+  return scale(own_gradient, -scale_);
+}
+
+std::optional<Vector> CrashAttack::corrupt(const Vector& own_gradient,
+                                           const VectorList& /*honest*/,
+                                           std::size_t round,
+                                           Rng& /*rng*/) const {
+  if (round >= from_round_) return std::nullopt;
+  return own_gradient;
+}
+
+std::optional<Vector> RandomGradientAttack::corrupt(
+    const Vector& own_gradient, const VectorList& /*honest*/,
+    std::size_t /*round*/, Rng& rng) const {
+  Vector out(own_gradient.size());
+  for (double& x : out) x = rng.gaussian(0.0, sigma_);
+  return out;
+}
+
+std::optional<Vector> ScaleAttack::corrupt(const Vector& own_gradient,
+                                           const VectorList& /*honest*/,
+                                           std::size_t /*round*/,
+                                           Rng& /*rng*/) const {
+  return scale(own_gradient, factor_);
+}
+
+std::optional<Vector> ZeroAttack::corrupt(const Vector& own_gradient,
+                                          const VectorList& /*honest*/,
+                                          std::size_t /*round*/,
+                                          Rng& /*rng*/) const {
+  return zeros(own_gradient.size());
+}
+
+std::optional<Vector> OppositeMeanAttack::corrupt(
+    const Vector& own_gradient, const VectorList& honest_gradients,
+    std::size_t /*round*/, Rng& /*rng*/) const {
+  if (honest_gradients.empty()) return scale(own_gradient, -scale_);
+  return scale(mean(honest_gradients), -scale_);
+}
+
+std::optional<Vector> ALittleIsEnoughAttack::corrupt(
+    const Vector& own_gradient, const VectorList& honest_gradients,
+    std::size_t /*round*/, Rng& /*rng*/) const {
+  if (honest_gradients.empty()) return own_gradient;
+  const std::size_t d = own_gradient.size();
+  const Vector mu = mean(honest_gradients);
+  Vector out(d);
+  const double inv = 1.0 / static_cast<double>(honest_gradients.size());
+  for (std::size_t k = 0; k < d; ++k) {
+    double var = 0.0;
+    for (const auto& g : honest_gradients) {
+      var += (g[k] - mu[k]) * (g[k] - mu[k]);
+    }
+    out[k] = mu[k] + z_ * std::sqrt(var * inv);
+  }
+  return out;
+}
+
+std::optional<Vector> NoAttack::corrupt(const Vector& own_gradient,
+                                        const VectorList& /*honest*/,
+                                        std::size_t /*round*/,
+                                        Rng& /*rng*/) const {
+  return own_gradient;
+}
+
+GradientAttackPtr make_attack(const std::string& name) {
+  if (name == "none") return std::make_shared<NoAttack>();
+  if (name == "sign-flip") return std::make_shared<SignFlipAttack>();
+  if (name == "sign-flip-10") return std::make_shared<SignFlipAttack>(10.0);
+  if (name == "crash") return std::make_shared<CrashAttack>();
+  if (name == "random") return std::make_shared<RandomGradientAttack>();
+  if (name == "scale") return std::make_shared<ScaleAttack>();
+  if (name == "zero") return std::make_shared<ZeroAttack>();
+  if (name == "opposite-mean") return std::make_shared<OppositeMeanAttack>();
+  if (name == "alie") return std::make_shared<ALittleIsEnoughAttack>();
+  throw std::invalid_argument("make_attack: unknown attack '" + name + "'");
+}
+
+std::vector<std::string> all_attack_names() {
+  return {"none",  "sign-flip", "sign-flip-10", "crash",
+          "random", "scale",    "zero",         "opposite-mean", "alie"};
+}
+
+void flip_labels_in_place(ml::Dataset& dataset,
+                          const std::vector<std::size_t>& shard) {
+  for (std::size_t i : shard) {
+    const std::uint8_t y = dataset.labels.at(i);
+    dataset.labels[i] =
+        static_cast<std::uint8_t>(dataset.num_classes - 1 - y);
+  }
+}
+
+}  // namespace bcl

@@ -1,0 +1,154 @@
+#pragma once
+// Byzantine client behaviours for collaborative learning (Section 5.1).
+//
+// A gradient attack decides what a Byzantine client submits in a learning
+// round, given its own honestly computed gradient and — omnisciently, per
+// the standard threat model — all honest gradients of the round.  The
+// paper's principal attack is the sign flip: compute the local gradient,
+// invert its sign, submit it.  Crash failures and several classic baseline
+// attacks from the literature are included for the ablation benches.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace bcl {
+
+class GradientAttack {
+ public:
+  virtual ~GradientAttack() = default;
+  virtual std::string name() const = 0;
+
+  /// The vector the Byzantine client submits this round; nullopt = silent
+  /// (crash / omitted broadcast).  `own_gradient` is the gradient the
+  /// client would have submitted if honest; `honest_gradients` are the
+  /// actual honest submissions of the round.
+  virtual std::optional<Vector> corrupt(const Vector& own_gradient,
+                                        const VectorList& honest_gradients,
+                                        std::size_t round, Rng& rng) const = 0;
+};
+
+using GradientAttackPtr = std::shared_ptr<const GradientAttack>;
+
+/// Sign flip (Park & Lee; the evaluation's main attack): submit
+/// -scale * own_gradient.  scale defaults to 1.
+class SignFlipAttack final : public GradientAttack {
+ public:
+  explicit SignFlipAttack(double attack_scale = 1.0) : scale_(attack_scale) {}
+  std::string name() const override { return "sign-flip"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  double scale_;
+};
+
+/// Crash from a given round on (silent before contributing anything when
+/// from_round == 0).
+class CrashAttack final : public GradientAttack {
+ public:
+  explicit CrashAttack(std::size_t from_round = 0) : from_round_(from_round) {}
+  std::string name() const override { return "crash"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  std::size_t from_round_;
+};
+
+/// Gaussian noise of the given sigma, ignoring the data entirely (the
+/// "random parameter modification" attack class).
+class RandomGradientAttack final : public GradientAttack {
+ public:
+  explicit RandomGradientAttack(double sigma = 1.0) : sigma_(sigma) {}
+  std::string name() const override { return "random"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  double sigma_;
+};
+
+/// Scales the honest gradient by a large factor (magnitude attack).
+class ScaleAttack final : public GradientAttack {
+ public:
+  explicit ScaleAttack(double factor = 100.0) : factor_(factor) {}
+  std::string name() const override { return "scale"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  double factor_;
+};
+
+/// Always submits the zero vector (lazy freerider).
+class ZeroAttack final : public GradientAttack {
+ public:
+  std::string name() const override { return "zero"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+};
+
+/// Blanchard et al.'s omniscient attack: submit the negated mean of the
+/// honest gradients, cancelling linear aggregation.
+class OppositeMeanAttack final : public GradientAttack {
+ public:
+  explicit OppositeMeanAttack(double attack_scale = 1.0)
+      : scale_(attack_scale) {}
+  std::string name() const override { return "opposite-mean"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  double scale_;
+};
+
+/// "A Little Is Enough" (Baruch et al.): submits mean(honest) +
+/// z * std(honest) per coordinate — a stealth attack that stays inside the
+/// honest spread, designed to defeat trimming-style defences slowly.
+class ALittleIsEnoughAttack final : public GradientAttack {
+ public:
+  explicit ALittleIsEnoughAttack(double z = 1.5) : z_(z) {}
+  std::string name() const override { return "alie"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+
+ private:
+  double z_;
+};
+
+/// Honest behaviour (control arm of the benches).
+class NoAttack final : public GradientAttack {
+ public:
+  std::string name() const override { return "none"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+};
+
+/// Creates an attack by name: none, sign-flip, sign-flip-10 (multiplicative
+/// factor 10, the El-Mhamdi et al. variant), crash, random, scale, zero,
+/// opposite-mean, alie.  Throws on unknown names.
+GradientAttackPtr make_attack(const std::string& name);
+
+/// All attack names accepted by make_attack.
+std::vector<std::string> all_attack_names();
+
+/// Data-poisoning variant (label flipping): remaps every label y of the
+/// client's local shard to (num_classes - 1 - y).  Applied to a copy of the
+/// shard at setup time, not per round.
+void flip_labels_in_place(ml::Dataset& dataset,
+                          const std::vector<std::size_t>& shard);
+
+}  // namespace bcl

@@ -1,0 +1,57 @@
+#pragma once
+// Umbrella header: the full public API of the Byzantine collaborative
+// learning library.
+//
+// Layering (bottom up):
+//   util        - RNG, thread pool, tables, CLI
+//   linalg      - vectors, hyperboxes, order statistics
+//   geometry    - Weiszfeld, medoid, enclosing balls, min-diameter subsets,
+//                 planar safe areas
+//   aggregation - all aggregation rules + the approximation measure
+//   network     - synchronous P2P simulator with Byzantine adversaries
+//   agreement   - multidimensional approximate-agreement protocols
+//   ml          - tensors, layers, models, synthetic datasets, partitions
+//   attacks     - Byzantine client behaviours
+//   learning    - centralized / decentralized collaborative training
+
+#include "aggregation/approximation.hpp"
+#include "aggregation/hyperbox_rules.hpp"
+#include "aggregation/krum.hpp"
+#include "aggregation/minimum_diameter_rules.hpp"
+#include "aggregation/registry.hpp"
+#include "aggregation/rule.hpp"
+#include "aggregation/simple_rules.hpp"
+#include "agreement/protocol.hpp"
+#include "agreement/round_function.hpp"
+#include "attacks/attack.hpp"
+#include "geometry/convex2d.hpp"
+#include "geometry/enclosing_ball.hpp"
+#include "geometry/medoid.hpp"
+#include "geometry/min_diameter.hpp"
+#include "geometry/safe_area.hpp"
+#include "geometry/subsets.hpp"
+#include "geometry/weiszfeld.hpp"
+#include "learning/centralized.hpp"
+#include "learning/client.hpp"
+#include "learning/config.hpp"
+#include "learning/decentralized.hpp"
+#include "linalg/hyperbox.hpp"
+#include "linalg/stats.hpp"
+#include "linalg/vector_ops.hpp"
+#include "ml/architectures.hpp"
+#include "aggregation/robust_baselines.hpp"
+#include "ml/dataset.hpp"
+#include "ml/checkpoint.hpp"
+#include "ml/idx_loader.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/partition.hpp"
+#include "network/adversary.hpp"
+#include "network/message.hpp"
+#include "network/sync_network.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"

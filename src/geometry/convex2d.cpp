@@ -1,0 +1,164 @@
+#include "geometry/convex2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl {
+
+namespace {
+
+double cross(const Vector& o, const Vector& a, const Vector& b) {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+}  // namespace
+
+Polygon2 convex_hull_2d(const VectorList& points) {
+  check_same_dimension(points, points.empty() ? 0 : 2);
+  VectorList pts = points;
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+  Polygon2 hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  if (hull.empty()) hull.push_back(pts.front());  // all points collinear? no:
+  return hull;
+}
+
+double polygon_area(const Polygon2& poly) {
+  if (poly.size() < 3) return 0.0;
+  double a = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Vector& p = poly[i];
+    const Vector& q = poly[(i + 1) % poly.size()];
+    a += p[0] * q[1] - q[0] * p[1];
+  }
+  return 0.5 * a;
+}
+
+bool polygon_contains(const Polygon2& poly, const Vector& p, double tol) {
+  if (p.size() != 2) throw std::invalid_argument("polygon_contains: not 2-D");
+  if (poly.empty()) return false;
+  if (poly.size() == 1) return distance(poly[0], p) <= tol;
+  if (poly.size() == 2) {
+    // On-segment test: distance to segment <= tol.
+    const Vector& a = poly[0];
+    const Vector& b = poly[1];
+    const double len2 = distance_squared(a, b);
+    double s = len2 == 0.0 ? 0.0
+                           : ((p[0] - a[0]) * (b[0] - a[0]) +
+                              (p[1] - a[1]) * (b[1] - a[1])) /
+                                 len2;
+    s = std::clamp(s, 0.0, 1.0);
+    const Vector proj{a[0] + s * (b[0] - a[0]), a[1] + s * (b[1] - a[1])};
+    return distance(proj, p) <= tol;
+  }
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Vector& a = poly[i];
+    const Vector& b = poly[(i + 1) % poly.size()];
+    const double side = cross(a, b, p);
+    const double edge_len = distance(a, b);
+    if (side < -tol * (1.0 + edge_len)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Clips a polygon against the half-plane on the left of the directed line
+// a -> b (inclusive).
+Polygon2 clip_half_plane(const Polygon2& poly, const Vector& a,
+                         const Vector& b) {
+  Polygon2 out;
+  const std::size_t n = poly.size();
+  if (n == 0) return out;
+  auto side = [&](const Vector& p) {
+    return (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]);
+  };
+  constexpr double kEps = 1e-12;
+  if (n == 1) {
+    if (side(poly[0]) >= -kEps) out.push_back(poly[0]);
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vector& cur = poly[i];
+    const Vector& nxt = poly[(i + 1) % n];
+    const double sc = side(cur);
+    const double sn = side(nxt);
+    if (sc >= -kEps) out.push_back(cur);
+    // Edge crosses the line strictly: add the intersection point.
+    if ((sc > kEps && sn < -kEps) || (sc < -kEps && sn > kEps)) {
+      const double u = sc / (sc - sn);
+      out.push_back(Vector{cur[0] + u * (nxt[0] - cur[0]),
+                           cur[1] + u * (nxt[1] - cur[1])});
+    }
+  }
+  // Deduplicate consecutive identical vertices produced by tangential cuts.
+  Polygon2 dedup;
+  for (const auto& v : out) {
+    if (dedup.empty() || distance(dedup.back(), v) > 1e-12) dedup.push_back(v);
+  }
+  while (dedup.size() > 1 && distance(dedup.front(), dedup.back()) <= 1e-12) {
+    dedup.pop_back();
+  }
+  return dedup;
+}
+
+}  // namespace
+
+Polygon2 clip_convex(const Polygon2& subject, const Polygon2& clipper) {
+  if (subject.empty() || clipper.empty()) return {};
+  Polygon2 result = subject;
+  if (clipper.size() == 1) {
+    // Degenerate clipper: a single point; intersection is that point iff the
+    // subject contains it.
+    return polygon_contains(subject, clipper[0], 1e-9)
+               ? Polygon2{clipper[0]}
+               : Polygon2{};
+  }
+  if (clipper.size() == 2) {
+    // Segment clipper: clip subject against both half-planes of the
+    // supporting line, then against the two end cap lines.
+    result = clip_half_plane(result, clipper[0], clipper[1]);
+    result = clip_half_plane(result, clipper[1], clipper[0]);
+    // Caps: perpendicular lines through the endpoints.
+    const Vector dir{clipper[1][0] - clipper[0][0],
+                     clipper[1][1] - clipper[0][1]};
+    const Vector n0{clipper[0][0] + dir[1], clipper[0][1] - dir[0]};
+    const Vector n1{clipper[1][0] + dir[1], clipper[1][1] - dir[0]};
+    result = clip_half_plane(result, clipper[0], n0);
+    result = clip_half_plane(result, n1, clipper[1]);
+    return result;
+  }
+  for (std::size_t i = 0; i < clipper.size() && !result.empty(); ++i) {
+    result = clip_half_plane(result, clipper[i],
+                             clipper[(i + 1) % clipper.size()]);
+  }
+  return result;
+}
+
+std::optional<Vector> polygon_centroid(const Polygon2& poly) {
+  if (poly.empty()) return std::nullopt;
+  Vector c{0.0, 0.0};
+  for (const auto& v : poly) {
+    c[0] += v[0];
+    c[1] += v[1];
+  }
+  c[0] /= static_cast<double>(poly.size());
+  c[1] /= static_cast<double>(poly.size());
+  return c;
+}
+
+}  // namespace bcl

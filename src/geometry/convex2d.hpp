@@ -1,0 +1,41 @@
+#pragma once
+// Planar convex geometry: hulls, point containment, polygon clipping.
+//
+// These primitives power the exact two-dimensional safe-area computation
+// (Definition 2.3): the safe area is the intersection of the convex hulls of
+// all (n - t)-subsets, which we evaluate by iterated convex-polygon
+// clipping.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+/// A convex polygon as a counter-clockwise vertex list.  May be empty (no
+/// area), a single point, or a segment (two vertices).
+using Polygon2 = std::vector<Vector>;  // each Vector has dimension 2
+
+/// Convex hull (Andrew monotone chain).  Returns CCW vertices without
+/// repetition; collinear interior points are dropped.  A hull of 1 or 2
+/// distinct points returns that point / segment.
+Polygon2 convex_hull_2d(const VectorList& points);
+
+/// Signed area of a CCW polygon (0 for points/segments).
+double polygon_area(const Polygon2& poly);
+
+/// True if p lies inside or on the boundary of the convex CCW polygon,
+/// within tolerance `tol`.
+bool polygon_contains(const Polygon2& poly, const Vector& p, double tol = 1e-9);
+
+/// Intersection of two convex polygons via Sutherland-Hodgman clipping of
+/// `subject` against each edge of `clipper`.  Degenerate clippers (points /
+/// segments) are handled by clipping against both half-planes of each
+/// supporting line.  The result may be empty or degenerate.
+Polygon2 clip_convex(const Polygon2& subject, const Polygon2& clipper);
+
+/// A representative point of a polygon: vertex centroid (empty -> nullopt).
+std::optional<Vector> polygon_centroid(const Polygon2& poly);
+
+}  // namespace bcl

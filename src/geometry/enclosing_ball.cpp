@@ -1,0 +1,151 @@
+#include "geometry/enclosing_ball.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bcl {
+
+bool Ball::contains(const Vector& p, double tol) const {
+  return distance(p, center) <= radius + tol;
+}
+
+namespace {
+
+Ball exact_interval_ball(const VectorList& points) {
+  double lo = points.front()[0];
+  double hi = lo;
+  for (const auto& p : points) {
+    lo = std::min(lo, p[0]);
+    hi = std::max(hi, p[0]);
+  }
+  return Ball{Vector{0.5 * (lo + hi)}, 0.5 * (hi - lo)};
+}
+
+// --- Exact 2-D smallest enclosing circle (Welzl) ---
+
+Ball circle_from_two(const Vector& a, const Vector& b) {
+  Ball c;
+  c.center = {0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])};
+  c.radius = 0.5 * distance(a, b);
+  return c;
+}
+
+// Circumscribed circle of a non-degenerate triangle; falls back to the
+// two-point circle of the farthest pair when (nearly) collinear.
+Ball circle_from_three(const Vector& a, const Vector& b, const Vector& c) {
+  const double ax = a[0], ay = a[1];
+  const double bx = b[0], by = b[1];
+  const double cx = c[0], cy = c[1];
+  const double det = 2.0 * ((bx - ax) * (cy - ay) - (by - ay) * (cx - ax));
+  const double span = std::max({distance(a, b), distance(b, c), distance(a, c)});
+  if (std::abs(det) <= 1e-12 * (1.0 + span * span)) {
+    Ball best = circle_from_two(a, b);
+    for (const Ball& cand : {circle_from_two(b, c), circle_from_two(a, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = ax * ax + ay * ay;
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  const double ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / det;
+  const double uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / det;
+  Ball out;
+  out.center = {ux, uy};
+  out.radius = distance(out.center, a);
+  return out;
+}
+
+Ball trivial_circle(const VectorList& support) {
+  switch (support.size()) {
+    case 0:
+      return Ball{Vector{0.0, 0.0}, -1.0};  // radius < 0 contains nothing
+    case 1:
+      return Ball{support[0], 0.0};
+    case 2:
+      return circle_from_two(support[0], support[1]);
+    default:
+      return circle_from_three(support[0], support[1], support[2]);
+  }
+}
+
+constexpr double kWelzlTol = 1e-9;
+
+Ball welzl_recursive(VectorList& pts, std::size_t n, VectorList support) {
+  if (n == 0 || support.size() == 3) return trivial_circle(support);
+  Ball ball = welzl_recursive(pts, n - 1, support);
+  const Vector& p = pts[n - 1];
+  if (ball.radius >= 0.0 &&
+      ball.contains(p, kWelzlTol * (1.0 + ball.radius))) {
+    return ball;
+  }
+  support.push_back(p);
+  return welzl_recursive(pts, n - 1, std::move(support));
+}
+
+// --- Badoiu-Clarkson (1+eps) ball for general dimension ---
+
+Ball badoiu_clarkson(const VectorList& points,
+                     const EnclosingBallOptions& options) {
+  const double eps = std::max(options.epsilon, 1e-6);
+  std::size_t iterations = static_cast<std::size_t>(1.0 / (eps * eps)) + 1;
+  iterations = std::min(iterations, options.max_iterations);
+  Vector c = points.front();
+  for (std::size_t it = 1; it <= iterations; ++it) {
+    // Farthest point from the current center.
+    std::size_t far = 0;
+    double far_d2 = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d2 = distance_squared(points[i], c);
+      if (d2 > far_d2) {
+        far_d2 = d2;
+        far = i;
+      }
+    }
+    if (far_d2 == 0.0) break;
+    const double step = 1.0 / static_cast<double>(it + 1);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      c[k] += step * (points[far][k] - c[k]);
+    }
+  }
+  Ball out;
+  out.center = std::move(c);
+  double r2 = 0.0;
+  for (const auto& p : points) r2 = std::max(r2, distance_squared(p, out.center));
+  out.radius = std::sqrt(r2);
+  return out;
+}
+
+}  // namespace
+
+Ball welzl_circle(const VectorList& points) {
+  if (points.empty()) {
+    throw std::invalid_argument("welzl_circle: empty point list");
+  }
+  check_same_dimension(points, 2);
+  VectorList pts = points;
+  // Shuffle for the expected-linear-time guarantee; seed fixed for
+  // reproducibility.
+  Rng rng(0xC1C1E5u);
+  rng.shuffle(pts);
+  Ball ball = welzl_recursive(pts, pts.size(), {});
+  if (ball.radius < 0.0) ball = Ball{pts.front(), 0.0};
+  return ball;
+}
+
+Ball minimum_enclosing_ball(const VectorList& points,
+                            const EnclosingBallOptions& options) {
+  if (points.empty()) {
+    throw std::invalid_argument("minimum_enclosing_ball: empty point list");
+  }
+  const std::size_t d = check_same_dimension(points);
+  if (points.size() == 1) return Ball{points.front(), 0.0};
+  if (d == 1) return exact_interval_ball(points);
+  if (d == 2) return welzl_circle(points);
+  return badoiu_clarkson(points, options);
+}
+
+}  // namespace bcl

@@ -1,0 +1,44 @@
+#pragma once
+// Minimum enclosing ball.
+//
+// The paper's approximation measure (Definition 3.3) is defined through the
+// radius r_cov of the minimum covering ball of S_geo, the set of geometric
+// medians of all (n - t)-subsets.  We provide an exact solver in one and two
+// dimensions (Welzl's algorithm) and the Badoiu-Clarkson core-set iteration
+// for arbitrary dimension, which converges to a (1 + eps) approximation
+// after O(1/eps^2) iterations.
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+/// A Euclidean ball.
+struct Ball {
+  Vector center;
+  double radius = 0.0;
+
+  /// True if p is inside the ball within tolerance `tol`.
+  bool contains(const Vector& p, double tol = 0.0) const;
+};
+
+struct EnclosingBallOptions {
+  /// Target relative accuracy for the high-dimensional iterative solver.
+  double epsilon = 1e-3;
+  /// Hard cap on iterations (overrides epsilon if smaller).
+  std::size_t max_iterations = 200000;
+};
+
+/// Minimum enclosing ball of a non-empty point set.
+/// d == 1 and d == 2 are solved exactly (interval / Welzl); higher
+/// dimensions use Badoiu-Clarkson and are accurate to a (1 + epsilon)
+/// factor in the radius.
+Ball minimum_enclosing_ball(const VectorList& points,
+                            const EnclosingBallOptions& options = {});
+
+/// Exact smallest enclosing circle via Welzl's randomized incremental
+/// algorithm; requires all points to have dimension 2.
+Ball welzl_circle(const VectorList& points);
+
+}  // namespace bcl

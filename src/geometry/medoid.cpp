@@ -1,0 +1,37 @@
+#include "geometry/medoid.hpp"
+
+#include <stdexcept>
+
+namespace bcl {
+
+double medoid_score(const VectorList& points, std::size_t i) {
+  if (i >= points.size()) {
+    throw std::invalid_argument("medoid_score: index out of range");
+  }
+  double s = 0.0;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (j != i) s += distance(points[i], points[j]);
+  }
+  return s;
+}
+
+std::size_t medoid_index(const VectorList& points) {
+  if (points.empty()) throw std::invalid_argument("medoid of empty list");
+  check_same_dimension(points);
+  std::size_t best = 0;
+  double best_score = medoid_score(points, 0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double s = medoid_score(points, i);
+    if (s < best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Vector medoid(const VectorList& points) {
+  return points[medoid_index(points)];
+}
+
+}  // namespace bcl

@@ -1,0 +1,21 @@
+#pragma once
+// Medoid: the input point minimizing the sum of Euclidean distances to all
+// other input points.  Used by the Krum family (Section 2.2) and by the
+// medoid aggregation rule of El-Mhamdi et al.
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+/// Index of the medoid of a non-empty list (ties broken by lowest index).
+std::size_t medoid_index(const VectorList& points);
+
+/// The medoid point itself.
+Vector medoid(const VectorList& points);
+
+/// Sum of distances from points[i] to every other point.
+double medoid_score(const VectorList& points, std::size_t i);
+
+}  // namespace bcl

@@ -1,0 +1,115 @@
+#include "geometry/min_diameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace bcl {
+
+namespace {
+
+struct SearchState {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  const std::vector<std::vector<double>>* dist = nullptr;
+  std::vector<std::size_t> current;
+  double current_diam = 0.0;
+  std::vector<std::size_t> best;
+  double best_diam = std::numeric_limits<double>::infinity();
+};
+
+void search(SearchState& s, std::size_t next) {
+  if (s.current.size() == s.k) {
+    // Strict improvement keeps the first (lexicographically smallest)
+    // optimal subset.
+    if (s.current_diam < s.best_diam) {
+      s.best_diam = s.current_diam;
+      s.best = s.current;
+    }
+    return;
+  }
+  const std::size_t needed = s.k - s.current.size();
+  for (std::size_t i = next; i + needed <= s.m; ++i) {
+    double new_diam = s.current_diam;
+    for (std::size_t j : s.current) {
+      new_diam = std::max(new_diam, (*s.dist)[i][j]);
+    }
+    if (new_diam >= s.best_diam) continue;  // prune
+    s.current.push_back(i);
+    const double saved = s.current_diam;
+    s.current_diam = new_diam;
+    search(s, i + 1);
+    s.current_diam = saved;
+    s.current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<MinDiameterResult> min_diameter_subsets(const VectorList& points,
+                                                    std::size_t k,
+                                                    double rel_tol) {
+  const MinDiameterResult best = min_diameter_subset(points, k);
+  const double limit = best.diameter * (1.0 + rel_tol) + 1e-300;
+  std::vector<MinDiameterResult> out;
+  const std::size_t m = points.size();
+  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      dist[i][j] = dist[j][i] = distance(points[i], points[j]);
+    }
+  }
+  std::vector<std::size_t> current;
+  current.reserve(k);
+  // Depth-first enumeration keeping every subset whose running diameter
+  // stays within the tolerance band of the optimum.
+  std::function<void(std::size_t, double)> visit = [&](std::size_t next,
+                                                       double diam) {
+    if (current.size() == k) {
+      out.push_back(MinDiameterResult{current, diam});
+      return;
+    }
+    const std::size_t needed = k - current.size();
+    for (std::size_t i = next; i + needed <= m; ++i) {
+      double new_diam = diam;
+      for (std::size_t j : current) new_diam = std::max(new_diam, dist[i][j]);
+      if (new_diam > limit) continue;
+      current.push_back(i);
+      visit(i + 1, new_diam);
+      current.pop_back();
+    }
+  };
+  visit(0, 0.0);
+  return out;
+}
+
+MinDiameterResult min_diameter_subset(const VectorList& points,
+                                      std::size_t k) {
+  const std::size_t m = points.size();
+  if (k == 0 || k > m) {
+    throw std::invalid_argument("min_diameter_subset: invalid subset size");
+  }
+  check_same_dimension(points);
+  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      dist[i][j] = dist[j][i] = distance(points[i], points[j]);
+    }
+  }
+  SearchState s;
+  s.m = m;
+  s.k = k;
+  s.dist = &dist;
+  s.current.reserve(k);
+  search(s, 0);
+  MinDiameterResult out;
+  out.indices = std::move(s.best);
+  out.diameter = s.best_diam == std::numeric_limits<double>::infinity()
+                     ? 0.0
+                     : s.best_diam;
+  return out;
+}
+
+}  // namespace bcl

@@ -1,0 +1,66 @@
+#include "geometry/safe_area.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geometry/subsets.hpp"
+
+namespace bcl {
+
+std::optional<std::pair<double, double>> safe_area_1d(
+    const std::vector<double>& values, std::size_t t) {
+  const std::size_t n = values.size();
+  if (n == 0 || 2 * t >= n) return std::nullopt;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  // Hull of subset I is [min_I, max_I]; intersecting over all (n-t)-subsets
+  // leaves [ (t+1)-th smallest, (n-t)-th smallest ].
+  const double lo = sorted[t];
+  const double hi = sorted[n - t - 1];
+  if (lo > hi) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+Polygon2 safe_area_2d(const VectorList& points, std::size_t t) {
+  const std::size_t n = points.size();
+  check_same_dimension(points, n == 0 ? 0 : 2);
+  if (n == 0 || t >= n) return {};
+  const std::size_t k = n - t;
+  Polygon2 area;
+  bool first = true;
+  for_each_combination(n, k, [&](const std::vector<std::size_t>& idx) {
+    if (!first && area.empty()) return;  // already empty; keep skipping
+    const Polygon2 hull = convex_hull_2d(gather(points, idx));
+    if (first) {
+      area = hull;
+      first = false;
+    } else {
+      area = clip_convex(area, hull);
+    }
+  });
+  return area;
+}
+
+std::optional<Vector> safe_area_point(const VectorList& points,
+                                      std::size_t t) {
+  const std::size_t d = check_same_dimension(points);
+  if (points.empty()) return std::nullopt;
+  if (d == 1) {
+    std::vector<double> values;
+    values.reserve(points.size());
+    for (const auto& p : points) values.push_back(p[0]);
+    const auto interval = safe_area_1d(values, t);
+    if (!interval) return std::nullopt;
+    return Vector{0.5 * (interval->first + interval->second)};
+  }
+  if (d == 2) {
+    const Polygon2 area = safe_area_2d(points, t);
+    return polygon_centroid(area);
+  }
+  throw std::invalid_argument(
+      "safe_area_point: exact safe area implemented for d <= 2 only "
+      "(the safe-area condition t < n/(d+1) makes it unusable for ML-scale "
+      "d anyway; see Theorem 4.1)");
+}
+
+}  // namespace bcl

@@ -1,0 +1,31 @@
+#pragma once
+// The safe area of Mendes-Herlihy-Vaidya-Garg (Definition 2.3): the
+// intersection of the convex hulls of every (n - t)-subset of the inputs.
+//
+// The safe area only exists when t < n / max(3, d + 1), so it is computable
+// in practice only for very low dimension; we provide exact solvers for
+// d = 1 (interval arithmetic) and d = 2 (iterated convex clipping).  These
+// are what Theorem 4.1's unbounded-approximation counterexamples exercise.
+
+#include <optional>
+
+#include "geometry/convex2d.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+/// Exact 1-D safe area: the interval [v_(t+1), v_(n-t)] (1-indexed order
+/// statistics).  Returns nullopt when empty (t too large).
+std::optional<std::pair<double, double>> safe_area_1d(
+    const std::vector<double>& values, std::size_t t);
+
+/// Exact 2-D safe area as a convex polygon (possibly a point or segment).
+/// Empty polygon result means the safe area is empty.
+Polygon2 safe_area_2d(const VectorList& points, std::size_t t);
+
+/// A representative vector of the safe area used as the agreement output:
+/// interval midpoint in 1-D, polygon vertex centroid in 2-D.  Returns
+/// nullopt when the safe area is empty.
+std::optional<Vector> safe_area_point(const VectorList& points, std::size_t t);
+
+}  // namespace bcl

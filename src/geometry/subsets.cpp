@@ -1,0 +1,54 @@
+#include "geometry/subsets.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bcl {
+
+std::uint64_t binomial(std::size_t m, std::size_t k) {
+  if (k > m) return 0;
+  k = std::min(k, m - k);
+  std::uint64_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = m - k + i;
+    // result * num / i is always integral at this point; check overflow on
+    // the multiply.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      throw std::overflow_error("binomial: value exceeds 64 bits");
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+void for_each_combination(
+    std::size_t m, std::size_t k,
+    const std::function<void(const std::vector<std::size_t>&)>& fn) {
+  if (k > m) return;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    fn(idx);
+    return;
+  }
+  for (;;) {
+    fn(idx);
+    // Advance to the next combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] == m - k + (i - 1)) --i;
+    if (i == 0) break;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+std::vector<std::vector<std::size_t>> all_combinations(std::size_t m,
+                                                       std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  for_each_combination(m, k, [&](const std::vector<std::size_t>& idx) {
+    out.push_back(idx);
+  });
+  return out;
+}
+
+}  // namespace bcl

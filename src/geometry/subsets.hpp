@@ -1,0 +1,41 @@
+#pragma once
+// Enumeration of k-element subsets of {0, ..., m-1}.
+//
+// The paper's algorithms repeatedly range over all subsets of size n - t of
+// the received vectors (subset means for BOX-MEAN, subset geometric medians
+// for BOX-GEOM / S_geo, minimum-diameter search for MDA).  For the paper's
+// parameters (n = 10, t <= 2) this is at most C(10, 8) = 45 subsets.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bcl {
+
+/// C(m, k) as a 64-bit integer.  Throws std::overflow_error if the value
+/// does not fit.
+std::uint64_t binomial(std::size_t m, std::size_t k);
+
+/// Calls fn(indices) once per k-subset of {0,...,m-1}, in lexicographic
+/// order.  `indices` is sorted ascending and owned by the iterator (do not
+/// retain the reference).
+void for_each_combination(
+    std::size_t m, std::size_t k,
+    const std::function<void(const std::vector<std::size_t>&)>& fn);
+
+/// All k-subsets materialized (use only for small C(m, k)).
+std::vector<std::vector<std::size_t>> all_combinations(std::size_t m,
+                                                       std::size_t k);
+
+/// Gathers vs[i] for i in indices.
+template <typename T>
+std::vector<T> gather(const std::vector<T>& vs,
+                      const std::vector<std::size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(vs[i]);
+  return out;
+}
+
+}  // namespace bcl

@@ -1,0 +1,106 @@
+#include "learning/centralized.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+CentralizedTrainer::CentralizedTrainer(TrainingConfig config,
+                                       ModelFactory factory,
+                                       const ml::Dataset* train,
+                                       const ml::Dataset* test)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      train_(train),
+      test_(test) {
+  validate_config(config_);
+  if (train_ == nullptr || test_ == nullptr) {
+    throw std::invalid_argument("CentralizedTrainer: null dataset");
+  }
+}
+
+TrainingResult CentralizedTrainer::run() {
+  const std::size_t n = config_.num_clients;
+  const std::size_t f = config_.num_byzantine;
+  Rng root(config_.seed);
+
+  // Partition data and build clients (one model replica each).
+  Rng partition_rng = root.split(1);
+  const auto shards =
+      ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<Client>(i, train_, shards[i], factory_,
+                                               config_.batch_size,
+                                               root.split(100 + i)));
+  }
+
+  // Global model initialization.
+  ml::Model server_model = factory_();
+  Rng init_rng = root.split(2);
+  server_model.initialize(init_rng);
+  global_params_ = server_model.parameters();
+
+  AggregationContext ctx;
+  ctx.n = n;
+  ctx.t = config_.resolved_t();
+  ctx.pool = config_.pool;
+
+  Rng attack_rng = root.split(3);
+  TrainingResult result;
+  result.history.reserve(config_.rounds);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    // Honest gradients, computed in parallel across clients (each client
+    // touches only its own model replica).
+    std::vector<GradientEstimate> estimates(n);
+    auto compute = [&](std::size_t i) {
+      estimates[i] = clients[i]->stochastic_gradient(global_params_);
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(0, n, compute);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) compute(i);
+    }
+
+    VectorList honest;
+    double honest_loss = 0.0;
+    for (std::size_t i = 0; i < n - f; ++i) {
+      honest.push_back(estimates[i].gradient);
+      honest_loss += estimates[i].loss;
+    }
+    honest_loss /= static_cast<double>(n - f);
+
+    // Byzantine submissions (the last f ids).
+    VectorList submitted = honest;
+    for (std::size_t i = n - f; i < n; ++i) {
+      const auto corrupted = config_.attack->corrupt(estimates[i].gradient,
+                                                     honest, round, attack_rng);
+      if (corrupted) submitted.push_back(*corrupted);
+    }
+
+    // Server-side aggregation and SGD step.
+    const Vector aggregate = config_.rule->aggregate(submitted, ctx);
+    const double lr = config_.schedule.rate(round);
+    ml::sgd_step(global_params_, aggregate, lr);
+
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.learning_rate = lr;
+    metrics.mean_honest_loss = honest_loss;
+    metrics.accuracy = clients[0]->evaluate(global_params_, *test_,
+                                            config_.eval_max_examples);
+    metrics.accuracy_min = metrics.accuracy;
+    metrics.accuracy_max = metrics.accuracy;
+    metrics.disagreement = 0.0;
+    result.history.push_back(metrics);
+  }
+  result.final_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().accuracy;
+  return result;
+}
+
+}  // namespace bcl

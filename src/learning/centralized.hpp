@@ -1,0 +1,36 @@
+#pragma once
+// Centralized collaborative learning (Section 2.1): a trusted server holds
+// the global model; every round each client computes a stochastic gradient
+// at the global parameters, Byzantine clients corrupt theirs, the server
+// aggregates all submissions with the configured rule and applies one SGD
+// step.  Reproduces the Figure 1 / Figure 2 experiments.
+
+#include "learning/client.hpp"
+#include "learning/config.hpp"
+
+namespace bcl {
+
+class CentralizedTrainer {
+ public:
+  /// `train` and `test` must outlive the trainer.  Clients are created from
+  /// the partition scheme in the config; the last f client ids are
+  /// Byzantine.
+  CentralizedTrainer(TrainingConfig config, ModelFactory factory,
+                     const ml::Dataset* train, const ml::Dataset* test);
+
+  /// Runs the full training loop; returns the per-round accuracy history of
+  /// the global model.
+  TrainingResult run();
+
+  /// The global parameter vector (valid after run()).
+  const Vector& parameters() const { return global_params_; }
+
+ private:
+  TrainingConfig config_;
+  ModelFactory factory_;
+  const ml::Dataset* train_;
+  const ml::Dataset* test_;
+  Vector global_params_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,48 @@
+#include "learning/client.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bcl {
+
+Client::Client(std::size_t id, const ml::Dataset* data,
+               std::vector<std::size_t> shard, const ModelFactory& factory,
+               std::size_t batch_size, Rng rng)
+    : id_(id),
+      data_(data),
+      shard_(std::move(shard)),
+      model_(factory()),
+      batch_size_(batch_size),
+      rng_(rng) {
+  if (data_ == nullptr) throw std::invalid_argument("Client: null dataset");
+  if (shard_.empty()) throw std::invalid_argument("Client: empty shard");
+  if (batch_size_ == 0) throw std::invalid_argument("Client: zero batch size");
+}
+
+GradientEstimate Client::stochastic_gradient(const Vector& parameters) {
+  model_.set_parameters(parameters);
+  const std::size_t batch = std::min(batch_size_, shard_.size());
+  std::vector<std::size_t> indices(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    indices[i] = shard_[rng_.uniform_u64(shard_.size())];
+  }
+  GradientEstimate estimate;
+  estimate.loss = model_.compute_loss_and_gradient(
+      data_->batch(indices), data_->batch_labels(indices));
+  estimate.gradient = model_.gradients();
+  return estimate;
+}
+
+double Client::evaluate(const Vector& parameters, const ml::Dataset& eval_set,
+                        std::size_t max_examples) {
+  model_.set_parameters(parameters);
+  std::size_t count = eval_set.size();
+  if (max_examples > 0) count = std::min(count, max_examples);
+  std::vector<std::size_t> indices(count);
+  std::iota(indices.begin(), indices.end(), 0);
+  return model_.accuracy(eval_set.batch(indices),
+                         eval_set.batch_labels(indices));
+}
+
+}  // namespace bcl

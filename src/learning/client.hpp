@@ -1,0 +1,52 @@
+#pragma once
+// A collaborative-learning client: owns its local data shard, its model
+// replica and its private RNG stream, and produces stochastic gradient
+// estimates (Equation 2 of the paper) at requested parameter points.
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/vector_ops.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+
+namespace bcl {
+
+/// Builds a fresh (uninitialized) model replica; every client gets its own
+/// instance so gradient computation parallelizes without shared state.
+using ModelFactory = std::function<ml::Model()>;
+
+struct GradientEstimate {
+  Vector gradient;
+  double loss = 0.0;
+};
+
+class Client {
+ public:
+  /// `shard` indexes into `data` (not owned; must outlive the client).
+  Client(std::size_t id, const ml::Dataset* data,
+         std::vector<std::size_t> shard, const ModelFactory& factory,
+         std::size_t batch_size, Rng rng);
+
+  std::size_t id() const { return id_; }
+  std::size_t shard_size() const { return shard_.size(); }
+
+  /// Stochastic gradient of the local loss at `parameters`, from one random
+  /// mini-batch of the shard (sampling with replacement).
+  GradientEstimate stochastic_gradient(const Vector& parameters);
+
+  /// Accuracy of the model at `parameters` on an arbitrary evaluation set.
+  double evaluate(const Vector& parameters, const ml::Dataset& eval_set,
+                  std::size_t max_examples = 0);
+
+ private:
+  std::size_t id_;
+  const ml::Dataset* data_;
+  std::vector<std::size_t> shard_;
+  ml::Model model_;
+  std::size_t batch_size_;
+  Rng rng_;
+};
+
+}  // namespace bcl

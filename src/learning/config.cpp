@@ -1,0 +1,40 @@
+#include "learning/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcl {
+
+double TrainingResult::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& metrics : history) best = std::max(best, metrics.accuracy);
+  return best;
+}
+
+void validate_config(const TrainingConfig& config) {
+  if (config.num_clients == 0) {
+    throw std::invalid_argument("TrainingConfig: num_clients must be > 0");
+  }
+  if (config.num_byzantine >= config.num_clients) {
+    throw std::invalid_argument(
+        "TrainingConfig: num_byzantine must be < num_clients");
+  }
+  if (3 * config.resolved_t() >= config.num_clients) {
+    throw std::invalid_argument(
+        "TrainingConfig: Byzantine resilience requires t < n/3");
+  }
+  if (!config.rule) {
+    throw std::invalid_argument("TrainingConfig: aggregation rule not set");
+  }
+  if (!config.attack) {
+    throw std::invalid_argument("TrainingConfig: attack not set (use 'none')");
+  }
+  if (config.rounds == 0) {
+    throw std::invalid_argument("TrainingConfig: rounds must be > 0");
+  }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("TrainingConfig: batch_size must be > 0");
+  }
+}
+
+}  // namespace bcl

@@ -1,0 +1,82 @@
+#pragma once
+// Shared configuration and metrics of the collaborative-learning trainers.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "aggregation/rule.hpp"
+#include "attacks/attack.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/partition.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+struct TrainingConfig {
+  /// Total clients n (the paper uses 10) and true Byzantine count f.
+  /// Byzantine ids are the last f ids, {n-f, ..., n-1}.
+  std::size_t num_clients = 10;
+  std::size_t num_byzantine = 1;
+  /// Designed tolerance t (>= num_byzantine); defaults to num_byzantine.
+  std::size_t tolerance = 0;
+
+  std::size_t rounds = 50;
+  std::size_t batch_size = 32;
+
+  AggregationRulePtr rule;
+  GradientAttackPtr attack;
+
+  /// eta = 0.01 with global-round decay by default (set in code when the
+  /// zero-initialized schedule is detected).
+  ml::LearningRateSchedule schedule{0.01, 0.0};
+
+  ml::Heterogeneity heterogeneity = ml::Heterogeneity::Mild;
+
+  /// Decentralized model only: probability that an honest gradient message
+  /// is delayed past an agreement sub-round (the "receive up to n
+  /// messages" slack; delivery never drops below n - t).  0 = full
+  /// synchrony, in which case honest inboxes coincide and agreement is
+  /// immediate.
+  double honest_delay_probability = 0.0;
+
+  std::uint64_t seed = 7;
+  ThreadPool* pool = nullptr;
+
+  /// Cap on test examples per evaluation (0 = all).
+  std::size_t eval_max_examples = 0;
+
+  /// Resolved tolerance: max(tolerance, num_byzantine).
+  std::size_t resolved_t() const {
+    return tolerance > num_byzantine ? tolerance : num_byzantine;
+  }
+};
+
+/// Per-round record shared by both trainers.  In the decentralized model
+/// `accuracy` is the mean over honest clients and `accuracy_min`/`_max` the
+/// spread; in the centralized model all three coincide (global model).
+struct RoundMetrics {
+  std::size_t round = 0;
+  double accuracy = 0.0;
+  double accuracy_min = 0.0;
+  double accuracy_max = 0.0;
+  double mean_honest_loss = 0.0;
+  double learning_rate = 0.0;
+  /// Diameter of honest gradient/output disagreement (0 for centralized).
+  double disagreement = 0.0;
+};
+
+struct TrainingResult {
+  std::vector<RoundMetrics> history;
+  double final_accuracy = 0.0;
+
+  /// Highest accuracy reached over the run (figures quote this).
+  double best_accuracy() const;
+};
+
+/// Validates a config and throws std::invalid_argument with a specific
+/// message on any inconsistency (missing rule/attack, f >= n/3 etc.).
+void validate_config(const TrainingConfig& config);
+
+}  // namespace bcl

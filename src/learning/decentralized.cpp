@@ -1,0 +1,167 @@
+#include "learning/decentralized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "agreement/protocol.hpp"
+#include "network/adversary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+std::size_t agreement_subrounds(std::size_t iteration) {
+  std::size_t rounds = 0;
+  // ceil(log2(iteration + 2)): 1 sub-round at iteration 0, growing
+  // logarithmically with the learning round as in El-Mhamdi et al.
+  std::size_t value = iteration + 2;
+  std::size_t power = 1;
+  while (power < value) {
+    power *= 2;
+    ++rounds;
+  }
+  return std::max<std::size_t>(1, rounds);
+}
+
+DecentralizedTrainer::DecentralizedTrainer(TrainingConfig config,
+                                           ModelFactory factory,
+                                           const ml::Dataset* train,
+                                           const ml::Dataset* test)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      train_(train),
+      test_(test) {
+  validate_config(config_);
+  if (train_ == nullptr || test_ == nullptr) {
+    throw std::invalid_argument("DecentralizedTrainer: null dataset");
+  }
+}
+
+TrainingResult DecentralizedTrainer::run() {
+  const std::size_t n = config_.num_clients;
+  const std::size_t f = config_.num_byzantine;
+  const std::size_t honest_count = n - f;
+  Rng root(config_.seed);
+
+  Rng partition_rng = root.split(1);
+  const auto shards =
+      ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<Client>(i, train_, shards[i], factory_,
+                                               config_.batch_size,
+                                               root.split(100 + i)));
+  }
+
+  // Every client starts from the same initial model (created once at the
+  // beginning, as in the paper); divergence comes from the data and faults.
+  ml::Model init_model = factory_();
+  Rng init_rng = root.split(2);
+  init_model.initialize(init_rng);
+  params_.assign(honest_count, init_model.parameters());
+
+  AgreementConfig agreement;
+  agreement.n = n;
+  agreement.t = config_.resolved_t();
+  agreement.round_function = std::make_shared<RuleRound>(config_.rule);
+  agreement.pool = config_.pool;
+
+  std::vector<std::size_t> byzantine_ids;
+  for (std::size_t i = n - f; i < n; ++i) byzantine_ids.push_back(i);
+
+  Rng attack_rng = root.split(3);
+  TrainingResult result;
+  result.history.reserve(config_.rounds);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    // Phase 1: local stochastic gradients at each honest client's own
+    // parameters (parallel; disjoint state).
+    std::vector<GradientEstimate> estimates(n);
+    auto compute = [&](std::size_t i) {
+      const Vector& at = i < honest_count ? params_[i] : params_[0];
+      estimates[i] = clients[i]->stochastic_gradient(at);
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(0, n, compute);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) compute(i);
+    }
+
+    VectorList honest_gradients;
+    double honest_loss = 0.0;
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      honest_gradients.push_back(estimates[i].gradient);
+      honest_loss += estimates[i].loss;
+    }
+    honest_loss /= static_cast<double>(honest_count);
+
+    // Phase 2: Byzantine clients fix their corrupted gradients for the
+    // whole agreement phase of this learning round.
+    std::vector<std::optional<Vector>> byz_values(n);
+    for (std::size_t i = honest_count; i < n; ++i) {
+      byz_values[i] = config_.attack->corrupt(estimates[i].gradient,
+                                              honest_gradients, round,
+                                              attack_rng);
+    }
+    PerNodeFixedAdversary fixed_adversary(byzantine_ids, byz_values);
+    DelayingAdversary delaying_adversary(fixed_adversary,
+                                         config_.honest_delay_probability,
+                                         config_.seed ^ (round * 0x9E37u));
+    Adversary& adversary = config_.honest_delay_probability > 0.0
+                               ? static_cast<Adversary&>(delaying_adversary)
+                               : static_cast<Adversary&>(fixed_adversary);
+
+    // Phase 3: approximate agreement on the gradients for the logarithmic
+    // sub-round schedule.
+    VectorList inputs(n, zeros(estimates[0].gradient.size()));
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      inputs[i] = honest_gradients[i];
+    }
+    const std::size_t subrounds = agreement_subrounds(round);
+    const AgreementResult agreed =
+        run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
+
+    // Phase 4: every honest client applies its own agreed vector.
+    const double lr = config_.schedule.rate(round);
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      ml::sgd_step(params_[i], agreed.outputs[i], lr);
+    }
+
+    // Phase 5: evaluate every honest local model.
+    std::vector<double> accuracies(honest_count, 0.0);
+    auto evaluate = [&](std::size_t i) {
+      accuracies[i] = clients[i]->evaluate(params_[i], *test_,
+                                           config_.eval_max_examples);
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(0, honest_count, evaluate);
+    } else {
+      for (std::size_t i = 0; i < honest_count; ++i) evaluate(i);
+    }
+
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.learning_rate = lr;
+    metrics.mean_honest_loss = honest_loss;
+    double sum = 0.0;
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double a : accuracies) {
+      sum += a;
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    metrics.accuracy = sum / static_cast<double>(honest_count);
+    metrics.accuracy_min = lo;
+    metrics.accuracy_max = hi;
+    metrics.disagreement = agreed.trace.honest_diameter.back();
+    result.history.push_back(metrics);
+  }
+  result.final_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().accuracy;
+  return result;
+}
+
+}  // namespace bcl

@@ -1,0 +1,99 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl {
+
+double kth_smallest(std::vector<double> values, std::size_t k) {
+  if (k >= values.size()) {
+    throw std::invalid_argument("kth_smallest: k out of range");
+  }
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(k),
+                   values.end());
+  return values[k];
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument("median of empty set");
+  const std::size_t n = values.size();
+  std::sort(values.begin(), values.end());
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double trimmed_mean(std::vector<double> values, std::size_t trim) {
+  if (2 * trim >= values.size()) {
+    throw std::invalid_argument("trimmed_mean: trim too large");
+  }
+  std::sort(values.begin(), values.end());
+  double s = 0.0;
+  for (std::size_t i = trim; i < values.size() - trim; ++i) s += values[i];
+  return s / static_cast<double>(values.size() - 2 * trim);
+}
+
+Vector coordinatewise_median(const VectorList& vs) {
+  if (vs.empty()) throw std::invalid_argument("median of empty list");
+  const std::size_t d = check_same_dimension(vs);
+  Vector r(d);
+  std::vector<double> column(vs.size());
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < vs.size(); ++i) column[i] = vs[i][k];
+    r[k] = median(column);
+  }
+  return r;
+}
+
+Vector coordinatewise_trimmed_mean(const VectorList& vs, std::size_t trim) {
+  if (vs.empty()) throw std::invalid_argument("trimmed mean of empty list");
+  const std::size_t d = check_same_dimension(vs);
+  Vector r(d);
+  std::vector<double> column(vs.size());
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < vs.size(); ++i) column[i] = vs[i][k];
+    r[k] = trimmed_mean(column, trim);
+  }
+  return r;
+}
+
+Hyperbox trimmed_hyperbox(const VectorList& vs, std::size_t keep) {
+  const std::size_t m = vs.size();
+  if (keep == 0 || keep > m) {
+    throw std::invalid_argument("trimmed_hyperbox: keep must be in [1, m]");
+  }
+  const std::size_t drop = m - keep;
+  if (drop >= keep) {
+    // Definition 2.5 requires the lower index (drop+1) to not exceed the
+    // upper index (keep); otherwise the interval would be empty.
+    if (drop + 1 > keep) {
+      throw std::invalid_argument(
+          "trimmed_hyperbox: too few vectors kept relative to trimming");
+    }
+  }
+  const std::size_t d = check_same_dimension(vs);
+  Vector lo(d);
+  Vector hi(d);
+  std::vector<double> column(m);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < m; ++i) column[i] = vs[i][k];
+    std::sort(column.begin(), column.end());
+    lo[k] = column[drop];          // (drop+1)-th smallest, 0-indexed
+    hi[k] = column[keep - 1];      // (m-drop)-th smallest = keep-th
+  }
+  return Hyperbox(std::move(lo), std::move(hi));
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  MeanStd r;
+  if (values.empty()) return r;
+  double s = 0.0;
+  for (double v : values) s += v;
+  r.mean = s / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - r.mean) * (v - r.mean);
+  r.std = std::sqrt(var / static_cast<double>(values.size()));
+  return r;
+}
+
+}  // namespace bcl

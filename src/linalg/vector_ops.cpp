@@ -1,0 +1,127 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl {
+
+std::size_t check_same_dimension(const VectorList& vs, std::size_t dim) {
+  if (vs.empty()) {
+    if (dim != 0) throw std::invalid_argument("empty vector list");
+    return 0;
+  }
+  std::size_t d = dim == 0 ? vs.front().size() : dim;
+  for (const auto& v : vs) {
+    if (v.size() != d) {
+      throw std::invalid_argument("vector dimension mismatch");
+    }
+  }
+  return d;
+}
+
+namespace {
+void check_dims(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector dimension mismatch");
+  }
+}
+}  // namespace
+
+Vector add(const Vector& a, const Vector& b) {
+  check_dims(a, b);
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  check_dims(a, b);
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vector scale(const Vector& a, double s) {
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = s * a[i];
+  return r;
+}
+
+void axpy(Vector& y, double alpha, const Vector& x) {
+  check_dims(y, x);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  check_dims(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2_squared(const Vector& a) {
+  double s = 0.0;
+  for (double x : a) s += x * x;
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(norm2_squared(a)); }
+
+double distance_squared(const Vector& a, const Vector& b) {
+  check_dims(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double distance(const Vector& a, const Vector& b) {
+  return std::sqrt(distance_squared(a, b));
+}
+
+Vector mean(const VectorList& vs) {
+  if (vs.empty()) throw std::invalid_argument("mean of empty list");
+  const std::size_t d = check_same_dimension(vs);
+  Vector r = zeros(d);
+  for (const auto& v : vs) {
+    for (std::size_t i = 0; i < d; ++i) r[i] += v[i];
+  }
+  const double inv = 1.0 / static_cast<double>(vs.size());
+  for (double& x : r) x *= inv;
+  return r;
+}
+
+double diameter(const VectorList& vs) {
+  check_same_dimension(vs);
+  double best = 0.0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      best = std::max(best, distance_squared(vs[i], vs[j]));
+    }
+  }
+  return std::sqrt(best);
+}
+
+Vector zeros(std::size_t d) { return Vector(d, 0.0); }
+
+Vector constant(std::size_t d, double value) { return Vector(d, value); }
+
+Vector unit(std::size_t d, std::size_t j, double s) {
+  if (j >= d) throw std::invalid_argument("unit: index out of range");
+  Vector r(d, 0.0);
+  r[j] = s;
+  return r;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace bcl

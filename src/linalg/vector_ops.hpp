@@ -1,0 +1,67 @@
+#pragma once
+// Dense d-dimensional vector operations.
+//
+// Input vectors, gradients and aggregation outputs are all plain
+// std::vector<double>; these free functions provide the small set of BLAS-1
+// style kernels the library needs, with dimension checking at the API
+// boundary.
+
+#include <cstddef>
+#include <vector>
+
+namespace bcl {
+
+using Vector = std::vector<double>;
+using VectorList = std::vector<Vector>;
+
+/// Throws std::invalid_argument unless all vectors in `vs` share dimension
+/// `dim` (or, with dim == 0, the dimension of the first vector).  Returns the
+/// common dimension (0 for an empty list with dim == 0).
+std::size_t check_same_dimension(const VectorList& vs, std::size_t dim = 0);
+
+/// a + b (element-wise).
+Vector add(const Vector& a, const Vector& b);
+
+/// a - b (element-wise).
+Vector sub(const Vector& a, const Vector& b);
+
+/// s * a.
+Vector scale(const Vector& a, double s);
+
+/// In-place y += alpha * x.
+void axpy(Vector& y, double alpha, const Vector& x);
+
+/// Dot product.
+double dot(const Vector& a, const Vector& b);
+
+/// Squared Euclidean norm.
+double norm2_squared(const Vector& a);
+
+/// Euclidean norm.
+double norm2(const Vector& a);
+
+/// Euclidean distance.
+double distance(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance (no sqrt; used in hot loops).
+double distance_squared(const Vector& a, const Vector& b);
+
+/// Arithmetic mean of a non-empty list (Definition 2.1 of the paper).
+Vector mean(const VectorList& vs);
+
+/// Maximum pairwise Euclidean distance of a list (its diameter).
+double diameter(const VectorList& vs);
+
+/// All-zero vector of dimension d.
+Vector zeros(std::size_t d);
+
+/// Vector of dimension d filled with `value`.
+Vector constant(std::size_t d, double value);
+
+/// j-th standard basis vector of dimension d, scaled by `s`.
+Vector unit(std::size_t d, std::size_t j, double s = 1.0);
+
+/// True if max |a[k] - b[k]| <= tol.
+bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace bcl

@@ -1,0 +1,54 @@
+#include "ml/architectures.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ml/activations.hpp"
+#include "ml/conv2d.hpp"
+#include "ml/dense.hpp"
+#include "ml/pooling.hpp"
+#include "ml/reshape.hpp"
+
+namespace bcl::ml {
+
+Model make_mlp(std::size_t input_dim, std::size_t hidden1,
+               std::size_t hidden2, std::size_t num_classes) {
+  Model model;
+  model.add(std::make_unique<Dense>(input_dim, hidden1))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(hidden1, hidden2))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(hidden2, num_classes));
+  return model;
+}
+
+Model make_cifarnet(std::size_t channels, std::size_t height,
+                    std::size_t width, std::size_t num_classes,
+                    std::size_t width1, std::size_t width2, std::size_t fc) {
+  if (height % 4 != 0 || width % 4 != 0) {
+    throw std::invalid_argument(
+        "make_cifarnet: spatial dims must be divisible by 4");
+  }
+  Model model;
+  model.add(std::make_unique<Reshape>(
+          std::vector<std::size_t>{channels, height, width}))
+      .add(std::make_unique<Conv2D>(channels, width1, 5, 2))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Conv2D>(width1, width2, 5, 2))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<MaxPool2D>(2))
+      .add(std::make_unique<Flatten>())
+      .add(std::make_unique<Dense>(width2 * (height / 4) * (width / 4), fc))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Dense>(fc, num_classes));
+  return model;
+}
+
+Model make_linear(std::size_t input_dim, std::size_t num_classes) {
+  Model model;
+  model.add(std::make_unique<Dense>(input_dim, num_classes));
+  return model;
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,27 @@
+#pragma once
+// The two model architectures of the evaluation (Section 5.1): a 3-layer
+// MLP for the MNIST-like task and CifarNet, a medium-sized convolutional
+// network, for the CIFAR-like task.
+
+#include "ml/model.hpp"
+
+namespace bcl::ml {
+
+/// 3-layer MLP: input -> Dense(h1) -> ReLU -> Dense(h2) -> ReLU ->
+/// Dense(classes).  The paper's MLP for MNIST.
+Model make_mlp(std::size_t input_dim, std::size_t hidden1,
+               std::size_t hidden2, std::size_t num_classes);
+
+/// CifarNet: Reshape -> Conv(k5, pad2) -> ReLU -> MaxPool2 ->
+/// Conv(k5, pad2) -> ReLU -> MaxPool2 -> Flatten -> Dense(fc) -> ReLU ->
+/// Dense(classes).  `width1`/`width2` are the conv channel counts.
+/// Height and width must be divisible by 4.
+Model make_cifarnet(std::size_t channels, std::size_t height,
+                    std::size_t width, std::size_t num_classes,
+                    std::size_t width1 = 6, std::size_t width2 = 12,
+                    std::size_t fc = 32);
+
+/// Tiny linear softmax model used by fast tests.
+Model make_linear(std::size_t input_dim, std::size_t num_classes);
+
+}  // namespace bcl::ml

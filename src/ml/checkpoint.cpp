@@ -1,0 +1,53 @@
+#include "ml/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+namespace {
+constexpr char kMagic[4] = {'B', 'C', 'L', 'P'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_parameters(const std::string& path, const Vector& parameters) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  f.write(kMagic, sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = parameters.size();
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(parameters.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!f) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+Vector load_parameters(const std::string& path,
+                       std::size_t expected_dimension) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!f || version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version");
+  }
+  std::uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f) throw std::runtime_error("load_parameters: truncated header");
+  if (expected_dimension > 0 && count != expected_dimension) {
+    throw std::runtime_error("load_parameters: dimension mismatch");
+  }
+  Vector parameters(count);
+  f.read(reinterpret_cast<char*>(parameters.data()),
+         static_cast<std::streamsize>(count * sizeof(double)));
+  if (!f) throw std::runtime_error("load_parameters: truncated payload");
+  return parameters;
+}
+
+}  // namespace bcl::ml

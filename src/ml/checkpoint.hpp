@@ -1,0 +1,27 @@
+#pragma once
+// Model checkpointing: save / load flat parameter vectors in a small
+// self-describing binary format, so long training runs (the --full figure
+// benches) can be resumed and final models exported.
+//
+// Format: magic "BCLP", format version u32, parameter count u64, then the
+// raw little-endian doubles.  The loader validates magic, version and
+// (optionally) the expected dimension.
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl::ml {
+
+/// Writes `parameters` to `path`.  Throws std::runtime_error on I/O
+/// failure.
+void save_parameters(const std::string& path, const Vector& parameters);
+
+/// Reads a parameter vector from `path`.  If expected_dimension > 0, the
+/// stored count must match it.  Throws std::runtime_error on malformed
+/// files or dimension mismatch.
+Vector load_parameters(const std::string& path,
+                       std::size_t expected_dimension = 0);
+
+}  // namespace bcl::ml

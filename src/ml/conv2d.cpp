@@ -1,0 +1,148 @@
+#include "ml/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t padding)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel_size),
+      pad_(padding),
+      weight_(out_channels * in_channels * kernel_size * kernel_size, 0.0),
+      bias_(out_channels, 0.0),
+      grad_weight_(weight_.size(), 0.0),
+      grad_bias_(out_channels, 0.0) {
+  if (in_c_ == 0 || out_c_ == 0 || k_ == 0) {
+    throw std::invalid_argument("Conv2D: zero-sized layer");
+  }
+}
+
+void Conv2D::initialize(Rng& rng) {
+  // He-style fan-in scaling suits the following ReLU.
+  const double fan_in = static_cast<double>(in_c_ * k_ * k_);
+  const double limit = std::sqrt(6.0 / fan_in);
+  for (double& w : weight_) w = rng.uniform(-limit, limit);
+  for (double& b : bias_) b = 0.0;
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2D::forward: expected [N, C_in, H, W]");
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_) {
+    throw std::invalid_argument("Conv2D::forward: kernel larger than input");
+  }
+  const std::size_t out_h = h + 2 * pad_ - k_ + 1;
+  const std::size_t out_w = w + 2 * pad_ - k_ + 1;
+  Tensor output({batch, out_c_, out_h, out_w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow) {
+          double acc = bias_[oc];
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t kh = 0; kh < k_; ++kh) {
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh + kh) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kw = 0; kw < k_; ++kw) {
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(ow + kw) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += weight_[((oc * in_c_ + ic) * k_ + kh) * k_ + kw] *
+                       input.at4(n, ic, static_cast<std::size_t>(ih),
+                                 static_cast<std::size_t>(iw));
+              }
+            }
+          }
+          output.at4(n, oc, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_input_.rank() != 4) {
+    throw std::logic_error("Conv2D::backward: no matching forward pass");
+  }
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2);
+  const std::size_t w = cached_input_.dim(3);
+  const std::size_t out_h = h + 2 * pad_ - k_ + 1;
+  const std::size_t out_w = w + 2 * pad_ - k_ + 1;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != batch ||
+      grad_output.dim(1) != out_c_ || grad_output.dim(2) != out_h ||
+      grad_output.dim(3) != out_w) {
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
+  }
+  Tensor grad_input({batch, in_c_, h, w});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow) {
+          const double gy = grad_output.at4(n, oc, oh, ow);
+          if (gy == 0.0) continue;
+          grad_bias_[oc] += gy;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            for (std::size_t kh = 0; kh < k_; ++kh) {
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh + kh) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kw = 0; kw < k_; ++kw) {
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(ow + kw) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t widx =
+                    ((oc * in_c_ + ic) * k_ + kh) * k_ + kw;
+                grad_weight_[widx] +=
+                    gy * cached_input_.at4(n, ic, static_cast<std::size_t>(ih),
+                                           static_cast<std::size_t>(iw));
+                grad_input.at4(n, ic, static_cast<std::size_t>(ih),
+                               static_cast<std::size_t>(iw)) +=
+                    gy * weight_[widx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2D::read_parameters(double* dst) const {
+  std::memcpy(dst, weight_.data(), weight_.size() * sizeof(double));
+  std::memcpy(dst + weight_.size(), bias_.data(), bias_.size() * sizeof(double));
+}
+
+void Conv2D::write_parameters(const double* src) {
+  std::memcpy(weight_.data(), src, weight_.size() * sizeof(double));
+  std::memcpy(bias_.data(), src + weight_.size(), bias_.size() * sizeof(double));
+}
+
+void Conv2D::read_gradients(double* dst) const {
+  std::memcpy(dst, grad_weight_.data(), grad_weight_.size() * sizeof(double));
+  std::memcpy(dst + grad_weight_.size(), grad_bias_.data(),
+              grad_bias_.size() * sizeof(double));
+}
+
+void Conv2D::zero_gradients() {
+  std::fill(grad_weight_.begin(), grad_weight_.end(), 0.0);
+  std::fill(grad_bias_.begin(), grad_bias_.end(), 0.0);
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,42 @@
+#pragma once
+// 2-D convolution layer (stride 1, symmetric zero padding), the workhorse of
+// the CifarNet architecture used for the Figure 2b experiment.
+//
+// Input [N, C_in, H, W], kernel [C_out, C_in, K, K], output
+// [N, C_out, H_out, W_out] with H_out = H + 2*pad - K + 1.
+
+#include "ml/layer.hpp"
+
+namespace bcl::ml {
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, std::size_t padding = 0);
+
+  std::string name() const override { return "Conv2D"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::size_t parameter_count() const override {
+    return out_c_ * in_c_ * k_ * k_ + out_c_;
+  }
+  void read_parameters(double* dst) const override;
+  void write_parameters(const double* src) override;
+  void read_gradients(double* dst) const override;
+  void zero_gradients() override;
+  void initialize(Rng& rng) override;
+
+ private:
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t k_;
+  std::size_t pad_;
+  std::vector<double> weight_;       // [out_c, in_c, k, k]
+  std::vector<double> bias_;         // [out_c]
+  std::vector<double> grad_weight_;
+  std::vector<double> grad_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace bcl::ml

@@ -1,0 +1,199 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+Tensor Dataset::batch(const std::vector<std::size_t>& indices) const {
+  Tensor out({indices.size(), feature_dim()});
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const Vector& img = images.at(indices[row]);
+    std::copy(img.begin(), img.end(), out.data() + row * feature_dim());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Dataset::batch_labels(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(labels.at(i));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::uint8_t label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+SyntheticSpec SyntheticSpec::mnist_like(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.channels = 1;
+  spec.height = 28;
+  spec.width = 28;
+  spec.train_per_class = 200;
+  spec.test_per_class = 40;
+  spec.noise = 0.15;
+  spec.class_separation = 1.0;
+  spec.seed = seed;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::mnist_small(std::uint64_t seed) {
+  SyntheticSpec spec = mnist_like(seed);
+  spec.height = 14;
+  spec.width = 14;
+  spec.train_per_class = 120;
+  spec.test_per_class = 30;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::cifar_like(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = 32;
+  spec.width = 32;
+  spec.train_per_class = 150;
+  spec.test_per_class = 30;
+  // Tuned so a small CNN saturates around the paper's <= 70% CIFAR10
+  // ceiling while a linear model does clearly worse than on mnist_like.
+  spec.noise = 0.25;
+  spec.class_separation = 0.6;
+  spec.class_overlap = 0.5;
+  spec.seed = seed;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::cifar_small(std::uint64_t seed) {
+  SyntheticSpec spec = cifar_like(seed);
+  spec.height = 16;
+  spec.width = 16;
+  spec.train_per_class = 100;
+  spec.test_per_class = 25;
+  return spec;
+}
+
+namespace {
+
+/// Smooth class prototype in [0, 1]: per channel, a sum of three random
+/// low-frequency cosine waves rescaled to the unit interval.
+Vector make_prototype(const SyntheticSpec& spec, Rng& rng) {
+  Vector proto(spec.channels * spec.height * spec.width, 0.0);
+  for (std::size_t c = 0; c < spec.channels; ++c) {
+    struct Wave {
+      double fx, fy, phase, amp;
+    };
+    std::vector<Wave> waves(3);
+    for (auto& wave : waves) {
+      wave.fx = static_cast<double>(rng.uniform_int(1, 3));
+      wave.fy = static_cast<double>(rng.uniform_int(1, 3));
+      wave.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      wave.amp = rng.uniform(0.5, 1.0);
+    }
+    double lo = 1e300;
+    double hi = -1e300;
+    std::vector<double> plane(spec.height * spec.width);
+    for (std::size_t i = 0; i < spec.height; ++i) {
+      for (std::size_t j = 0; j < spec.width; ++j) {
+        double v = 0.0;
+        for (const auto& wave : waves) {
+          v += wave.amp *
+               std::cos(2.0 * std::numbers::pi *
+                            (wave.fx * static_cast<double>(i) /
+                                 static_cast<double>(spec.height) +
+                             wave.fy * static_cast<double>(j) /
+                                 static_cast<double>(spec.width)) +
+                        wave.phase);
+        }
+        plane[i * spec.width + j] = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    const double span = hi - lo > 0.0 ? hi - lo : 1.0;
+    for (std::size_t p = 0; p < plane.size(); ++p) {
+      proto[c * plane.size() + p] = (plane[p] - lo) / span;
+    }
+  }
+  return proto;
+}
+
+Vector sample_from_prototype(const Vector& proto, const SyntheticSpec& spec,
+                             Rng& rng) {
+  Vector img(proto.size());
+  for (std::size_t p = 0; p < proto.size(); ++p) {
+    // Blend toward mid-gray (lower separation = harder task), add noise,
+    // clamp to the valid pixel range.
+    const double base =
+        spec.class_separation * proto[p] + (1.0 - spec.class_separation) * 0.5;
+    img[p] = std::clamp(base + rng.gaussian(0.0, spec.noise), 0.0, 1.0);
+  }
+  return img;
+}
+
+void fill_split(Dataset& split, std::size_t per_class,
+                const std::vector<Vector>& prototypes,
+                const SyntheticSpec& spec, Rng& rng) {
+  split.channels = spec.channels;
+  split.height = spec.height;
+  split.width = spec.width;
+  split.num_classes = spec.num_classes;
+  for (std::size_t c = 0; c < spec.num_classes; ++c) {
+    for (std::size_t s = 0; s < per_class; ++s) {
+      split.images.push_back(sample_from_prototype(prototypes[c], spec, rng));
+      split.labels.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+  // Shuffle examples so class blocks do not leak ordering assumptions; the
+  // permutation is drawn from the same deterministic stream.
+  std::vector<std::size_t> perm = rng.permutation(split.size());
+  std::vector<Vector> images(split.size());
+  std::vector<std::uint8_t> labels(split.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    images[i] = std::move(split.images[perm[i]]);
+    labels[i] = split.labels[perm[i]];
+  }
+  split.images = std::move(images);
+  split.labels = std::move(labels);
+}
+
+}  // namespace
+
+TrainTestSplit make_synthetic_dataset(const SyntheticSpec& spec) {
+  if (spec.num_classes == 0 || spec.num_classes > 256) {
+    throw std::invalid_argument("make_synthetic_dataset: bad class count");
+  }
+  Rng root(spec.seed);
+  Rng proto_rng = root.split(0);
+  Rng train_rng = root.split(1);
+  Rng test_rng = root.split(2);
+
+  // Shared base image blended into every class prototype (class_overlap).
+  Rng shared_rng = proto_rng.split(0xBA5E);
+  const Vector shared = make_prototype(spec, shared_rng);
+
+  std::vector<Vector> prototypes;
+  prototypes.reserve(spec.num_classes);
+  for (std::size_t c = 0; c < spec.num_classes; ++c) {
+    Rng class_rng = proto_rng.split(c);
+    Vector proto = make_prototype(spec, class_rng);
+    for (std::size_t p = 0; p < proto.size(); ++p) {
+      proto[p] = spec.class_overlap * shared[p] +
+                 (1.0 - spec.class_overlap) * proto[p];
+    }
+    prototypes.push_back(std::move(proto));
+  }
+
+  TrainTestSplit split;
+  fill_split(split.train, spec.train_per_class, prototypes, spec, train_rng);
+  fill_split(split.test, spec.test_per_class, prototypes, spec, test_rng);
+  return split;
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic image classification datasets.
+//
+// The paper evaluates on MNIST and CIFAR10, which are not available in this
+// offline environment; we substitute deterministic synthetic datasets with
+// the same shape and the same role in the experiments (see DESIGN.md).
+// Each class has a smooth random prototype image (a sum of low-frequency
+// cosine waves); samples are the prototype blended toward mid-gray plus
+// pixel noise.  `class_separation` and `noise` tune task difficulty so the
+// MNIST-like task saturates high (~9x% on an MLP) and the CIFAR-like task
+// saturates lower, matching the figures' dynamics.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bcl::ml {
+
+/// A labelled set of flattened images with values in [0, 1].
+struct Dataset {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t num_classes = 0;
+  std::vector<Vector> images;        ///< each of size channels*height*width
+  std::vector<std::uint8_t> labels;  ///< class index per image
+
+  std::size_t feature_dim() const { return channels * height * width; }
+  std::size_t size() const { return images.size(); }
+
+  /// Assembles a flat [N, d] batch from the given example indices.
+  Tensor batch(const std::vector<std::size_t>& indices) const;
+
+  /// Labels aligned with batch().
+  std::vector<std::uint8_t> batch_labels(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Indices of all examples with the given label.
+  std::vector<std::size_t> indices_of_class(std::uint8_t label) const;
+};
+
+/// Generation parameters.
+struct SyntheticSpec {
+  std::size_t channels = 1;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::size_t num_classes = 10;
+  std::size_t train_per_class = 100;
+  std::size_t test_per_class = 20;
+  /// Standard deviation of per-pixel Gaussian noise.
+  double noise = 0.15;
+  /// 1.0 keeps prototypes fully distinct; smaller values blend them toward
+  /// mid-gray, making the task harder.
+  double class_separation = 1.0;
+  /// Fraction of every class prototype shared with a common base image.
+  /// 0 keeps classes independent; values near 1 make them nearly
+  /// indistinguishable (the CIFAR-like hardness knob).
+  double class_overlap = 0.0;
+  std::uint64_t seed = 42;
+
+  /// MNIST-like: 28x28 grayscale, easily separable.
+  static SyntheticSpec mnist_like(std::uint64_t seed = 42);
+  /// Reduced-resolution MNIST-like profile for fast benchmarks.
+  static SyntheticSpec mnist_small(std::uint64_t seed = 42);
+  /// CIFAR-like: 32x32x3, noisier and less separable.
+  static SyntheticSpec cifar_like(std::uint64_t seed = 43);
+  /// Reduced CIFAR-like profile (16x16x3).
+  static SyntheticSpec cifar_small(std::uint64_t seed = 43);
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates a train/test pair.  Fully deterministic in spec.seed.
+TrainTestSplit make_synthetic_dataset(const SyntheticSpec& spec);
+
+}  // namespace bcl::ml

@@ -1,0 +1,99 @@
+#include "ml/dense.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_(in_features * out_features, 0.0),
+      bias_(out_features, 0.0),
+      grad_weight_(in_features * out_features, 0.0),
+      grad_bias_(out_features, 0.0) {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+}
+
+void Dense::initialize(Rng& rng) {
+  // Glorot / Xavier uniform: U(-limit, limit) with limit = sqrt(6/(in+out)).
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_ + out_));
+  for (double& w : weight_) w = rng.uniform(-limit, limit);
+  for (double& b : bias_) b = 0.0;
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected [N, in] input");
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor output({batch, out_});
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* x = input.data() + n * in_;
+    double* y = output.data() + n * out_;
+    for (std::size_t o = 0; o < out_; ++o) y[o] = bias_[o];
+    for (std::size_t i = 0; i < in_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      const double* wrow = weight_.data() + i * out_;
+      for (std::size_t o = 0; o < out_; ++o) y[o] += xi * wrow[o];
+    }
+  }
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
+    throw std::invalid_argument("Dense::backward: expected [N, out] grad");
+  }
+  const std::size_t batch = grad_output.dim(0);
+  if (cached_input_.size() != batch * in_) {
+    throw std::logic_error("Dense::backward: no matching forward pass");
+  }
+  Tensor grad_input({batch, in_});
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* x = cached_input_.data() + n * in_;
+    const double* gy = grad_output.data() + n * out_;
+    double* gx = grad_input.data() + n * in_;
+    for (std::size_t o = 0; o < out_; ++o) grad_bias_[o] += gy[o];
+    for (std::size_t i = 0; i < in_; ++i) {
+      const double xi = x[i];
+      double* gw = grad_weight_.data() + i * out_;
+      const double* wrow = weight_.data() + i * out_;
+      double acc = 0.0;
+      for (std::size_t o = 0; o < out_; ++o) {
+        gw[o] += xi * gy[o];
+        acc += wrow[o] * gy[o];
+      }
+      gx[i] = acc;
+    }
+  }
+  return grad_input;
+}
+
+void Dense::read_parameters(double* dst) const {
+  std::memcpy(dst, weight_.data(), weight_.size() * sizeof(double));
+  std::memcpy(dst + weight_.size(), bias_.data(), bias_.size() * sizeof(double));
+}
+
+void Dense::write_parameters(const double* src) {
+  std::memcpy(weight_.data(), src, weight_.size() * sizeof(double));
+  std::memcpy(bias_.data(), src + weight_.size(), bias_.size() * sizeof(double));
+}
+
+void Dense::read_gradients(double* dst) const {
+  std::memcpy(dst, grad_weight_.data(), grad_weight_.size() * sizeof(double));
+  std::memcpy(dst + grad_weight_.size(), grad_bias_.data(),
+              grad_bias_.size() * sizeof(double));
+}
+
+void Dense::zero_gradients() {
+  std::fill(grad_weight_.begin(), grad_weight_.end(), 0.0);
+  std::fill(grad_bias_.begin(), grad_bias_.end(), 0.0);
+}
+
+}  // namespace bcl::ml

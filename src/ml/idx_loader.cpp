@@ -1,0 +1,119 @@
+#include "ml/idx_loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0x00000803;  // ubyte, rank 3
+constexpr std::uint32_t kLabelMagic = 0x00000801;  // ubyte, rank 1
+
+std::uint32_t read_u32_be(const std::string& bytes, std::size_t offset) {
+  if (offset + 4 > bytes.size()) {
+    throw std::runtime_error("IDX: truncated header");
+  }
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[offset + 3]));
+}
+
+void append_u32_be(std::string& bytes, std::uint32_t value) {
+  bytes.push_back(static_cast<char>((value >> 24) & 0xFF));
+  bytes.push_back(static_cast<char>((value >> 16) & 0xFF));
+  bytes.push_back(static_cast<char>((value >> 8) & 0xFF));
+  bytes.push_back(static_cast<char>(value & 0xFF));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("IDX: cannot open " + path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+Dataset parse_idx(const std::string& image_bytes,
+                  const std::string& label_bytes) {
+  if (read_u32_be(image_bytes, 0) != kImageMagic) {
+    throw std::runtime_error("IDX: bad image magic (want 0x00000803)");
+  }
+  if (read_u32_be(label_bytes, 0) != kLabelMagic) {
+    throw std::runtime_error("IDX: bad label magic (want 0x00000801)");
+  }
+  const std::size_t count = read_u32_be(image_bytes, 4);
+  const std::size_t rows = read_u32_be(image_bytes, 8);
+  const std::size_t cols = read_u32_be(image_bytes, 12);
+  const std::size_t label_count = read_u32_be(label_bytes, 4);
+  if (count != label_count) {
+    throw std::runtime_error("IDX: image/label count mismatch");
+  }
+  const std::size_t pixels = rows * cols;
+  if (image_bytes.size() != 16 + count * pixels) {
+    throw std::runtime_error("IDX: image payload size mismatch");
+  }
+  if (label_bytes.size() != 8 + count) {
+    throw std::runtime_error("IDX: label payload size mismatch");
+  }
+
+  Dataset data;
+  data.channels = 1;
+  data.height = rows;
+  data.width = cols;
+  data.images.reserve(count);
+  data.labels.reserve(count);
+  std::uint8_t max_label = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector img(pixels);
+    const std::size_t base = 16 + i * pixels;
+    for (std::size_t p = 0; p < pixels; ++p) {
+      img[p] =
+          static_cast<unsigned char>(image_bytes[base + p]) / 255.0;
+    }
+    data.images.push_back(std::move(img));
+    const auto label =
+        static_cast<std::uint8_t>(static_cast<unsigned char>(label_bytes[8 + i]));
+    max_label = std::max(max_label, label);
+    data.labels.push_back(label);
+  }
+  data.num_classes = static_cast<std::size_t>(max_label) + 1;
+  return data;
+}
+
+Dataset load_idx_dataset(const std::string& image_path,
+                         const std::string& label_path) {
+  return parse_idx(read_file(image_path), read_file(label_path));
+}
+
+IdxBytes to_idx(const Dataset& dataset) {
+  if (dataset.channels != 1) {
+    throw std::invalid_argument("to_idx: only grayscale datasets supported");
+  }
+  IdxBytes out;
+  append_u32_be(out.images, kImageMagic);
+  append_u32_be(out.images, static_cast<std::uint32_t>(dataset.size()));
+  append_u32_be(out.images, static_cast<std::uint32_t>(dataset.height));
+  append_u32_be(out.images, static_cast<std::uint32_t>(dataset.width));
+  for (const auto& img : dataset.images) {
+    for (double v : img) {
+      const double clamped = std::clamp(v, 0.0, 1.0);
+      out.images.push_back(
+          static_cast<char>(std::lround(clamped * 255.0)));
+    }
+  }
+  append_u32_be(out.labels, kLabelMagic);
+  append_u32_be(out.labels, static_cast<std::uint32_t>(dataset.size()));
+  for (std::uint8_t label : dataset.labels) {
+    out.labels.push_back(static_cast<char>(label));
+  }
+  return out;
+}
+
+}  // namespace bcl::ml

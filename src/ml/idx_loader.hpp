@@ -1,0 +1,35 @@
+#pragma once
+// Loader for the IDX binary format (the distribution format of MNIST), so
+// users with local copies of the real datasets can swap them in for the
+// synthetic substitutes: load_idx_dataset("train-images-idx3-ubyte",
+// "train-labels-idx1-ubyte").
+//
+// Format (big-endian): magic 0x00000803 (ubyte, rank 3) for images with
+// dims [count, rows, cols]; magic 0x00000801 (ubyte, rank 1) for labels.
+// Pixels are scaled to [0, 1].
+
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace bcl::ml {
+
+/// Parses IDX image + label byte buffers into a Dataset (grayscale,
+/// channels = 1).  Throws std::runtime_error on malformed input or a
+/// count mismatch between the two files.
+Dataset parse_idx(const std::string& image_bytes,
+                  const std::string& label_bytes);
+
+/// Reads the two IDX files from disk and parses them.
+Dataset load_idx_dataset(const std::string& image_path,
+                         const std::string& label_path);
+
+/// Serializes a (grayscale) Dataset back to IDX byte buffers — used by
+/// round-trip tests and to export synthetic data for external tooling.
+struct IdxBytes {
+  std::string images;
+  std::string labels;
+};
+IdxBytes to_idx(const Dataset& dataset);
+
+}  // namespace bcl::ml

@@ -1,0 +1,76 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected [N, K] logits");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor probs({batch, classes});
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* row = logits.data() + n * classes;
+    double* out = probs.data() + n * classes;
+    const double row_max = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      out[k] = std::exp(row[k] - row_max);
+      denom += out[k];
+    }
+    for (std::size_t k = 0; k < classes; ++k) out[k] /= denom;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint8_t>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected [N, K]");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: labels size mismatch");
+  }
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  double loss = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::size_t y = labels[n];
+    if (y >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const double p = result.grad_logits.at2(n, y);
+    loss -= std::log(std::max(p, 1e-300));
+    // dLoss/dlogits = (softmax - onehot) / N
+    result.grad_logits.at2(n, y) -= 1.0;
+  }
+  for (std::size_t i = 0; i < result.grad_logits.size(); ++i) {
+    result.grad_logits[i] *= inv_batch;
+  }
+  result.loss = loss * inv_batch;
+  return result;
+}
+
+std::vector<std::uint8_t> argmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("argmax_rows: expected [N, K]");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::vector<std::uint8_t> out(batch, 0);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* row = logits.data() + n * classes;
+    out[n] = static_cast<std::uint8_t>(
+        std::max_element(row, row + classes) - row);
+  }
+  return out;
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,28 @@
+#pragma once
+// Categorical cross-entropy over softmax logits — the loss of both
+// evaluation models in the paper (Section 5.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace bcl::ml {
+
+struct LossResult {
+  double loss = 0.0;          ///< mean cross-entropy over the batch
+  Tensor grad_logits;         ///< dLoss/dLogits, already divided by N
+};
+
+/// logits: [N, K]; labels: N class indices in [0, K).  Numerically stable
+/// (log-sum-exp with max subtraction).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint8_t>& labels);
+
+/// Softmax probabilities of a logits tensor (row-wise).
+Tensor softmax(const Tensor& logits);
+
+/// Row-wise argmax of [N, K] logits.
+std::vector<std::uint8_t> argmax_rows(const Tensor& logits);
+
+}  // namespace bcl::ml

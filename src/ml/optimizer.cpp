@@ -1,0 +1,21 @@
+#include "ml/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace bcl::ml {
+
+LearningRateSchedule LearningRateSchedule::paper_default(
+    std::size_t total_rounds) {
+  const double eta = 0.01;
+  if (total_rounds == 0) return LearningRateSchedule(eta, 0.0);
+  return LearningRateSchedule(eta, eta / static_cast<double>(total_rounds));
+}
+
+void sgd_step(Vector& theta, const Vector& gradient, double learning_rate) {
+  if (theta.size() != gradient.size()) {
+    throw std::invalid_argument("sgd_step: dimension mismatch");
+  }
+  axpy(theta, -learning_rate, gradient);
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,39 @@
+#pragma once
+// SGD update and the paper's learning-rate schedule.
+//
+// The evaluation uses eta = 0.01 decayed over *global* communication rounds
+// (following Zhao et al.): lr(round) = eta / (1 + decay * round) with
+// decay = eta / total_rounds (Section 5.1).
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl::ml {
+
+/// Learning-rate schedule decaying over the global round index.
+class LearningRateSchedule {
+ public:
+  /// `initial` is eta; `decay` the per-round decay constant.  decay == 0
+  /// gives a constant rate.
+  LearningRateSchedule(double initial, double decay)
+      : initial_(initial), decay_(decay) {}
+
+  /// The paper's configuration: eta = 0.01, decay = eta / total_rounds.
+  static LearningRateSchedule paper_default(std::size_t total_rounds);
+
+  double rate(std::size_t round) const {
+    return initial_ / (1.0 + decay_ * static_cast<double>(round));
+  }
+
+  double initial() const { return initial_; }
+
+ private:
+  double initial_;
+  double decay_;
+};
+
+/// In-place SGD step: theta -= lr * gradient.
+void sgd_step(Vector& theta, const Vector& gradient, double learning_rate);
+
+}  // namespace bcl::ml

@@ -1,0 +1,121 @@
+#include "ml/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace bcl::ml {
+
+const char* heterogeneity_name(Heterogeneity h) {
+  switch (h) {
+    case Heterogeneity::Uniform: return "uniform";
+    case Heterogeneity::Mild: return "mild";
+    case Heterogeneity::Extreme: return "extreme";
+  }
+  return "?";
+}
+
+Heterogeneity parse_heterogeneity(const std::string& name) {
+  if (name == "uniform") return Heterogeneity::Uniform;
+  if (name == "mild") return Heterogeneity::Mild;
+  if (name == "extreme") return Heterogeneity::Extreme;
+  throw std::invalid_argument("parse_heterogeneity: unknown scheme " + name);
+}
+
+namespace {
+
+// Splits `class_indices` (already shuffled) into `shares.size()` contiguous
+// chunks proportional to `shares` and appends chunk c to result[c].
+void distribute_class(const std::vector<std::size_t>& class_indices,
+                      const std::vector<double>& shares,
+                      std::vector<std::vector<std::size_t>>& result) {
+  const std::size_t total = class_indices.size();
+  std::size_t cursor = 0;
+  double cumulative = 0.0;
+  for (std::size_t c = 0; c < shares.size(); ++c) {
+    cumulative += shares[c];
+    const std::size_t end = c + 1 == shares.size()
+                                ? total
+                                : static_cast<std::size_t>(cumulative * total);
+    for (; cursor < end && cursor < total; ++cursor) {
+      result[c].push_back(class_indices[cursor]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> partition_dataset(
+    const Dataset& train, std::size_t num_clients, Heterogeneity scheme,
+    Rng& rng) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("partition_dataset: need at least one client");
+  }
+  std::vector<std::vector<std::size_t>> result(num_clients);
+
+  if (scheme == Heterogeneity::Extreme) {
+    // Sort by label, cut into 2n shards, hand each client 2 random shards.
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return train.labels[a] < train.labels[b];
+                     });
+    const std::size_t num_shards = 2 * num_clients;
+    std::vector<std::size_t> shard_of = rng.permutation(num_shards);
+    const std::size_t shard_size = train.size() / num_shards;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t client = shard_of[s] / 2;
+      const std::size_t begin = s * shard_size;
+      const std::size_t end =
+          s + 1 == num_shards ? train.size() : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) {
+        result[client].push_back(order[i]);
+      }
+    }
+    return result;
+  }
+
+  // Class-proportional schemes.
+  std::vector<double> base_shares(num_clients,
+                                  1.0 / static_cast<double>(num_clients));
+  if (scheme == Heterogeneity::Mild && num_clients >= 3) {
+    // One under-weighted (5%) and one over-weighted (15%) client per class;
+    // the remaining clients split the rest equally (10% each for n = 10,
+    // matching the paper).
+    const double low = 0.05;
+    const double high = 0.15;
+    const double equal =
+        (1.0 - low - high) / static_cast<double>(num_clients - 2);
+    base_shares.assign(num_clients, equal);
+    base_shares[0] = low;
+    base_shares[1] = high;
+  }
+
+  for (std::size_t cls = 0; cls < train.num_classes; ++cls) {
+    std::vector<std::size_t> class_indices =
+        train.indices_of_class(static_cast<std::uint8_t>(cls));
+    rng.shuffle(class_indices);
+    std::vector<double> shares = base_shares;
+    if (scheme == Heterogeneity::Mild && num_clients >= 3) {
+      // Rotate which client is under/over-weighted so totals stay balanced
+      // ("clients have the same amount of data" assumption of the paper).
+      std::rotate(shares.begin(),
+                  shares.begin() + static_cast<long>(cls % num_clients),
+                  shares.end());
+    }
+    distribute_class(class_indices, shares, result);
+  }
+  return result;
+}
+
+std::size_t distinct_labels(const Dataset& train,
+                            const std::vector<std::size_t>& shard) {
+  std::set<std::uint8_t> seen;
+  for (std::size_t i : shard) seen.insert(train.labels.at(i));
+  return seen.size();
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,40 @@
+#pragma once
+// Non-i.i.d. data partitioning across clients (Section 5.1).
+//
+// Three schemes from the paper:
+//  - Uniform: every client receives an equal share of every class.
+//  - Mild heterogeneity: per class, 8 clients get 10% of the class, one
+//    gets 5% and one gets 15% (the under/over-weighted client rotates per
+//    class).  Generalized to n clients as shares {low, high, equal...}.
+//  - Extreme (2-class) heterogeneity: the dataset is sorted by label and
+//    cut into 2n shards; each client receives 2 random shards, hence at
+//    most 2 classes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace bcl::ml {
+
+enum class Heterogeneity { Uniform, Mild, Extreme };
+
+/// Human-readable scheme name for tables ("uniform", "mild", "extreme").
+const char* heterogeneity_name(Heterogeneity h);
+
+/// Parses "uniform" / "mild" / "extreme".
+Heterogeneity parse_heterogeneity(const std::string& name);
+
+/// Assigns every training example to exactly one client; result[c] holds
+/// the example indices of client c.  Deterministic in `rng`.
+std::vector<std::vector<std::size_t>> partition_dataset(
+    const Dataset& train, std::size_t num_clients, Heterogeneity scheme,
+    Rng& rng);
+
+/// Number of distinct labels present in a client's shard.
+std::size_t distinct_labels(const Dataset& train,
+                            const std::vector<std::size_t>& shard);
+
+}  // namespace bcl::ml

@@ -1,0 +1,67 @@
+#include "ml/pooling.hpp"
+
+#include <stdexcept>
+
+namespace bcl::ml {
+
+MaxPool2D::MaxPool2D(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("MaxPool2D: window must be > 0");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2D::forward: expected [N, C, H, W]");
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  if (h % window_ != 0 || w % window_ != 0) {
+    throw std::invalid_argument(
+        "MaxPool2D::forward: spatial dims must be divisible by the window");
+  }
+  const std::size_t out_h = h / window_;
+  const std::size_t out_w = w / window_;
+  input_shape_ = input.shape();
+  Tensor output({batch, channels, out_h, out_w});
+  argmax_.assign(output.size(), 0);
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+          double best = input.at4(n, c, oh * window_, ow * window_);
+          std::size_t best_idx =
+              ((n * channels + c) * h + oh * window_) * w + ow * window_;
+          for (std::size_t dh = 0; dh < window_; ++dh) {
+            for (std::size_t dw = 0; dw < window_; ++dw) {
+              const std::size_t ih = oh * window_ + dh;
+              const std::size_t iw = ow * window_ + dw;
+              const double v = input.at4(n, c, ih, iw);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * channels + c) * h + ih) * w + iw;
+              }
+            }
+          }
+          output[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size()) {
+    throw std::logic_error("MaxPool2D::backward: no matching forward pass");
+  }
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+}  // namespace bcl::ml

@@ -1,0 +1,22 @@
+#pragma once
+// 2x2 (or k x k) max pooling with stride equal to the window size.
+
+#include "ml/layer.hpp"
+
+namespace bcl::ml {
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::size_t window = 2);
+
+  std::string name() const override { return "MaxPool2D"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::size_t window_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output cell
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace bcl::ml

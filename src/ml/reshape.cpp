@@ -1,0 +1,46 @@
+#include "ml/reshape.hpp"
+
+#include <stdexcept>
+
+namespace bcl::ml {
+
+Tensor Flatten::forward(const Tensor& input) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: rank must be >= 2");
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("Flatten::backward: no matching forward pass");
+  }
+  return grad_output.reshaped(input_shape_);
+}
+
+Reshape::Reshape(std::vector<std::size_t> per_example_shape)
+    : per_example_shape_(std::move(per_example_shape)) {
+  if (per_example_shape_.empty()) {
+    throw std::invalid_argument("Reshape: empty target shape");
+  }
+}
+
+Tensor Reshape::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  std::vector<std::size_t> shape;
+  shape.push_back(input.dim(0));
+  shape.insert(shape.end(), per_example_shape_.begin(),
+               per_example_shape_.end());
+  return input.reshaped(std::move(shape));
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("Reshape::backward: no matching forward pass");
+  }
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace bcl::ml

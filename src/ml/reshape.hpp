@@ -1,0 +1,33 @@
+#pragma once
+// Shape adapters: Flatten ([N, ...] -> [N, features]) and Reshape
+// ([N, features] -> [N, ...]).  The dataset hands batches to models as flat
+// [N, d] tensors; convolutional models start with a Reshape.
+
+#include "ml/layer.hpp"
+
+namespace bcl::ml {
+
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "Flatten"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+class Reshape final : public Layer {
+ public:
+  /// `per_example_shape` excludes the batch dimension, e.g. {3, 32, 32}.
+  explicit Reshape(std::vector<std::size_t> per_example_shape);
+  std::string name() const override { return "Reshape"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> per_example_shape_;
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace bcl::ml

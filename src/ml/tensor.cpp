@@ -1,0 +1,63 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcl::ml {
+
+std::size_t shape_volume(const std::vector<std::size_t>& shape) {
+  std::size_t volume = 1;
+  for (std::size_t extent : shape) volume *= extent;
+  return shape.empty() ? 0 : volume;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_volume(shape_), 0.0) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_volume(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::out_of_range("Tensor::dim: axis out of range");
+  }
+  return shape_[axis];
+}
+
+double& Tensor::at2(std::size_t row, std::size_t col) {
+  return data_[row * shape_[1] + col];
+}
+
+double Tensor::at2(std::size_t row, std::size_t col) const {
+  return data_[row * shape_[1] + col];
+}
+
+double& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                    std::size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+double Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (shape_volume(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: volume mismatch");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace bcl::ml

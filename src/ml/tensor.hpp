@@ -1,0 +1,61 @@
+#pragma once
+// Dense row-major tensor used by the neural-network substrate.
+//
+// Shapes follow the batch-major convention: [N, features] for dense layers,
+// [N, C, H, W] for convolutional layers.  Storage is double precision so
+// that analytic gradients can be validated against central finite
+// differences to tight tolerances in the test suite.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace bcl::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  /// Tensor with explicit contents; data.size() must match the shape volume.
+  Tensor(std::vector<std::size_t> shape, std::vector<double> data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  double& operator[](std::size_t flat_index) { return data_[flat_index]; }
+  double operator[](std::size_t flat_index) const { return data_[flat_index]; }
+
+  /// 2-D accessors (dense layers): element (row, col) of an [R, C] tensor.
+  double& at2(std::size_t row, std::size_t col);
+  double at2(std::size_t row, std::size_t col) const;
+
+  /// 4-D accessors (conv layers): element (n, c, h, w) of an [N, C, H, W]
+  /// tensor.
+  double& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  double at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Reinterprets the tensor with a new shape of identical volume.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(double value);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// Product of the shape extents.
+std::size_t shape_volume(const std::vector<std::size_t>& shape);
+
+}  // namespace bcl::ml

@@ -1,0 +1,178 @@
+#include "network/adversary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bcl {
+
+std::size_t Adversary::count_byzantine(std::size_t n) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_byzantine(i)) ++count;
+  }
+  return count;
+}
+
+// --- CrashAdversary ---
+
+CrashAdversary::CrashAdversary(std::vector<std::size_t> byzantine_ids,
+                               std::size_t crash_round,
+                               VectorList pre_crash_values)
+    : ids_(std::move(byzantine_ids)),
+      crash_round_(crash_round),
+      pre_crash_values_(std::move(pre_crash_values)) {
+  if (pre_crash_values_.size() != ids_.size()) {
+    throw std::invalid_argument(
+        "CrashAdversary: one pre-crash value per Byzantine node required");
+  }
+}
+
+bool CrashAdversary::is_byzantine(std::size_t node) const {
+  return std::find(ids_.begin(), ids_.end(), node) != ids_.end();
+}
+
+std::optional<Vector> CrashAdversary::byzantine_value(
+    std::size_t node, std::size_t round,
+    const std::vector<std::optional<Vector>>& /*honest_values*/) {
+  if (round >= crash_round_) return std::nullopt;
+  const auto it = std::find(ids_.begin(), ids_.end(), node);
+  if (it == ids_.end()) return std::nullopt;
+  return pre_crash_values_[static_cast<std::size_t>(it - ids_.begin())];
+}
+
+// --- FixedVectorAdversary ---
+
+FixedVectorAdversary::FixedVectorAdversary(
+    std::vector<std::size_t> byzantine_ids, Vector value)
+    : ids_(std::move(byzantine_ids)), value_(std::move(value)) {}
+
+bool FixedVectorAdversary::is_byzantine(std::size_t node) const {
+  return std::find(ids_.begin(), ids_.end(), node) != ids_.end();
+}
+
+std::optional<Vector> FixedVectorAdversary::byzantine_value(
+    std::size_t /*node*/, std::size_t /*round*/,
+    const std::vector<std::optional<Vector>>& /*honest_values*/) {
+  return value_;
+}
+
+// --- SignFlipAdversary ---
+
+SignFlipAdversary::SignFlipAdversary(std::vector<std::size_t> byzantine_ids,
+                                     double scale)
+    : ids_(std::move(byzantine_ids)), scale_(scale) {}
+
+bool SignFlipAdversary::is_byzantine(std::size_t node) const {
+  return std::find(ids_.begin(), ids_.end(), node) != ids_.end();
+}
+
+std::optional<Vector> SignFlipAdversary::byzantine_value(
+    std::size_t /*node*/, std::size_t /*round*/,
+    const std::vector<std::optional<Vector>>& honest_values) {
+  VectorList honest;
+  for (const auto& v : honest_values) {
+    if (v) honest.push_back(*v);
+  }
+  if (honest.empty()) return std::nullopt;
+  return scale(mean(honest), -scale_);
+}
+
+// --- DelayingAdversary ---
+
+DelayingAdversary::DelayingAdversary(Adversary& inner,
+                                     double drop_probability,
+                                     std::uint64_t seed)
+    : inner_(inner), drop_probability_(drop_probability), seed_(seed) {
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument(
+        "DelayingAdversary: drop probability must be in [0, 1]");
+  }
+}
+
+bool DelayingAdversary::is_byzantine(std::size_t node) const {
+  return inner_.is_byzantine(node);
+}
+
+std::optional<Vector> DelayingAdversary::byzantine_value(
+    std::size_t node, std::size_t round,
+    const std::vector<std::optional<Vector>>& honest_values) {
+  return inner_.byzantine_value(node, round, honest_values);
+}
+
+bool DelayingAdversary::delivers(std::size_t sender, std::size_t receiver,
+                                 std::size_t round) {
+  return inner_.delivers(sender, receiver, round);
+}
+
+bool DelayingAdversary::delays_honest(std::size_t sender,
+                                      std::size_t receiver,
+                                      std::size_t round) {
+  // Stateless per-link coin: a pure function of (seed, round, sender,
+  // receiver) so the decision does not depend on query order.
+  Rng coin = Rng(seed_).split(round).split(sender * 4096 + receiver);
+  return coin.uniform() < drop_probability_;
+}
+
+// --- PerNodeFixedAdversary ---
+
+PerNodeFixedAdversary::PerNodeFixedAdversary(
+    std::vector<std::size_t> byzantine_ids,
+    std::vector<std::optional<Vector>> values)
+    : ids_(std::move(byzantine_ids)), values_(std::move(values)) {}
+
+bool PerNodeFixedAdversary::is_byzantine(std::size_t node) const {
+  return std::find(ids_.begin(), ids_.end(), node) != ids_.end();
+}
+
+std::optional<Vector> PerNodeFixedAdversary::byzantine_value(
+    std::size_t node, std::size_t /*round*/,
+    const std::vector<std::optional<Vector>>& /*honest_values*/) {
+  if (node >= values_.size()) return std::nullopt;
+  return values_[node];
+}
+
+// --- SplitWorldAdversary ---
+
+SplitWorldAdversary::SplitWorldAdversary(std::vector<std::size_t> camp1,
+                                         std::vector<std::size_t> camp2,
+                                         std::vector<std::size_t> byz_camp1,
+                                         std::vector<std::size_t> byz_camp2)
+    : camp1_(std::move(camp1)),
+      camp2_(std::move(camp2)),
+      byz1_(std::move(byz_camp1)),
+      byz2_(std::move(byz_camp2)) {
+  if (camp1_.empty() || camp2_.empty()) {
+    throw std::invalid_argument("SplitWorldAdversary: camps must be non-empty");
+  }
+}
+
+bool SplitWorldAdversary::in(const std::vector<std::size_t>& ids,
+                             std::size_t node) const {
+  return std::find(ids.begin(), ids.end(), node) != ids.end();
+}
+
+bool SplitWorldAdversary::is_byzantine(std::size_t node) const {
+  return in(byz1_, node) || in(byz2_, node);
+}
+
+std::optional<Vector> SplitWorldAdversary::byzantine_value(
+    std::size_t node, std::size_t /*round*/,
+    const std::vector<std::optional<Vector>>& honest_values) {
+  // Echo the current value of the supported camp's first honest node.
+  const std::vector<std::size_t>& camp = in(byz1_, node) ? camp1_ : camp2_;
+  const auto& value = honest_values.at(camp.front());
+  if (!value) return std::nullopt;
+  return *value;
+}
+
+bool SplitWorldAdversary::delivers(std::size_t sender, std::size_t receiver,
+                                   std::size_t /*round*/) {
+  // Camp-1 supporters deliver only to camp 1; likewise for camp 2.
+  if (in(byz1_, sender)) return in(camp1_, receiver);
+  if (in(byz2_, sender)) return in(camp2_, receiver);
+  return true;
+}
+
+}  // namespace bcl

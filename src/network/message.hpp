@@ -1,0 +1,26 @@
+#pragma once
+// Wire format of the synchronous peer-to-peer simulator: one vector-valued
+// message per sender per round.
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+/// A delivered message.  Inboxes are sorted by sender id, which makes
+/// tie-breaking in the receiving rules deterministic.
+struct Message {
+  std::size_t sender = 0;
+  Vector payload;
+};
+
+/// Extracts just the payload vectors of an inbox, preserving order.
+inline VectorList payloads(const std::vector<Message>& inbox) {
+  VectorList out;
+  out.reserve(inbox.size());
+  for (const auto& msg : inbox) out.push_back(msg.payload);
+  return out;
+}
+
+}  // namespace bcl

@@ -1,0 +1,80 @@
+#pragma once
+// Synchronous round engine.
+//
+// Executes the communication pattern of Section 2.3: in every round each
+// node reliably broadcasts one vector, the adversary fixes the Byzantine
+// values (after seeing the honest ones) and its selective-delivery choices,
+// and every honest node then receives its inbox sorted by sender id.
+// Honest receive callbacks run in parallel on a thread pool — they only
+// touch their own node's state, mirroring the distributed-memory model of
+// the MPI discipline.
+
+#include <cstddef>
+#include <vector>
+
+#include "network/adversary.hpp"
+#include "network/message.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+/// Behaviour of one honest protocol participant.
+class HonestProcess {
+ public:
+  virtual ~HonestProcess() = default;
+
+  /// The vector this node reliably broadcasts in `round`.
+  virtual Vector outgoing(std::size_t round) const = 0;
+
+  /// Delivers the round's inbox (sorted by sender id).  The process updates
+  /// its own state only.
+  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
+};
+
+/// Per-run delivery statistics.
+struct NetworkStats {
+  std::size_t rounds = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_omitted = 0;  // Byzantine selective omissions
+  std::size_t broadcasts_skipped = 0;  // crashed/silent Byzantine rounds
+  std::size_t messages_delayed = 0;  // honored honest-message delays
+};
+
+/// The engine.  Node ids are [0, n); honest ids own a HonestProcess,
+/// Byzantine ids are driven by the adversary.
+class SyncNetwork {
+ public:
+  /// `processes[i]` must be non-null exactly for honest ids i.  The network
+  /// does not take ownership of the adversary or pool.
+  ///
+  /// `min_inbox` is the delivery floor per honest receiver per round
+  /// (normally n - t).  When it is attainable, the network honors the
+  /// adversary's delays_honest() requests only while the receiver's inbox
+  /// stays at or above the floor ("receive up to n messages").  The default
+  /// (SIZE_MAX) never honors honest delays, i.e. full synchrony.
+  SyncNetwork(std::vector<HonestProcess*> processes, Adversary& adversary,
+              ThreadPool* pool = nullptr,
+              std::size_t min_inbox = static_cast<std::size_t>(-1));
+
+  std::size_t num_nodes() const { return processes_.size(); }
+
+  /// Runs one synchronous round.
+  void run_round();
+
+  /// Runs `rounds` consecutive rounds.
+  void run(std::size_t rounds);
+
+  std::size_t current_round() const { return round_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  std::vector<HonestProcess*> processes_;
+  Adversary& adversary_;
+  ThreadPool* pool_;
+  std::size_t min_inbox_;
+  std::size_t round_ = 0;
+  NetworkStats stats_;
+};
+
+}  // namespace bcl

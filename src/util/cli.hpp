@@ -1,0 +1,31 @@
+#pragma once
+// Tiny command-line flag parser used by the bench harnesses and examples.
+// Supports "--name=value" and "--name value"; unknown flags are an error so
+// typos do not silently fall back to defaults.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/// Parsed command-line flags with typed getters and defaults.
+class CliArgs {
+ public:
+  /// Parses argv.  `allowed` lists the accepted flag names (without "--");
+  /// passing a flag not in the list throws std::invalid_argument.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,75 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bcl {
+
+namespace {
+// SplitMix64 finalizer: bijective mixing of a 64-bit counter.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+}  // namespace
+
+std::uint64_t Rng::next_u64() {
+  state_ += kGolden;
+  return mix(state_);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_u64: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::gaussian() {
+  // Box-Muller; always consumes exactly two uniforms.
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+Rng Rng::split(std::uint64_t stream_index) const {
+  // Child seed is a mix of the parent seed and the stream index; does not
+  // advance the parent.
+  return Rng(mix(state_ ^ mix(stream_index + 0x632BE59BD9B4E019ull)));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+}  // namespace bcl

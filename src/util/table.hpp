@@ -1,0 +1,45 @@
+#pragma once
+// Tabular result output: aligned console tables and CSV files.
+//
+// All benchmark harnesses in bench/ report their rows through Table so the
+// paper-figure data can be both read in the terminal and re-plotted from the
+// CSV artifacts.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/// A simple column-oriented table.  Cells are strings; numeric helpers
+/// format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row.  Cells are appended with add()/add_num().
+  Table& new_row();
+  Table& add(std::string cell);
+  Table& add_num(double value, int precision = 4);
+  Table& add_int(long long value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and logs).
+std::string format_double(double value, int precision);
+
+}  // namespace bcl

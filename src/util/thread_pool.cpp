@@ -1,0 +1,149 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace bcl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+  if (parts <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Static chunking: chunk p covers [begin + p*chunk, ...), remainder spread
+  // over the first `rem` chunks.
+  const std::size_t chunk = n / parts;
+  const std::size_t rem = n % parts;
+  std::exception_ptr local_error;
+  std::mutex err_mu;
+  std::atomic<std::size_t> done{0};
+  std::size_t lo = begin;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = chunk + (p < rem ? 1 : 0);
+    ranges.emplace_back(lo, lo + len);
+    lo += len;
+  }
+  // Submit all but the first range; run the first on the calling thread.
+  for (std::size_t p = 1; p < parts; ++p) {
+    const auto [a, b] = ranges[p];
+    submit([&, a, b] {
+      try {
+        for (std::size_t i = a; i < b; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!local_error) local_error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  try {
+    for (std::size_t i = ranges[0].first; i < ranges[0].second; ++i) fn(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!local_error) local_error = std::current_exception();
+  }
+  // Wait for the submitted chunks (not the whole pool, so nested use from
+  // multiple callers does not deadlock on unrelated work).  While waiting,
+  // help drain the queue so nested parallel_for calls from worker threads
+  // cannot deadlock when all workers are busy.
+  while (done.load(std::memory_order_acquire) != parts - 1) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  if (local_error) std::rethrow_exception(local_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bcl

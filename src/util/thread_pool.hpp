@@ -1,0 +1,64 @@
+#pragma once
+// Fork-join thread pool with a static-chunked parallel_for.
+//
+// Design follows the explicit-parallelism discipline of the HPC guides:
+// workers never share mutable state implicitly; parallel_for partitions the
+// index space into disjoint contiguous chunks (like an OpenMP static
+// schedule), so per-index work touches only its own data.  Exceptions thrown
+// by workers are captured and rethrown on the calling thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bcl {
+
+/// A fixed-size pool of worker threads executing submitted tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers.  0 means hardware_concurrency (at least
+  /// one).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Fire-and-forget; use wait_idle() or parallel_for for
+  /// synchronization.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.  Rethrows the first
+  /// captured worker exception, if any.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool (the calling thread also works).  Blocks until done;
+  /// rethrows the first worker exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace bcl

@@ -1,0 +1,82 @@
+// Tests for model checkpointing (save/load of flat parameter vectors).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ml/architectures.hpp"
+#include "ml/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace bcl::ml {
+namespace {
+
+const char* kPath = "/tmp/bcl_checkpoint_test.bin";
+
+TEST(Checkpoint, RoundTripPreservesBits) {
+  Rng rng(1);
+  Vector params(257);
+  for (auto& x : params) x = rng.gaussian();
+  save_parameters(kPath, params);
+  const Vector loaded = load_parameters(kPath);
+  EXPECT_EQ(loaded, params);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, EmptyVectorRoundTrips) {
+  save_parameters(kPath, {});
+  EXPECT_TRUE(load_parameters(kPath).empty());
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, DimensionValidation) {
+  save_parameters(kPath, {1.0, 2.0, 3.0});
+  EXPECT_NO_THROW(load_parameters(kPath, 3));
+  EXPECT_THROW(load_parameters(kPath, 4), std::runtime_error);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, RejectsCorruptedMagic) {
+  save_parameters(kPath, {1.0});
+  {
+    std::fstream f(kPath, std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');
+  }
+  EXPECT_THROW(load_parameters(kPath), std::runtime_error);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, RejectsTruncatedPayload) {
+  save_parameters(kPath, {1.0, 2.0, 3.0, 4.0});
+  // Truncate the file mid-payload.
+  std::ifstream in(kPath, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 9));
+  out.close();
+  EXPECT_THROW(load_parameters(kPath), std::runtime_error);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_parameters("/nonexistent/dir/params.bin"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ModelResumeWorkflow) {
+  Model model = make_mlp(12, 8, 6, 4);
+  Rng rng(2);
+  model.initialize(rng);
+  save_parameters(kPath, model.parameters());
+
+  Model resumed = make_mlp(12, 8, 6, 4);
+  resumed.set_parameters(load_parameters(kPath, resumed.parameter_count()));
+  EXPECT_EQ(resumed.parameters(), model.parameters());
+  std::remove(kPath);
+}
+
+}  // namespace
+}  // namespace bcl::ml

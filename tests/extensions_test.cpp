@@ -1,0 +1,284 @@
+// Tests for the model extensions: honest-message delays ("receive up to n
+// messages"), non-finite input hardening, and the IDX dataset loader.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+
+#include "aggregation/registry.hpp"
+#include "agreement/protocol.hpp"
+#include "linalg/hyperbox.hpp"
+#include "ml/idx_loader.hpp"
+#include "network/adversary.hpp"
+#include "network/sync_network.hpp"
+#include "util/rng.hpp"
+
+namespace bcl {
+namespace {
+
+// --- honest-message delays ---
+
+class CountingProcess final : public HonestProcess {
+ public:
+  explicit CountingProcess(std::size_t id) : id_(id) {}
+  Vector outgoing(std::size_t) const override {
+    return {static_cast<double>(id_)};
+  }
+  void receive(std::size_t, const std::vector<Message>& inbox) override {
+    last_inbox_size_ = inbox.size();
+  }
+  std::size_t last_inbox_size() const { return last_inbox_size_; }
+
+ private:
+  std::size_t id_;
+  std::size_t last_inbox_size_ = 0;
+};
+
+TEST(Delays, NeverBelowFloor) {
+  const std::size_t n = 6;
+  const std::size_t t = 1;
+  std::vector<std::unique_ptr<CountingProcess>> procs;
+  std::vector<HonestProcess*> pointers;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<CountingProcess>(i));
+    pointers.push_back(procs.back().get());
+  }
+  NoAdversary inner;
+  // Request to delay EVERY honest message; the floor must clamp.
+  DelayingAdversary adversary(inner, 1.0, 7);
+  SyncNetwork net(pointers, adversary, nullptr, n - t);
+  net.run(4);
+  for (const auto& p : procs) {
+    EXPECT_EQ(p->last_inbox_size(), n - t);
+  }
+  EXPECT_GT(net.stats().messages_delayed, 0u);
+}
+
+TEST(Delays, DefaultNetworkIgnoresDelayRequests) {
+  const std::size_t n = 4;
+  std::vector<std::unique_ptr<CountingProcess>> procs;
+  std::vector<HonestProcess*> pointers;
+  for (std::size_t i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<CountingProcess>(i));
+    pointers.push_back(procs.back().get());
+  }
+  NoAdversary inner;
+  DelayingAdversary adversary(inner, 1.0, 7);
+  SyncNetwork net(pointers, adversary);  // no min_inbox: full synchrony
+  net.run_round();
+  for (const auto& p : procs) {
+    EXPECT_EQ(p->last_inbox_size(), n);
+  }
+  EXPECT_EQ(net.stats().messages_delayed, 0u);
+}
+
+TEST(Delays, ZeroProbabilityDelaysNothing) {
+  NoAdversary inner;
+  DelayingAdversary adversary(inner, 0.0, 3);
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_FALSE(adversary.delays_honest(s, r, 0));
+    }
+  }
+}
+
+TEST(Delays, InvalidProbabilityThrows) {
+  NoAdversary inner;
+  EXPECT_THROW(DelayingAdversary(inner, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(DelayingAdversary(inner, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Delays, DecisionIsDeterministicAndOrderFree) {
+  NoAdversary inner;
+  DelayingAdversary a(inner, 0.5, 99);
+  DelayingAdversary b(inner, 0.5, 99);
+  // Query in different orders; decisions must match link-by-link.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(a.delays_honest(s, 0, r), b.delays_honest(s, 0, r));
+    }
+  }
+  EXPECT_EQ(a.delays_honest(2, 1, 0), b.delays_honest(2, 1, 0));
+}
+
+TEST(Delays, WrapsInnerByzantineBehaviour) {
+  FixedVectorAdversary inner({2}, {9.0});
+  DelayingAdversary adversary(inner, 0.3, 5);
+  EXPECT_TRUE(adversary.is_byzantine(2));
+  EXPECT_FALSE(adversary.is_byzantine(0));
+  const auto v = adversary.byzantine_value(2, 0, {});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ((*v)[0], 9.0);
+}
+
+TEST(Delays, BoxGeomAgreementStillConvergesUnderDelays) {
+  // Theorem 4.4's proof explicitly covers unequal inbox sizes m_i != m_j;
+  // the protocol must converge with random honest delays down to n - t.
+  Rng rng(11);
+  const std::size_t n = 10;
+  const std::size_t t = 2;
+  VectorList inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back({rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)});
+  }
+  SignFlipAdversary byz({8, 9});
+  DelayingAdversary adversary(byz, 0.4, 13);
+  AgreementConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.round_function = make_round_function("BOX-GEOM");
+  cfg.epsilon = 1e-4;
+  cfg.max_rounds = 80;
+  const auto result = run_approximate_agreement(inputs, adversary, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.network.messages_delayed, 0u);
+  // Validity still holds.
+  VectorList honest_inputs(inputs.begin(), inputs.begin() + (n - t));
+  const Hyperbox box = Hyperbox::bounding(honest_inputs);
+  for (const auto& out : result.outputs) {
+    EXPECT_TRUE(box.contains(out, 1e-6));
+  }
+}
+
+TEST(Delays, EmaxStillHalvesUnderDelays) {
+  Rng rng(12);
+  const std::size_t n = 10;
+  VectorList inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back({rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0),
+                      rng.uniform(-3.0, 3.0)});
+  }
+  SignFlipAdversary byz({8, 9});
+  DelayingAdversary adversary(byz, 0.3, 17);
+  AgreementConfig cfg;
+  cfg.n = n;
+  cfg.t = 2;
+  cfg.round_function = make_round_function("BOX-GEOM");
+  cfg.epsilon = 0.0;
+  const auto result = run_fixed_rounds_agreement(inputs, adversary, 6, cfg);
+  const auto& edges = result.trace.honest_max_edge;
+  for (std::size_t r = 0; r + 1 < edges.size(); ++r) {
+    EXPECT_LE(edges[r + 1], 0.5 * edges[r] + 1e-9);
+  }
+}
+
+// --- non-finite input hardening ---
+
+class FiniteInputTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FiniteInputTest, NonFiniteInputsRejected) {
+  const auto rule = make_rule(GetParam());
+  AggregationContext ctx;
+  ctx.n = 4;
+  ctx.t = 1;
+  VectorList nan_inputs{{0.0}, {1.0}, {std::nan("")}, {2.0}};
+  VectorList inf_inputs{{0.0}, {1.0},
+                        {std::numeric_limits<double>::infinity()}, {2.0}};
+  EXPECT_THROW(rule->aggregate(nan_inputs, ctx), std::invalid_argument);
+  EXPECT_THROW(rule->aggregate(inf_inputs, ctx), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, FiniteInputTest,
+                         ::testing::ValuesIn(all_rule_names()));
+
+// --- IDX loader ---
+
+ml::Dataset tiny_gray_dataset() {
+  ml::Dataset data;
+  data.channels = 1;
+  data.height = 2;
+  data.width = 3;
+  data.num_classes = 3;
+  Rng rng(5);
+  for (int i = 0; i < 7; ++i) {
+    Vector img(6);
+    for (auto& v : img) v = rng.uniform();
+    data.images.push_back(img);
+    data.labels.push_back(static_cast<std::uint8_t>(i % 3));
+  }
+  return data;
+}
+
+TEST(Idx, RoundTripPreservesShapeLabelsAndPixels) {
+  const ml::Dataset original = tiny_gray_dataset();
+  const auto bytes = ml::to_idx(original);
+  const ml::Dataset parsed = ml::parse_idx(bytes.images, bytes.labels);
+  EXPECT_EQ(parsed.height, original.height);
+  EXPECT_EQ(parsed.width, original.width);
+  EXPECT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.labels, original.labels);
+  EXPECT_EQ(parsed.num_classes, original.num_classes);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    for (std::size_t p = 0; p < 6; ++p) {
+      // 8-bit quantization error only.
+      EXPECT_NEAR(parsed.images[i][p], original.images[i][p], 1.0 / 255.0);
+    }
+  }
+}
+
+TEST(Idx, FileRoundTrip) {
+  const ml::Dataset original = tiny_gray_dataset();
+  const auto bytes = ml::to_idx(original);
+  const std::string img_path = "/tmp/bcl_idx_images_test";
+  const std::string lbl_path = "/tmp/bcl_idx_labels_test";
+  {
+    std::ofstream fi(img_path, std::ios::binary);
+    fi << bytes.images;
+    std::ofstream fl(lbl_path, std::ios::binary);
+    fl << bytes.labels;
+  }
+  const ml::Dataset loaded = ml::load_idx_dataset(img_path, lbl_path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.labels, original.labels);
+  std::remove(img_path.c_str());
+  std::remove(lbl_path.c_str());
+}
+
+TEST(Idx, RejectsBadMagic) {
+  const auto bytes = ml::to_idx(tiny_gray_dataset());
+  std::string corrupted = bytes.images;
+  corrupted[3] = 0x01;  // wrong magic
+  EXPECT_THROW(ml::parse_idx(corrupted, bytes.labels), std::runtime_error);
+  std::string bad_labels = bytes.labels;
+  bad_labels[3] = 0x03;
+  EXPECT_THROW(ml::parse_idx(bytes.images, bad_labels), std::runtime_error);
+}
+
+TEST(Idx, RejectsCountMismatchAndTruncation) {
+  const auto bytes = ml::to_idx(tiny_gray_dataset());
+  std::string fewer_labels = bytes.labels;
+  fewer_labels[7] = 0x03;  // claim 3 labels instead of 7
+  EXPECT_THROW(ml::parse_idx(bytes.images, fewer_labels),
+               std::runtime_error);
+  std::string truncated = bytes.images.substr(0, bytes.images.size() - 2);
+  EXPECT_THROW(ml::parse_idx(truncated, bytes.labels), std::runtime_error);
+  EXPECT_THROW(ml::parse_idx("", bytes.labels), std::runtime_error);
+}
+
+TEST(Idx, MissingFileThrows) {
+  EXPECT_THROW(ml::load_idx_dataset("/nonexistent/img", "/nonexistent/lbl"),
+               std::runtime_error);
+}
+
+TEST(Idx, ColorDatasetRejectedByExporter) {
+  ml::Dataset color;
+  color.channels = 3;
+  color.height = color.width = 2;
+  EXPECT_THROW(ml::to_idx(color), std::invalid_argument);
+}
+
+TEST(Idx, LoadedDatasetFeedsBatchPipeline) {
+  const ml::Dataset original = tiny_gray_dataset();
+  const auto bytes = ml::to_idx(original);
+  const ml::Dataset parsed = ml::parse_idx(bytes.images, bytes.labels);
+  const auto batch = parsed.batch({0, 2, 4});
+  EXPECT_EQ(batch.shape(), (std::vector<std::size_t>{3, 6}));
+  EXPECT_EQ(parsed.batch_labels({1, 3}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace bcl
