@@ -12,16 +12,23 @@ namespace bcl {
 VectorList subset_aggregates(
     const VectorList& received, std::size_t keep, ThreadPool* pool,
     const std::function<Vector(const VectorList&)>& subset_aggregate) {
-  const auto combos = all_combinations(received.size(), keep);
-  VectorList points(combos.size());
-  auto compute = [&](std::size_t c) {
-    points[c] = subset_aggregate(gather(received, combos[c]));
-  };
-  if (pool != nullptr && combos.size() > 1) {
-    pool->parallel_for(0, combos.size(), compute);
-  } else {
-    for (std::size_t c = 0; c < combos.size(); ++c) compute(c);
+  if (pool != nullptr && received.size() > keep) {
+    // Materialize the index sets so disjoint chunks can run on the pool.
+    const auto combos = all_combinations(received.size(), keep);
+    VectorList points(combos.size());
+    pool->parallel_for(0, combos.size(), [&](std::size_t c) {
+      points[c] = subset_aggregate(gather(received, combos[c]));
+    });
+    return points;
   }
+  // Serial path: stream the combinations without materializing them.
+  VectorList points;
+  points.reserve(static_cast<std::size_t>(
+      binomial(received.size(), keep)));
+  for_each_combination(received.size(), keep,
+                       [&](const std::vector<std::size_t>& idx) {
+                         points.push_back(subset_aggregate(gather(received, idx)));
+                       });
   return points;
 }
 
@@ -56,19 +63,35 @@ Vector hyperbox_aggregate(
   return intersection->midpoint();
 }
 
+namespace {
+
+// The workspace form of the box rules: identical computation, with the
+// workspace's pool (when attached) taking precedence for the subset fan-out.
+AggregationContext with_workspace_pool(const AggregationContext& ctx,
+                                       AggregationWorkspace& workspace) {
+  AggregationContext out = ctx;
+  if (workspace.pool() != nullptr) out.pool = workspace.pool();
+  return out;
+}
+
+}  // namespace
+
 Vector BoxMeanRule::aggregate(const VectorList& received,
+                              AggregationWorkspace& workspace,
                               const AggregationContext& ctx) const {
   validate(received, ctx);
-  return hyperbox_aggregate(received, ctx,
+  return hyperbox_aggregate(received, with_workspace_pool(ctx, workspace),
                             [](const VectorList& subset) { return mean(subset); });
 }
 
 Vector BoxGeoMedianRule::aggregate(const VectorList& received,
+                                   AggregationWorkspace& workspace,
                                    const AggregationContext& ctx) const {
   validate(received, ctx);
   const WeiszfeldOptions options = options_;
   return hyperbox_aggregate(
-      received, ctx, [options](const VectorList& subset) {
+      received, with_workspace_pool(ctx, workspace),
+      [options](const VectorList& subset) {
         return geometric_median_point(subset, options);
       });
 }

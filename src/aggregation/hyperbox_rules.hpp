@@ -38,11 +38,15 @@ Vector hyperbox_aggregate(
     const VectorList& received, const AggregationContext& ctx,
     const std::function<Vector(const VectorList&)>& subset_aggregate);
 
-/// BOX-MEAN: hyperbox rule with subset means.
+/// BOX-MEAN: hyperbox rule with subset means.  The subset enumeration is
+/// not distance-based, but the workspace form still routes the subset fan
+/// out through the workspace's pool so a round that built a workspace once
+/// drives every rule with the same worker configuration.
 class BoxMeanRule final : public AggregationRule {
  public:
   std::string name() const override { return "BOX-MEAN"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 };
 
@@ -52,7 +56,8 @@ class BoxGeoMedianRule final : public AggregationRule {
   explicit BoxGeoMedianRule(WeiszfeldOptions options = {})
       : options_(options) {}
   std::string name() const override { return "BOX-GEOM"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:

@@ -7,9 +7,14 @@
 
 namespace bcl {
 
-std::vector<double> krum_scores(const VectorList& received,
-                                std::size_t closest, KrumScore flavour) {
-  const std::size_t m = received.size();
+namespace {
+
+// Shared scoring kernel: `pair_score(i, j)` yields the (squared) distance
+// between vectors i and j.  Keeping one kernel for both entry points
+// guarantees the matrix-based and legacy scores are bitwise identical.
+template <typename PairScore>
+std::vector<double> krum_scores_impl(std::size_t m, std::size_t closest,
+                                     PairScore&& pair_score) {
   if (closest >= m) {
     throw std::invalid_argument("krum_scores: closest must be < m");
   }
@@ -20,8 +25,7 @@ std::vector<double> krum_scores(const VectorList& received,
     dists.clear();
     for (std::size_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      const double d2 = distance_squared(received[i], received[j]);
-      dists.push_back(flavour == KrumScore::Squared ? d2 : std::sqrt(d2));
+      dists.push_back(pair_score(i, j));
     }
     std::partial_sort(dists.begin(),
                       dists.begin() + static_cast<long>(closest),
@@ -33,27 +37,53 @@ std::vector<double> krum_scores(const VectorList& received,
   return scores;
 }
 
+std::size_t closest_count(const VectorList& received,
+                          const AggregationContext& ctx) {
+  // C_i contains the n - t - 1 closest vectors to v_i (Equation 3).
+  return std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+}
+
+}  // namespace
+
+std::vector<double> krum_scores(const VectorList& received,
+                                std::size_t closest, KrumScore flavour) {
+  return krum_scores_impl(
+      received.size(), closest, [&](std::size_t i, std::size_t j) {
+        const double d2 = distance_squared(received[i], received[j]);
+        return flavour == KrumScore::Squared ? d2 : std::sqrt(d2);
+      });
+}
+
+std::vector<double> krum_scores(const DistanceMatrix& dist,
+                                std::size_t closest, KrumScore flavour) {
+  return krum_scores_impl(dist.size(), closest,
+                          [&](std::size_t i, std::size_t j) {
+                            return flavour == KrumScore::Squared
+                                       ? dist.dist2(i, j)
+                                       : dist.dist(i, j);
+                          });
+}
+
 Vector KrumRule::aggregate(const VectorList& received,
+                           AggregationWorkspace& workspace,
                            const AggregationContext& ctx) const {
   validate(received, ctx);
-  // C_i contains the n - t - 1 closest vectors to v_i (Equation 3).
-  const std::size_t closest =
-      std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+  const std::size_t closest = closest_count(received, ctx);
   if (closest == 0) return received.front();
-  const auto scores = krum_scores(received, closest, flavour_);
+  const auto scores = krum_scores(workspace.distances(), closest, flavour_);
   const std::size_t best = static_cast<std::size_t>(
       std::min_element(scores.begin(), scores.end()) - scores.begin());
   return received[best];
 }
 
 Vector MultiKrumRule::aggregate(const VectorList& received,
+                                AggregationWorkspace& workspace,
                                 const AggregationContext& ctx) const {
   validate(received, ctx);
   if (q_ == 0) throw std::invalid_argument("MultiKrum: q must be positive");
-  const std::size_t closest =
-      std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+  const std::size_t closest = closest_count(received, ctx);
   if (closest == 0) return received.front();
-  const auto scores = krum_scores(received, closest, flavour_);
+  const auto scores = krum_scores(workspace.distances(), closest, flavour_);
   std::vector<std::size_t> order(received.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

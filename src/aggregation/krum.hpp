@@ -22,12 +22,18 @@ enum class KrumScore { Euclidean, Squared };
 std::vector<double> krum_scores(const VectorList& received,
                                 std::size_t closest, KrumScore flavour);
 
+/// Krum scores from a precomputed pairwise distance matrix; identical to
+/// the VectorList form, without the O(m^2 * d) distance recomputation.
+std::vector<double> krum_scores(const DistanceMatrix& dist,
+                                std::size_t closest, KrumScore flavour);
+
 class KrumRule final : public AggregationRule {
  public:
   explicit KrumRule(KrumScore flavour = KrumScore::Euclidean)
       : flavour_(flavour) {}
   std::string name() const override { return "KRUM"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:
@@ -44,7 +50,8 @@ class MultiKrumRule final : public AggregationRule {
   std::string name() const override {
     return "MULTIKRUM-" + std::to_string(q_);
   }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:

@@ -6,16 +6,18 @@
 namespace bcl {
 
 Vector MinimumDiameterMeanRule::aggregate(const VectorList& received,
+                                          AggregationWorkspace& workspace,
                                           const AggregationContext& ctx) const {
   validate(received, ctx);
-  const auto md = min_diameter_subset(received, ctx.keep());
+  const auto md = min_diameter_subset(workspace.distances(), ctx.keep());
   return mean(gather(received, md.indices));
 }
 
 Vector MinimumDiameterGeoMedianRule::aggregate(
-    const VectorList& received, const AggregationContext& ctx) const {
+    const VectorList& received, AggregationWorkspace& workspace,
+    const AggregationContext& ctx) const {
   validate(received, ctx);
-  const auto md = min_diameter_subset(received, ctx.keep());
+  const auto md = min_diameter_subset(workspace.distances(), ctx.keep());
   return geometric_median_point(gather(received, md.indices), options_);
 }
 

@@ -18,7 +18,8 @@ namespace bcl {
 class MinimumDiameterMeanRule final : public AggregationRule {
  public:
   std::string name() const override { return "MD-MEAN"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 };
 
@@ -29,7 +30,8 @@ class MinimumDiameterGeoMedianRule final : public AggregationRule {
   explicit MinimumDiameterGeoMedianRule(WeiszfeldOptions options = {})
       : options_(options) {}
   std::string name() const override { return "MD-GEOM"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:

@@ -21,6 +21,7 @@ class RfaRule final : public AggregationRule {
   explicit RfaRule(double nu = 1e-6, WeiszfeldOptions options = {})
       : nu_(nu), options_(options) {}
   std::string name() const override { return "RFA"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 
@@ -38,6 +39,7 @@ class CenteredClippingRule final : public AggregationRule {
                                 double tau_scale = 1.0)
       : iterations_(iterations), tau_scale_(tau_scale) {}
   std::string name() const override { return "CCLIP"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 
@@ -51,6 +53,7 @@ class CenteredClippingRule final : public AggregationRule {
 class NormClippingRule final : public AggregationRule {
  public:
   std::string name() const override { return "NORM-CLIP"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 };

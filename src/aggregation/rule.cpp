@@ -5,6 +5,37 @@
 
 namespace bcl {
 
+Vector AggregationRule::aggregate(const VectorList& received,
+                                  const AggregationContext& ctx) const {
+  AggregationWorkspace workspace(received, ctx.pool);
+  return aggregate(received, workspace, ctx);
+}
+
+Vector AggregationRule::aggregate(const VectorList& received,
+                                  AggregationWorkspace& workspace,
+                                  const AggregationContext& ctx) const {
+  if (workspace.size() != received.size()) {
+    throw std::invalid_argument(
+        "aggregate: workspace was built over a different inbox");
+  }
+  // The two aggregate() defaults adapt to each other; a rule implementing
+  // neither would bounce between them forever.  Detect the re-entry and
+  // fail loudly instead.
+  thread_local const AggregationRule* adapting = nullptr;
+  if (adapting == this) {
+    throw std::logic_error(
+        "AggregationRule: rule overrides neither aggregate() form");
+  }
+  const AggregationRule* const previous = adapting;
+  adapting = this;
+  struct Reset {
+    const AggregationRule** slot;
+    const AggregationRule* saved;
+    ~Reset() { *slot = saved; }
+  } reset{&adapting, previous};
+  return aggregate(received, ctx);
+}
+
 std::size_t AggregationRule::validate(const VectorList& received,
                                       const AggregationContext& ctx) {
   if (ctx.n == 0) {

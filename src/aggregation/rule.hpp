@@ -6,12 +6,26 @@
 // centralized model the server applies a rule once per learning round; in
 // the decentralized model every node applies a rule once per agreement
 // sub-round (Section 2.1 of the paper).
+//
+// Rules have two entry points.  The legacy single-inbox form
+// aggregate(received, ctx) stands alone; the workspace form
+// aggregate(received, workspace, ctx) additionally receives the per-inbox
+// AggregationWorkspace so distance-based rules share one pairwise
+// DistanceMatrix instead of each recomputing it.  A rule overrides
+// whichever form is natural (at least one): the base class adapts each
+// form to the other — the legacy default builds a fresh lazy workspace and
+// dispatches to the workspace form; the workspace default ignores the
+// workspace and dispatches to the legacy form — so both entry points work
+// on every rule and produce identical outputs.  Overriding one form hides
+// the base overload set on the concrete class, so rule classes re-expose
+// it with `using AggregationRule::aggregate;`.
 
 #include <cstddef>
 #include <memory>
 #include <string>
 
 #include "linalg/vector_ops.hpp"
+#include "linalg/workspace.hpp"
 
 namespace bcl {
 
@@ -32,7 +46,7 @@ struct AggregationContext {
 
 /// Interface for one-shot aggregation.  Implementations are stateless and
 /// thread-compatible: a single instance may be used concurrently from many
-/// nodes.
+/// nodes (each node passes its own workspace).
 class AggregationRule {
  public:
   virtual ~AggregationRule() = default;
@@ -42,9 +56,20 @@ class AggregationRule {
   virtual std::string name() const = 0;
 
   /// Aggregates the received vectors.  `received.size()` must be at least
-  /// ctx.keep(); rules throw std::invalid_argument otherwise.
+  /// ctx.keep(); rules throw std::invalid_argument otherwise.  The default
+  /// builds a fresh lazy workspace (with ctx.pool attached) and dispatches
+  /// to the workspace form.
   virtual Vector aggregate(const VectorList& received,
-                           const AggregationContext& ctx) const = 0;
+                           const AggregationContext& ctx) const;
+
+  /// Workspace-aware aggregation: `workspace` must have been constructed
+  /// over `received`.  The default adapter ignores the workspace and calls
+  /// the legacy form, so rules that never consume pairwise distances need
+  /// not override it.  A rule overriding neither form gets a
+  /// std::logic_error instead of unbounded mutual recursion.
+  virtual Vector aggregate(const VectorList& received,
+                           AggregationWorkspace& workspace,
+                           const AggregationContext& ctx) const;
 
  protected:
   /// Shared argument validation: non-empty, same dimension, enough vectors.

@@ -20,9 +20,10 @@ Vector GeometricMedianRule::aggregate(const VectorList& received,
 }
 
 Vector MedoidRule::aggregate(const VectorList& received,
+                             AggregationWorkspace& workspace,
                              const AggregationContext& ctx) const {
   validate(received, ctx);
-  return medoid(received);
+  return received[medoid_index(workspace.distances())];
 }
 
 Vector CoordinatewiseMedianRule::aggregate(

@@ -16,6 +16,7 @@ namespace bcl {
 class MeanRule final : public AggregationRule {
  public:
   std::string name() const override { return "MEAN"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 };
@@ -26,6 +27,7 @@ class GeometricMedianRule final : public AggregationRule {
   explicit GeometricMedianRule(WeiszfeldOptions options = {})
       : options_(options) {}
   std::string name() const override { return "GEOMED"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 
@@ -34,11 +36,12 @@ class GeometricMedianRule final : public AggregationRule {
 };
 
 /// Medoid of everything received (geometric medoid rule of El-Mhamdi et
-/// al.).
+/// al.).  Distance-based, so it participates in the shared workspace.
 class MedoidRule final : public AggregationRule {
  public:
   std::string name() const override { return "MEDOID"; }
-  Vector aggregate(const VectorList& received,
+  using AggregationRule::aggregate;
+  Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 };
 
@@ -46,6 +49,7 @@ class MedoidRule final : public AggregationRule {
 class CoordinatewiseMedianRule final : public AggregationRule {
  public:
   std::string name() const override { return "CW-MEDIAN"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 };
@@ -55,6 +59,7 @@ class CoordinatewiseMedianRule final : public AggregationRule {
 class TrimmedMeanRule final : public AggregationRule {
  public:
   std::string name() const override { return "TRIM-MEAN"; }
+  using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
 };

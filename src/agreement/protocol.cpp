@@ -3,7 +3,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "linalg/distance_matrix.hpp"
 #include "linalg/hyperbox.hpp"
+#include "linalg/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -23,7 +25,12 @@ class AgreementNode final : public HonestProcess {
   Vector outgoing(std::size_t /*round*/) const override { return current_; }
 
   void receive(std::size_t /*round*/, const std::vector<Message>& inbox) override {
-    current_ = round_function_->step(payloads(inbox), current_, ctx_);
+    // One workspace per inbox: every distance consumer inside the round
+    // function (Krum scores, medoid, minimum-diameter search, tie
+    // enumeration) shares a single pairwise matrix for this sub-round.
+    const VectorList received = payloads(inbox);
+    AggregationWorkspace workspace(received, ctx_.pool);
+    current_ = round_function_->step(received, workspace, current_, ctx_);
   }
 
   const Vector& current() const { return current_; }
@@ -84,7 +91,10 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
 
   auto record_trace = [&] {
     const VectorList current = honest_vectors(nodes);
-    result.trace.honest_diameter.push_back(diameter(current));
+    // The convergence check is itself a pairwise-distance computation;
+    // build it through the shared kernel (pool-parallel when configured).
+    result.trace.honest_diameter.push_back(
+        DistanceMatrix(current, config.pool).diameter());
     result.trace.honest_max_edge.push_back(
         Hyperbox::bounding(current).max_edge());
   };

@@ -9,6 +9,17 @@
 
 namespace bcl {
 
+Vector RoundFunction::step(const VectorList& received,
+                           AggregationWorkspace& workspace,
+                           const Vector& current,
+                           const AggregationContext& ctx) const {
+  if (workspace.size() != received.size()) {
+    throw std::invalid_argument(
+        "RoundFunction::step: workspace was built over a different inbox");
+  }
+  return step(received, current, ctx);
+}
+
 RuleRound::RuleRound(AggregationRulePtr rule) : rule_(std::move(rule)) {
   if (!rule_) throw std::invalid_argument("RuleRound: null rule");
 }
@@ -20,25 +31,50 @@ Vector RuleRound::step(const VectorList& received, const Vector& /*current*/,
   return rule_->aggregate(received, ctx);
 }
 
+Vector RuleRound::step(const VectorList& received,
+                       AggregationWorkspace& workspace,
+                       const Vector& /*current*/,
+                       const AggregationContext& ctx) const {
+  return rule_->aggregate(received, workspace, ctx);
+}
+
+namespace {
+
+Vector sticky_step(const VectorList& received, const DistanceMatrix& dist,
+                   const Vector& current, const AggregationContext& ctx,
+                   const WeiszfeldOptions& options) {
+  const auto tied = min_diameter_subsets(dist, ctx.keep());
+  Vector best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : tied) {
+    const Vector median =
+        geometric_median_point(gather(received, candidate.indices), options);
+    const double d = distance(median, current);
+    if (d < best_dist) {
+      best_dist = d;
+      best = median;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 Vector StickyMinDiameterGeoRound::step(const VectorList& received,
+                                       const Vector& current,
+                                       const AggregationContext& ctx) const {
+  AggregationWorkspace workspace(received, ctx.pool);
+  return step(received, workspace, current, ctx);
+}
+
+Vector StickyMinDiameterGeoRound::step(const VectorList& received,
+                                       AggregationWorkspace& workspace,
                                        const Vector& current,
                                        const AggregationContext& ctx) const {
   if (received.size() < ctx.keep()) {
     throw std::invalid_argument("StickyMinDiameterGeoRound: too few vectors");
   }
-  const auto tied = min_diameter_subsets(received, ctx.keep());
-  Vector best;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (const auto& candidate : tied) {
-    const Vector median =
-        geometric_median_point(gather(received, candidate.indices), options_);
-    const double dist = distance(median, current);
-    if (dist < best_dist) {
-      best_dist = dist;
-      best = median;
-    }
-  }
-  return best;
+  return sticky_step(received, workspace.distances(), current, ctx, options_);
 }
 
 RoundFunctionPtr make_round_function(const std::string& rule_name) {

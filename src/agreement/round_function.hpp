@@ -25,6 +25,13 @@ class RoundFunction {
   /// node's own vector at the start of the round.
   virtual Vector step(const VectorList& received, const Vector& current,
                       const AggregationContext& ctx) const = 0;
+  /// Workspace-aware step: `workspace` was built over `received` by the
+  /// protocol, so every distance consumer in the round shares one pairwise
+  /// matrix.  Default adapter ignores the workspace and calls the legacy
+  /// step.
+  virtual Vector step(const VectorList& received,
+                      AggregationWorkspace& workspace, const Vector& current,
+                      const AggregationContext& ctx) const;
 };
 
 using RoundFunctionPtr = std::shared_ptr<const RoundFunction>;
@@ -35,6 +42,9 @@ class RuleRound final : public RoundFunction {
   explicit RuleRound(AggregationRulePtr rule);
   std::string name() const override;
   Vector step(const VectorList& received, const Vector& current,
+              const AggregationContext& ctx) const override;
+  Vector step(const VectorList& received, AggregationWorkspace& workspace,
+              const Vector& current,
               const AggregationContext& ctx) const override;
 
  private:
@@ -52,6 +62,9 @@ class StickyMinDiameterGeoRound final : public RoundFunction {
       : options_(options) {}
   std::string name() const override { return "MD-GEOM-STICKY"; }
   Vector step(const VectorList& received, const Vector& current,
+              const AggregationContext& ctx) const override;
+  Vector step(const VectorList& received, AggregationWorkspace& workspace,
+              const Vector& current,
               const AggregationContext& ctx) const override;
 
  private:

@@ -35,9 +35,11 @@
 #include "learning/client.hpp"
 #include "learning/config.hpp"
 #include "learning/decentralized.hpp"
+#include "linalg/distance_matrix.hpp"
 #include "linalg/hyperbox.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/vector_ops.hpp"
+#include "linalg/workspace.hpp"
 #include "ml/architectures.hpp"
 #include "aggregation/robust_baselines.hpp"
 #include "ml/dataset.hpp"

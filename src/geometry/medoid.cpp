@@ -15,19 +15,33 @@ double medoid_score(const VectorList& points, std::size_t i) {
   return s;
 }
 
-std::size_t medoid_index(const VectorList& points) {
-  if (points.empty()) throw std::invalid_argument("medoid of empty list");
-  check_same_dimension(points);
+double medoid_score(const DistanceMatrix& dist, std::size_t i) {
+  if (i >= dist.size()) {
+    throw std::invalid_argument("medoid_score: index out of range");
+  }
+  return dist.row_sum(i);
+}
+
+std::size_t medoid_index(const DistanceMatrix& dist) {
+  if (dist.empty()) throw std::invalid_argument("medoid of empty list");
   std::size_t best = 0;
-  double best_score = medoid_score(points, 0);
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    const double s = medoid_score(points, i);
+  double best_score = dist.row_sum(0);
+  for (std::size_t i = 1; i < dist.size(); ++i) {
+    const double s = dist.row_sum(i);
     if (s < best_score) {
       best_score = s;
       best = i;
     }
   }
   return best;
+}
+
+std::size_t medoid_index(const VectorList& points) {
+  if (points.empty()) throw std::invalid_argument("medoid of empty list");
+  check_same_dimension(points);
+  // Build the shared matrix once: each pair is measured a single time
+  // instead of twice (score(i) and score(j) both touching d(i, j)).
+  return medoid_index(DistanceMatrix(points));
 }
 
 Vector medoid(const VectorList& points) {

@@ -2,9 +2,15 @@
 // Medoid: the input point minimizing the sum of Euclidean distances to all
 // other input points.  Used by the Krum family (Section 2.2) and by the
 // medoid aggregation rule of El-Mhamdi et al.
+//
+// Both entry points exist in two forms: the legacy VectorList form, which
+// computes the distances it needs on the fly, and a DistanceMatrix form for
+// callers that already paid for the shared pairwise matrix (one inbox, many
+// rules).  The two produce bitwise-identical results.
 
 #include <cstddef>
 
+#include "linalg/distance_matrix.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
@@ -12,10 +18,17 @@ namespace bcl {
 /// Index of the medoid of a non-empty list (ties broken by lowest index).
 std::size_t medoid_index(const VectorList& points);
 
+/// Medoid index from a precomputed distance matrix (ties broken by lowest
+/// index).  Throws std::invalid_argument on an empty matrix.
+std::size_t medoid_index(const DistanceMatrix& dist);
+
 /// The medoid point itself.
 Vector medoid(const VectorList& points);
 
 /// Sum of distances from points[i] to every other point.
 double medoid_score(const VectorList& points, std::size_t i);
+
+/// Same score looked up in a precomputed distance matrix.
+double medoid_score(const DistanceMatrix& dist, std::size_t i);
 
 }  // namespace bcl

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -13,7 +12,7 @@ namespace {
 struct SearchState {
   std::size_t m = 0;
   std::size_t k = 0;
-  const std::vector<std::vector<double>>* dist = nullptr;
+  const DistanceMatrix* dist = nullptr;
   std::vector<std::size_t> current;
   double current_diam = 0.0;
   std::vector<std::size_t> best;
@@ -34,7 +33,7 @@ void search(SearchState& s, std::size_t next) {
   for (std::size_t i = next; i + needed <= s.m; ++i) {
     double new_diam = s.current_diam;
     for (std::size_t j : s.current) {
-      new_diam = std::max(new_diam, (*s.dist)[i][j]);
+      new_diam = std::max(new_diam, s.dist->dist(i, j));
     }
     if (new_diam >= s.best_diam) continue;  // prune
     s.current.push_back(i);
@@ -46,60 +45,45 @@ void search(SearchState& s, std::size_t next) {
   }
 }
 
-}  // namespace
-
-std::vector<MinDiameterResult> min_diameter_subsets(const VectorList& points,
-                                                    std::size_t k,
-                                                    double rel_tol) {
-  const MinDiameterResult best = min_diameter_subset(points, k);
-  const double limit = best.diameter * (1.0 + rel_tol) + 1e-300;
-  std::vector<MinDiameterResult> out;
-  const std::size_t m = points.size();
-  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      dist[i][j] = dist[j][i] = distance(points[i], points[j]);
-    }
+void check_subset_size(std::size_t k, std::size_t m) {
+  if (k == 0 || k > m) {
+    throw std::invalid_argument("min_diameter_subset: invalid subset size");
   }
+}
+
+// Depth-first enumeration keeping every subset whose running diameter stays
+// within `limit`.
+template <typename Visit>
+void enumerate_within(const DistanceMatrix& dist, std::size_t k, double limit,
+                      Visit&& visit) {
+  const std::size_t m = dist.size();
   std::vector<std::size_t> current;
   current.reserve(k);
-  // Depth-first enumeration keeping every subset whose running diameter
-  // stays within the tolerance band of the optimum.
-  std::function<void(std::size_t, double)> visit = [&](std::size_t next,
-                                                       double diam) {
+  const auto recurse = [&](auto&& self, std::size_t next, double diam) -> void {
     if (current.size() == k) {
-      out.push_back(MinDiameterResult{current, diam});
+      visit(current, diam);
       return;
     }
     const std::size_t needed = k - current.size();
     for (std::size_t i = next; i + needed <= m; ++i) {
       double new_diam = diam;
-      for (std::size_t j : current) new_diam = std::max(new_diam, dist[i][j]);
+      for (std::size_t j : current) new_diam = std::max(new_diam, dist.dist(i, j));
       if (new_diam > limit) continue;
       current.push_back(i);
-      visit(i + 1, new_diam);
+      self(self, i + 1, new_diam);
       current.pop_back();
     }
   };
-  visit(0, 0.0);
-  return out;
+  recurse(recurse, 0, 0.0);
 }
 
-MinDiameterResult min_diameter_subset(const VectorList& points,
+}  // namespace
+
+MinDiameterResult min_diameter_subset(const DistanceMatrix& dist,
                                       std::size_t k) {
-  const std::size_t m = points.size();
-  if (k == 0 || k > m) {
-    throw std::invalid_argument("min_diameter_subset: invalid subset size");
-  }
-  check_same_dimension(points);
-  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      dist[i][j] = dist[j][i] = distance(points[i], points[j]);
-    }
-  }
+  check_subset_size(k, dist.size());
   SearchState s;
-  s.m = m;
+  s.m = dist.size();
   s.k = k;
   s.dist = &dist;
   s.current.reserve(k);
@@ -110,6 +94,36 @@ MinDiameterResult min_diameter_subset(const VectorList& points,
                      ? 0.0
                      : s.best_diam;
   return out;
+}
+
+MinDiameterResult min_diameter_subset(const VectorList& points,
+                                      std::size_t k) {
+  check_subset_size(k, points.size());
+  check_same_dimension(points);
+  return min_diameter_subset(DistanceMatrix(points), k);
+}
+
+std::vector<MinDiameterResult> min_diameter_subsets(const DistanceMatrix& dist,
+                                                    std::size_t k,
+                                                    double rel_tol) {
+  const MinDiameterResult best = min_diameter_subset(dist, k);
+  const double limit = best.diameter * (1.0 + rel_tol) + 1e-300;
+  std::vector<MinDiameterResult> out;
+  enumerate_within(dist, k, limit,
+                   [&](const std::vector<std::size_t>& indices, double diam) {
+                     out.push_back(MinDiameterResult{indices, diam});
+                   });
+  return out;
+}
+
+std::vector<MinDiameterResult> min_diameter_subsets(const VectorList& points,
+                                                    std::size_t k,
+                                                    double rel_tol) {
+  check_subset_size(k, points.size());
+  check_same_dimension(points);
+  // One matrix now serves both the optimum search and the tie enumeration
+  // (the legacy code built the full distance set twice).
+  return min_diameter_subsets(DistanceMatrix(points), k, rel_tol);
 }
 
 }  // namespace bcl

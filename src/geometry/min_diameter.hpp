@@ -5,10 +5,17 @@
 // Euclidean distance.  The search is exhaustive over all C(m, k) subsets
 // with branch-and-bound pruning on the running diameter, which is exact and
 // fast for the paper's parameter regime (m <= ~20).
+//
+// The search itself only consumes pairwise distances, so both entry points
+// also accept a precomputed DistanceMatrix; the VectorList forms build the
+// matrix internally and delegate.  Sharing one matrix across the optimum
+// search, the tie enumeration, and any other rule in the round removes the
+// repeated O(m^2 * d) recomputation that used to dominate.
 
 #include <cstddef>
 #include <vector>
 
+#include "linalg/distance_matrix.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
@@ -25,11 +32,20 @@ struct MinDiameterResult {
 /// Throws if k == 0 or k > points.size().
 MinDiameterResult min_diameter_subset(const VectorList& points, std::size_t k);
 
+/// Same search over a precomputed pairwise distance matrix.
+MinDiameterResult min_diameter_subset(const DistanceMatrix& dist,
+                                      std::size_t k);
+
 /// All subsets of size k whose diameter is within (1 + rel_tol) of the
 /// minimum.  "Such a set is not unique" (Definition 3.4) — Lemma 4.2's
 /// adversary exploits exactly this freedom, so protocols that want a
 /// specific tie-breaking enumerate the tied sets with this helper.
 std::vector<MinDiameterResult> min_diameter_subsets(const VectorList& points,
+                                                    std::size_t k,
+                                                    double rel_tol = 1e-12);
+
+/// Tie enumeration over a precomputed pairwise distance matrix.
+std::vector<MinDiameterResult> min_diameter_subsets(const DistanceMatrix& dist,
                                                     std::size_t k,
                                                     double rel_tol = 1e-12);
 

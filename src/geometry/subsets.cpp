@@ -1,5 +1,6 @@
 #include "geometry/subsets.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -19,27 +20,6 @@ std::uint64_t binomial(std::size_t m, std::size_t k) {
     result = result * num / i;
   }
   return result;
-}
-
-void for_each_combination(
-    std::size_t m, std::size_t k,
-    const std::function<void(const std::vector<std::size_t>&)>& fn) {
-  if (k > m) return;
-  std::vector<std::size_t> idx(k);
-  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
-  if (k == 0) {
-    fn(idx);
-    return;
-  }
-  for (;;) {
-    fn(idx);
-    // Advance to the next combination in lexicographic order.
-    std::size_t i = k;
-    while (i > 0 && idx[i - 1] == m - k + (i - 1)) --i;
-    if (i == 0) break;
-    ++idx[i - 1];
-    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
-  }
 }
 
 std::vector<std::vector<std::size_t>> all_combinations(std::size_t m,

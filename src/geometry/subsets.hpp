@@ -8,7 +8,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace bcl {
@@ -19,10 +18,31 @@ std::uint64_t binomial(std::size_t m, std::size_t k);
 
 /// Calls fn(indices) once per k-subset of {0,...,m-1}, in lexicographic
 /// order.  `indices` is sorted ascending and owned by the iterator (do not
-/// retain the reference).
-void for_each_combination(
-    std::size_t m, std::size_t k,
-    const std::function<void(const std::vector<std::size_t>&)>& fn);
+/// retain the reference).  `fn` is a template parameter so the per-subset
+/// call inlines; the BOX-GEOM / MDA inner loops visit every subset and paid
+/// a type-erased std::function dispatch per visit before.
+template <typename Fn>
+void for_each_combination(std::size_t m, std::size_t k, Fn&& fn) {
+  if (k > m) return;
+  std::vector<std::size_t> idx(k);
+  // Expose the index buffer read-only so a callback cannot corrupt the
+  // enumeration state.
+  const std::vector<std::size_t>& view = idx;
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    fn(view);
+    return;
+  }
+  for (;;) {
+    fn(view);
+    // Advance to the next combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] == m - k + (i - 1)) --i;
+    if (i == 0) break;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
 
 /// All k-subsets materialized (use only for small C(m, k)).
 std::vector<std::vector<std::size_t>> all_combinations(std::size_t m,

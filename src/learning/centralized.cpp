@@ -82,8 +82,11 @@ TrainingResult CentralizedTrainer::run() {
       if (corrupted) submitted.push_back(*corrupted);
     }
 
-    // Server-side aggregation and SGD step.
-    const Vector aggregate = config_.rule->aggregate(submitted, ctx);
+    // Server-side aggregation and SGD step.  The workspace is built once
+    // per round over the submitted inbox; the rule and the heterogeneity
+    // metric below share its distance matrix.
+    AggregationWorkspace workspace(submitted, ctx.pool);
+    const Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
     const double lr = config_.schedule.rate(round);
     ml::sgd_step(global_params_, aggregate, lr);
 
@@ -96,6 +99,18 @@ TrainingResult CentralizedTrainer::run() {
     metrics.accuracy_min = metrics.accuracy;
     metrics.accuracy_max = metrics.accuracy;
     metrics.disagreement = 0.0;
+    // Honest submissions occupy the first n - f slots of `submitted`, so
+    // when the rule already built the shared matrix the metric is a free
+    // subset lookup; for distance-free rules compute it directly instead
+    // of forcing an O(m^2 * d) build over all submissions.
+    if (workspace.has_distances()) {
+      std::vector<std::size_t> honest_ids(n - f);
+      for (std::size_t i = 0; i < n - f; ++i) honest_ids[i] = i;
+      metrics.gradient_diameter =
+          workspace.distances().subset_diameter(honest_ids);
+    } else {
+      metrics.gradient_diameter = diameter(honest);
+    }
     result.history.push_back(metrics);
   }
   result.final_accuracy =

@@ -65,6 +65,10 @@ struct RoundMetrics {
   double learning_rate = 0.0;
   /// Diameter of honest gradient/output disagreement (0 for centralized).
   double disagreement = 0.0;
+  /// Diameter of the honest gradient set before aggregation/agreement,
+  /// read off the round's shared distance matrix (a direct measure of the
+  /// heterogeneity the robust rules must absorb).
+  double gradient_diameter = 0.0;
 };
 
 struct TrainingResult {

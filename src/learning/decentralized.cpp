@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "agreement/protocol.hpp"
+#include "linalg/distance_matrix.hpp"
 #include "network/adversary.hpp"
 #include "util/thread_pool.hpp"
 
@@ -96,6 +97,10 @@ TrainingResult DecentralizedTrainer::run() {
       honest_loss += estimates[i].loss;
     }
     honest_loss /= static_cast<double>(honest_count);
+    // Pairwise spread of the honest gradients entering agreement, via the
+    // shared (pool-parallel) distance kernel.
+    const double gradient_diameter =
+        DistanceMatrix(honest_gradients, config_.pool).diameter();
 
     // Phase 2: Byzantine clients fix their corrupted gradients for the
     // whole agreement phase of this learning round.
@@ -157,6 +162,7 @@ TrainingResult DecentralizedTrainer::run() {
     metrics.accuracy_min = lo;
     metrics.accuracy_max = hi;
     metrics.disagreement = agreed.trace.honest_diameter.back();
+    metrics.gradient_diameter = gradient_diameter;
     result.history.push_back(metrics);
   }
   result.final_accuracy =

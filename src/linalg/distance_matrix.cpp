@@ -1,0 +1,63 @@
+#include "linalg/distance_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+DistanceMatrix::DistanceMatrix(const VectorList& points, ThreadPool* pool)
+    : m_(points.size()) {
+  check_same_dimension(points);
+  d_.assign(m_ * m_, 0.0);
+  d2_.assign(m_ * m_, 0.0);
+  if (m_ < 2) return;
+  // Row i fills entries (i, j) and (j, i) for j > i, so every pair is
+  // written by exactly one task and the parallel build is race-free.
+  auto fill_row = [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < m_; ++j) {
+      const double s = distance_squared(points[i], points[j]);
+      const double e = std::sqrt(s);
+      d2_[i * m_ + j] = d2_[j * m_ + i] = s;
+      d_[i * m_ + j] = d_[j * m_ + i] = e;
+    }
+  };
+  if (pool != nullptr && m_ > 2) {
+    pool->parallel_for(0, m_ - 1, fill_row);
+  } else {
+    for (std::size_t i = 0; i + 1 < m_; ++i) fill_row(i);
+  }
+}
+
+double DistanceMatrix::row_sum(std::size_t i) const {
+  double s = 0.0;
+  const double* row = d_.data() + i * m_;
+  for (std::size_t j = 0; j < m_; ++j) s += row[j];
+  return s;
+}
+
+double DistanceMatrix::diameter() const {
+  // Maximize over the squared entries and take one sqrt at the end, exactly
+  // as bcl::diameter() does, so the two agree bitwise.
+  double best = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = i + 1; j < m_; ++j) {
+      best = std::max(best, d2_[i * m_ + j]);
+    }
+  }
+  return std::sqrt(best);
+}
+
+double DistanceMatrix::subset_diameter(
+    const std::vector<std::size_t>& indices) const {
+  double best = 0.0;
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    for (std::size_t b = a + 1; b < indices.size(); ++b) {
+      best = std::max(best, d2_[indices[a] * m_ + indices[b]]);
+    }
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace bcl

@@ -1,0 +1,67 @@
+#pragma once
+// Per-inbox aggregation workspace.
+//
+// An AggregationWorkspace bundles one inbox of vectors with lazily computed
+// shared state — today the pairwise DistanceMatrix, plus the worker pool to
+// build it with.  A node (or the central server, or a bench harness
+// comparing rules) constructs one workspace per inbox and passes it to every
+// rule, geometry search, and round function that consumes the same vectors,
+// so the O(m^2 * d) distance computation happens at most once per inbox no
+// matter how many consumers run off it.
+//
+// The workspace borrows the vector list; it must outlive the workspace.
+// Laziness matters: rules that never touch pairwise distances (MEAN,
+// CW-MEDIAN, TRIM-MEAN, the clipping baselines) never trigger the build.
+//
+// A workspace is intended for single-threaded use (one node's round);
+// internal consumers may still fan work out across the attached pool.
+
+#include <cstddef>
+
+#include "linalg/distance_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+class AggregationWorkspace {
+ public:
+  /// Borrows `points` (the inbox); `pool`, when non-null, parallelizes the
+  /// distance-matrix build and is exposed to subset-parallel consumers.
+  explicit AggregationWorkspace(const VectorList& points,
+                                ThreadPool* pool = nullptr)
+      : points_(&points), pool_(pool) {}
+
+  AggregationWorkspace(const AggregationWorkspace&) = delete;
+  AggregationWorkspace& operator=(const AggregationWorkspace&) = delete;
+
+  /// The inbox this workspace was built over.
+  const VectorList& points() const { return *points_; }
+
+  /// Number of vectors in the inbox.
+  std::size_t size() const { return points_->size(); }
+
+  ThreadPool* pool() const { return pool_; }
+
+  /// True once distances() has been computed.
+  bool has_distances() const { return built_; }
+
+  /// The pairwise distance matrix of the inbox, computed on first use
+  /// (pool-parallel when a pool is attached) and cached afterwards.
+  const DistanceMatrix& distances() {
+    if (!built_) {
+      matrix_ = DistanceMatrix(*points_, pool_);
+      built_ = true;
+    }
+    return matrix_;
+  }
+
+ private:
+  const VectorList* points_;
+  ThreadPool* pool_;
+  DistanceMatrix matrix_;
+  bool built_ = false;
+};
+
+}  // namespace bcl

@@ -1,0 +1,283 @@
+// Tests for the shared distance-matrix workspace: DistanceMatrix agrees
+// with the per-pair kernels it replaces (bitwise, not approximately), the
+// pool-parallel build matches the serial one, laziness works, and every
+// workspace-aware aggregation rule / round function produces exactly the
+// same output through the legacy single-inbox signature and through a
+// shared workspace.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "aggregation/krum.hpp"
+#include "aggregation/registry.hpp"
+#include "agreement/round_function.hpp"
+#include "geometry/medoid.hpp"
+#include "geometry/min_diameter.hpp"
+#include "geometry/subsets.hpp"
+#include "linalg/distance_matrix.hpp"
+#include "linalg/workspace.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+namespace {
+
+VectorList random_points(Rng& rng, std::size_t n, std::size_t d,
+                         double span = 4.0) {
+  VectorList pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(d);
+    for (auto& x : p) x = rng.uniform(-span, span);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// --- DistanceMatrix vs. the primitive kernels ---
+
+TEST(DistanceMatrix, MatchesPairwiseKernelsExactly) {
+  Rng rng(11);
+  const VectorList pts = random_points(rng, 9, 5);
+  const DistanceMatrix dm(pts);
+  ASSERT_EQ(dm.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(dm.dist(i, i), 0.0);
+    EXPECT_EQ(dm.dist2(i, i), 0.0);
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_EQ(dm.dist2(i, j), distance_squared(pts[i], pts[j]));
+      EXPECT_EQ(dm.dist(i, j), distance(pts[i], pts[j]));
+      EXPECT_EQ(dm.dist(i, j), dm.dist(j, i));
+    }
+  }
+}
+
+TEST(DistanceMatrix, DiameterMatchesFreeFunctionBitwise) {
+  Rng rng(12);
+  const VectorList pts = random_points(rng, 12, 7);
+  const DistanceMatrix dm(pts);
+  EXPECT_EQ(dm.diameter(), diameter(pts));
+}
+
+TEST(DistanceMatrix, SubsetDiameterMatchesGatheredDiameter) {
+  Rng rng(13);
+  const VectorList pts = random_points(rng, 10, 4);
+  const DistanceMatrix dm(pts);
+  for_each_combination(pts.size(), 4,
+                       [&](const std::vector<std::size_t>& idx) {
+                         EXPECT_EQ(dm.subset_diameter(idx),
+                                   diameter(gather(pts, idx)));
+                       });
+}
+
+TEST(DistanceMatrix, RowSumMatchesMedoidScore) {
+  Rng rng(14);
+  const VectorList pts = random_points(rng, 11, 6);
+  const DistanceMatrix dm(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(dm.row_sum(i), medoid_score(pts, i));
+    EXPECT_EQ(medoid_score(dm, i), medoid_score(pts, i));
+  }
+}
+
+TEST(DistanceMatrix, ParallelBuildIdenticalToSerial) {
+  Rng rng(15);
+  const VectorList pts = random_points(rng, 23, 17);
+  ThreadPool pool(4);
+  const DistanceMatrix serial(pts);
+  const DistanceMatrix parallel(pts, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_EQ(serial.dist(i, j), parallel.dist(i, j));
+      EXPECT_EQ(serial.dist2(i, j), parallel.dist2(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrix, DegenerateSizes) {
+  EXPECT_TRUE(DistanceMatrix().empty());
+  const DistanceMatrix one(VectorList{{1.0, 2.0}});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.diameter(), 0.0);
+  EXPECT_THROW(DistanceMatrix(VectorList{{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+// --- workspace laziness and guards ---
+
+TEST(AggregationWorkspace, BuildsDistancesLazilyAndOnce) {
+  Rng rng(16);
+  const VectorList pts = random_points(rng, 8, 3);
+  AggregationWorkspace ws(pts);
+  EXPECT_FALSE(ws.has_distances());
+  const DistanceMatrix* first = &ws.distances();
+  EXPECT_TRUE(ws.has_distances());
+  EXPECT_EQ(first, &ws.distances());  // cached, not rebuilt
+  EXPECT_EQ(ws.size(), pts.size());
+  EXPECT_EQ(&ws.points(), &pts);
+}
+
+TEST(AggregationWorkspace, MismatchedInboxThrows) {
+  Rng rng(17);
+  const VectorList pts = random_points(rng, 8, 3);
+  const VectorList other = random_points(rng, 6, 3);
+  AggregationWorkspace ws(other);
+  AggregationContext ctx;
+  ctx.n = 8;
+  ctx.t = 2;
+  const auto rule = make_rule("MEAN");
+  EXPECT_THROW(rule->aggregate(pts, ws, ctx), std::invalid_argument);
+}
+
+// --- geometry searches: matrix form vs legacy form ---
+
+TEST(DistanceMatrix, KrumScoresMatchBruteForce) {
+  Rng rng(18);
+  const VectorList pts = random_points(rng, 10, 6);
+  const DistanceMatrix dm(pts);
+  const std::size_t closest = 7;
+  for (KrumScore flavour : {KrumScore::Euclidean, KrumScore::Squared}) {
+    const auto legacy = krum_scores(pts, closest, flavour);
+    const auto shared = krum_scores(dm, closest, flavour);
+    ASSERT_EQ(legacy.size(), shared.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i], shared[i]);
+    }
+    // Independent reference: sort all distances from i, sum the smallest.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      std::vector<double> dists;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (j == i) continue;
+        const double d2 = distance_squared(pts[i], pts[j]);
+        dists.push_back(flavour == KrumScore::Squared ? d2 : std::sqrt(d2));
+      }
+      std::sort(dists.begin(), dists.end());
+      double expected = 0.0;
+      for (std::size_t k = 0; k < closest; ++k) expected += dists[k];
+      EXPECT_NEAR(shared[i], expected, 1e-12 * (1.0 + std::abs(expected)));
+    }
+  }
+}
+
+TEST(DistanceMatrix, MedoidIndexMatchesBruteForce) {
+  Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VectorList pts = random_points(rng, 9, 4);
+    std::size_t best = 0;
+    double best_score = medoid_score(pts, 0);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      const double s = medoid_score(pts, i);
+      if (s < best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    EXPECT_EQ(medoid_index(pts), best);
+    EXPECT_EQ(medoid_index(DistanceMatrix(pts)), best);
+  }
+}
+
+TEST(DistanceMatrix, MinDiameterSubsetMatchesLegacyAndBruteForce) {
+  Rng rng(20);
+  for (int trial = 0; trial < 10; ++trial) {
+    const VectorList pts = random_points(rng, 9, 3);
+    const std::size_t k = 6;
+    const auto legacy = min_diameter_subset(pts, k);
+    const auto shared = min_diameter_subset(DistanceMatrix(pts), k);
+    EXPECT_EQ(legacy.indices, shared.indices);
+    EXPECT_EQ(legacy.diameter, shared.diameter);
+    double brute = std::numeric_limits<double>::infinity();
+    for_each_combination(pts.size(), k,
+                         [&](const std::vector<std::size_t>& idx) {
+                           brute = std::min(brute, diameter(gather(pts, idx)));
+                         });
+    EXPECT_DOUBLE_EQ(shared.diameter, brute);
+
+    const auto tied_legacy = min_diameter_subsets(pts, k, 1e-9);
+    const auto tied_shared = min_diameter_subsets(DistanceMatrix(pts), k, 1e-9);
+    ASSERT_EQ(tied_legacy.size(), tied_shared.size());
+    for (std::size_t i = 0; i < tied_legacy.size(); ++i) {
+      EXPECT_EQ(tied_legacy[i].indices, tied_shared[i].indices);
+      EXPECT_EQ(tied_legacy[i].diameter, tied_shared[i].diameter);
+    }
+  }
+}
+
+// --- regression: every rule, workspace path vs legacy path ---
+
+TEST(WorkspaceRegression, AllRulesMatchLegacySignatureExactly) {
+  Rng rng(21);
+  std::vector<std::string> names = all_rule_names();
+  for (const auto& extra : extended_rule_names()) names.push_back(extra);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VectorList received = random_points(rng, 10, 8);
+    AggregationContext ctx;
+    ctx.n = 10;
+    ctx.t = 2;
+    for (const auto& name : names) {
+      const auto rule = make_rule(name);
+      const Vector legacy = rule->aggregate(received, ctx);
+      AggregationWorkspace ws(received);
+      const Vector shared = rule->aggregate(received, ws, ctx);
+      EXPECT_EQ(legacy, shared) << "rule " << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(WorkspaceRegression, OneWorkspaceServesManyRules) {
+  Rng rng(22);
+  const VectorList received = random_points(rng, 10, 16);
+  AggregationContext ctx;
+  ctx.n = 10;
+  ctx.t = 2;
+  // The comparison-suite pattern: one inbox, one workspace, many rules.
+  AggregationWorkspace ws(received);
+  for (const auto& name : {"KRUM", "MULTIKRUM-3", "MEDOID", "MD-MEAN",
+                           "MD-GEOM", "BOX-GEOM"}) {
+    const auto rule = make_rule(name);
+    EXPECT_EQ(rule->aggregate(received, ws, ctx),
+              rule->aggregate(received, ctx))
+        << "rule " << name;
+  }
+  // Distance-based rules share the one matrix built above.
+  EXPECT_TRUE(ws.has_distances());
+}
+
+TEST(WorkspaceRegression, PoolWorkspaceMatchesSerial) {
+  Rng rng(23);
+  const VectorList received = random_points(rng, 12, 10);
+  ThreadPool pool(4);
+  AggregationContext ctx;
+  ctx.n = 12;
+  ctx.t = 2;
+  for (const auto& name : {"KRUM", "MEDOID", "MD-MEAN", "BOX-MEAN"}) {
+    const auto rule = make_rule(name);
+    AggregationWorkspace serial_ws(received);
+    AggregationWorkspace pool_ws(received, &pool);
+    EXPECT_EQ(rule->aggregate(received, serial_ws, ctx),
+              rule->aggregate(received, pool_ws, ctx))
+        << "rule " << name;
+  }
+}
+
+TEST(WorkspaceRegression, RoundFunctionsMatchLegacyStep) {
+  Rng rng(24);
+  const VectorList received = random_points(rng, 10, 6);
+  const Vector current = random_points(rng, 1, 6).front();
+  AggregationContext ctx;
+  ctx.n = 10;
+  ctx.t = 2;
+  for (const auto& name : {"BOX-GEOM", "MD-GEOM", "MD-GEOM-STICKY", "KRUM"}) {
+    const auto round = make_round_function(name);
+    AggregationWorkspace ws(received);
+    EXPECT_EQ(round->step(received, ws, current, ctx),
+              round->step(received, current, ctx))
+        << "round function " << name;
+  }
+}
+
+}  // namespace
+}  // namespace bcl
