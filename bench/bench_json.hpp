@@ -1,0 +1,61 @@
+#pragma once
+// Machine-readable micro-bench records.
+//
+// The micro benches emit BENCH_<name>.json next to their google-benchmark
+// console output so the perf trajectory of the hot kernels is tracked
+// across PRs (CI uploads the files as workflow artifacts).  Each record is
+// one measured operation: {op, m, d, ns_op, speedup_vs_naive}, where
+// speedup_vs_naive compares against the pre-optimization reference
+// implementation measured in the same process (0 when there is no
+// meaningful baseline).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bcl::benchjson {
+
+struct Record {
+  std::string op;
+  std::size_t m = 0;
+  std::size_t d = 0;
+  double ns_op = 0.0;
+  double speedup_vs_naive = 0.0;
+};
+
+/// Best-of-`reps` wall time of fn(), in nanoseconds per call.
+template <typename Fn>
+double time_ns(Fn&& fn, int reps = 5) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Writes the records as a JSON array to `path`; returns false on I/O error.
+inline bool write(const std::string& path, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"m\": %zu, \"d\": %zu, "
+                 "\"ns_op\": %.1f, \"speedup_vs_naive\": %.3f}%s\n",
+                 r.op.c_str(), r.m, r.d, r.ns_op, r.speedup_vs_naive,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace bcl::benchjson

@@ -1,11 +1,19 @@
 // Microbenchmarks: throughput of every aggregation rule as a function of
 // input dimension (the engineering table behind rule selection; the
 // geometric-median-based rules pay for Weiszfeld over C(n, n-t) subsets).
+//
+// Besides the google-benchmark suites, main() emits
+// BENCH_micro_aggregation.json (see bench_json.hpp): the Gram-trick
+// distance build, the blocked coordinate-wise reductions, and the
+// batch-native rule path, each against its pre-optimization reference
+// implementation measured in the same process.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 
+#include "bench_json.hpp"
 #include "core/bcl.hpp"
 
 namespace {
@@ -181,4 +189,123 @@ void BM_BoxGeomParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_BoxGeomParallel)->RangeMultiplier(8)->Range(64, kHi);
 
+// The Gram-trick batch build vs the PR 1 per-pair build.
+void BM_DistanceMatrixBatchGram(benchmark::State& state) {
+  const GradientBatch batch = GradientBatch::from(
+      make_inputs(32, static_cast<std::size_t>(state.range(0)), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceMatrix(batch));
+  }
+}
+BENCHMARK(BM_DistanceMatrixBatchGram)->RangeMultiplier(8)->Range(64, kHi);
+
+// --- machine-readable records (BENCH_micro_aggregation.json) --------------
+
+// Faithful replica of the PR 1 DistanceMatrix constructor: per-pair
+// distance_squared plus sqrt, storing both the squared and the plain
+// matrix.  This is the baseline the acceptance numbers compare against.
+struct Pr1DistanceMatrix {
+  std::size_t m;
+  std::vector<double> d_;
+  std::vector<double> d2_;
+  explicit Pr1DistanceMatrix(const VectorList& points) : m(points.size()) {
+    d_.assign(m * m, 0.0);
+    d2_.assign(m * m, 0.0);
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double s = distance_squared(points[i], points[j]);
+        const double e = std::sqrt(s);
+        d2_[i * m + j] = d2_[j * m + i] = s;
+        d_[i * m + j] = d_[j * m + i] = e;
+      }
+    }
+  }
+};
+
+void emit_json() {
+  using benchjson::Record;
+  using benchjson::time_ns;
+  std::vector<Record> records;
+
+  // Distance build: Gram trick over the contiguous batch vs the PR 1
+  // per-pair build, single thread.  (50, 10000) is the acceptance shape.
+  for (const auto& [m, d] : {std::pair<std::size_t, std::size_t>{10, 1024},
+                             {32, 4096},
+                             {50, 10000}}) {
+    const VectorList pts = make_inputs(m, d, 7);
+    const GradientBatch batch = GradientBatch::from(pts);
+    const double naive =
+        time_ns([&] { benchmark::DoNotOptimize(Pr1DistanceMatrix(pts)); });
+    const double gram =
+        time_ns([&] { benchmark::DoNotOptimize(DistanceMatrix(batch)); });
+    records.push_back({"distance_matrix_pr1_per_pair", m, d, naive, 0.0});
+    records.push_back({"distance_matrix_batch_gram", m, d, gram,
+                       gram > 0.0 ? naive / gram : 0.0});
+  }
+
+  // Blocked coordinate-wise reductions vs the per-coordinate gather.
+  {
+    const std::size_t m = 25, d = 100000;
+    const VectorList pts = make_inputs(m, d, 9);
+    const GradientBatch batch = GradientBatch::from(pts);
+    const double naive_med = time_ns(
+        [&] { benchmark::DoNotOptimize(coordinatewise_median(pts)); });
+    const double block_med = time_ns(
+        [&] { benchmark::DoNotOptimize(coordinatewise_median(batch)); });
+    records.push_back({"cw_median_blocked", m, d, block_med,
+                       block_med > 0.0 ? naive_med / block_med : 0.0});
+    const double naive_trim = time_ns([&] {
+      benchmark::DoNotOptimize(coordinatewise_trimmed_mean(pts, 3));
+    });
+    const double block_trim = time_ns([&] {
+      benchmark::DoNotOptimize(coordinatewise_trimmed_mean(batch, 3));
+    });
+    records.push_back({"trimmed_mean_blocked", m, d, block_trim,
+                       block_trim > 0.0 ? naive_trim / block_trim : 0.0});
+  }
+
+  // One full distance-based rule through the batch path vs the legacy
+  // VectorList entry point (which rebuilds distances per pair).
+  {
+    const std::size_t m = 20, d = 20000;
+    const VectorList pts = make_inputs(m, d, 11);
+    const GradientBatch batch = GradientBatch::from(pts);
+    AggregationContext ctx;
+    ctx.n = m;
+    ctx.t = 4;
+    const auto rule = make_rule("KRUM");
+    const double legacy =
+        time_ns([&] { benchmark::DoNotOptimize(rule->aggregate(pts, ctx)); });
+    const double fast = time_ns([&] {
+      AggregationWorkspace ws(batch);
+      benchmark::DoNotOptimize(rule->aggregate(batch, ws, ctx));
+    });
+    records.push_back(
+        {"krum_batch_gram", m, d, fast, fast > 0.0 ? legacy / fast : 0.0});
+  }
+
+  const char* path = "BENCH_micro_aggregation.json";
+  if (benchjson::write(path, records)) {
+    std::printf("wrote %s (%zu records)\n", path, records.size());
+    for (const auto& r : records) {
+      std::printf("  %-32s m=%-3zu d=%-6zu %12.0f ns/op  speedup %.2fx\n",
+                  r.op.c_str(), r.m, r.d, r.ns_op, r.speedup_vs_naive);
+    }
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+}
+
 }  // namespace
+
+// Custom main: emit the JSON records first (so they are written even when
+// the --benchmark_filter selects nothing), then run the registered
+// google-benchmark suites as usual.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  emit_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,10 +37,29 @@ std::vector<double> krum_scores_impl(std::size_t m, std::size_t closest,
   return scores;
 }
 
-std::size_t closest_count(const VectorList& received,
-                          const AggregationContext& ctx) {
+std::size_t closest_count(std::size_t m, const AggregationContext& ctx) {
   // C_i contains the n - t - 1 closest vectors to v_i (Equation 3).
-  return std::min(received.size() - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+  return std::min(m - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+}
+
+std::size_t krum_best(const DistanceMatrix& dist, std::size_t closest,
+                      KrumScore flavour) {
+  const auto scores = krum_scores(dist, closest, flavour);
+  return static_cast<std::size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<std::size_t> multikrum_order(const DistanceMatrix& dist,
+                                         std::size_t closest,
+                                         KrumScore flavour) {
+  const auto scores = krum_scores(dist, closest, flavour);
+  std::vector<std::size_t> order(dist.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] < scores[b];
+                   });
+  return order;
 }
 
 }  // namespace
@@ -68,12 +87,19 @@ Vector KrumRule::aggregate(const VectorList& received,
                            AggregationWorkspace& workspace,
                            const AggregationContext& ctx) const {
   validate(received, ctx);
-  const std::size_t closest = closest_count(received, ctx);
+  const std::size_t closest = closest_count(received.size(), ctx);
   if (closest == 0) return received.front();
-  const auto scores = krum_scores(workspace.distances(), closest, flavour_);
-  const std::size_t best = static_cast<std::size_t>(
-      std::min_element(scores.begin(), scores.end()) - scores.begin());
-  return received[best];
+  return received[krum_best(workspace.distances(), closest, flavour_)];
+}
+
+Vector KrumRule::aggregate(const GradientBatch& batch,
+                           AggregationWorkspace& workspace,
+                           const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  const std::size_t closest = closest_count(batch.rows(), ctx);
+  if (closest == 0) return batch.row_copy(0);
+  return batch.row_copy(krum_best(workspace.distances(), closest, flavour_));
 }
 
 Vector MultiKrumRule::aggregate(const VectorList& received,
@@ -81,19 +107,27 @@ Vector MultiKrumRule::aggregate(const VectorList& received,
                                 const AggregationContext& ctx) const {
   validate(received, ctx);
   if (q_ == 0) throw std::invalid_argument("MultiKrum: q must be positive");
-  const std::size_t closest = closest_count(received, ctx);
+  const std::size_t closest = closest_count(received.size(), ctx);
   if (closest == 0) return received.front();
-  const auto scores = krum_scores(workspace.distances(), closest, flavour_);
-  std::vector<std::size_t> order(received.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return scores[a] < scores[b];
-  });
+  const auto order = multikrum_order(workspace.distances(), closest, flavour_);
   const std::size_t take = std::min(q_, received.size());
   VectorList best;
   best.reserve(take);
   for (std::size_t i = 0; i < take; ++i) best.push_back(received[order[i]]);
   return mean(best);
+}
+
+Vector MultiKrumRule::aggregate(const GradientBatch& batch,
+                                AggregationWorkspace& workspace,
+                                const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  if (q_ == 0) throw std::invalid_argument("MultiKrum: q must be positive");
+  const std::size_t closest = closest_count(batch.rows(), ctx);
+  if (closest == 0) return batch.row_copy(0);
+  auto order = multikrum_order(workspace.distances(), closest, flavour_);
+  order.resize(std::min(q_, batch.rows()));
+  return mean_of_rows(batch, order);
 }
 
 }  // namespace bcl

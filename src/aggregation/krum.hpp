@@ -35,6 +35,8 @@ class KrumRule final : public AggregationRule {
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
 
  private:
   KrumScore flavour_;
@@ -52,6 +54,8 @@ class MultiKrumRule final : public AggregationRule {
   }
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:

@@ -21,6 +21,8 @@ class MinimumDiameterMeanRule final : public AggregationRule {
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
 };
 
 /// MD-GEOM (Algorithm 1 step): geometric median of a minimum-diameter
@@ -32,6 +34,8 @@ class MinimumDiameterGeoMedianRule final : public AggregationRule {
   std::string name() const override { return "MD-GEOM"; }
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 
  private:

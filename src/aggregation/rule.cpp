@@ -36,21 +36,44 @@ Vector AggregationRule::aggregate(const VectorList& received,
   return aggregate(received, ctx);
 }
 
-std::size_t AggregationRule::validate(const VectorList& received,
-                                      const AggregationContext& ctx) {
+Vector AggregationRule::aggregate(const GradientBatch& batch,
+                                  AggregationWorkspace& workspace,
+                                  const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  return aggregate(workspace.points(), workspace, ctx);
+}
+
+void AggregationRule::check_batch_workspace(
+    const GradientBatch& batch, const AggregationWorkspace& workspace) {
+  if (workspace.batch() != &batch) {
+    throw std::invalid_argument(
+        "aggregate: workspace was built over a different batch");
+  }
+}
+
+namespace {
+
+void validate_bounds(std::size_t m, const AggregationContext& ctx) {
   if (ctx.n == 0) {
     throw std::invalid_argument("AggregationContext: n must be positive");
   }
   if (ctx.t >= ctx.n) {
     throw std::invalid_argument("AggregationContext: t must be < n");
   }
-  if (received.size() < ctx.keep()) {
+  if (m < ctx.keep()) {
     throw std::invalid_argument(
         "aggregate: fewer than n - t vectors received");
   }
-  if (received.size() > ctx.n) {
+  if (m > ctx.n) {
     throw std::invalid_argument("aggregate: more than n vectors received");
   }
+}
+
+}  // namespace
+
+std::size_t AggregationRule::validate(const VectorList& received,
+                                      const AggregationContext& ctx) {
+  validate_bounds(received.size(), ctx);
   const std::size_t d = check_same_dimension(received);
   if (d == 0) throw std::invalid_argument("aggregate: zero-dimensional input");
   // A Byzantine NaN/Inf would silently poison every arithmetic rule (NaN
@@ -62,6 +85,22 @@ std::size_t AggregationRule::validate(const VectorList& received,
         throw std::invalid_argument(
             "aggregate: received vector contains a non-finite value");
       }
+    }
+  }
+  return d;
+}
+
+std::size_t AggregationRule::validate(const GradientBatch& batch,
+                                      const AggregationContext& ctx) {
+  validate_bounds(batch.rows(), ctx);
+  const std::size_t d = batch.dim();
+  if (d == 0) throw std::invalid_argument("aggregate: zero-dimensional input");
+  const double* data = batch.data();
+  const std::size_t total = batch.rows() * d;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!std::isfinite(data[i])) {
+      throw std::invalid_argument(
+          "aggregate: received vector contains a non-finite value");
     }
   }
   return d;

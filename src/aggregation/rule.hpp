@@ -7,18 +7,23 @@
 // the decentralized model every node applies a rule once per agreement
 // sub-round (Section 2.1 of the paper).
 //
-// Rules have two entry points.  The legacy single-inbox form
+// Rules have three entry points.  The legacy single-inbox form
 // aggregate(received, ctx) stands alone; the workspace form
 // aggregate(received, workspace, ctx) additionally receives the per-inbox
 // AggregationWorkspace so distance-based rules share one pairwise
-// DistanceMatrix instead of each recomputing it.  A rule overrides
-// whichever form is natural (at least one): the base class adapts each
-// form to the other — the legacy default builds a fresh lazy workspace and
-// dispatches to the workspace form; the workspace default ignores the
-// workspace and dispatches to the legacy form — so both entry points work
-// on every rule and produce identical outputs.  Overriding one form hides
-// the base overload set on the concrete class, so rule classes re-expose
-// it with `using AggregationRule::aggregate;`.
+// DistanceMatrix instead of each recomputing it; the batch form
+// aggregate(batch, workspace, ctx) consumes the contiguous GradientBatch
+// layout, which is what the trainers and the agreement protocol feed the
+// hot path (Gram-trick distances, blocked column reductions).  A rule
+// overrides whichever forms are natural (at least one of the first two):
+// the base class adapts each form to the others — the legacy default
+// builds a fresh lazy workspace and dispatches to the workspace form; the
+// workspace default ignores the workspace and dispatches to the legacy
+// form; the batch default materializes the workspace's VectorList view
+// (cached, at most once per inbox) and dispatches to the workspace form —
+// so all entry points work on every rule and produce identical outputs.
+// Overriding one form hides the base overload set on the concrete class,
+// so rule classes re-expose it with `using AggregationRule::aggregate;`.
 
 #include <cstddef>
 #include <memory>
@@ -65,16 +70,41 @@ class AggregationRule {
   /// Workspace-aware aggregation: `workspace` must have been constructed
   /// over `received`.  The default adapter ignores the workspace and calls
   /// the legacy form, so rules that never consume pairwise distances need
-  /// not override it.  A rule overriding neither form gets a
-  /// std::logic_error instead of unbounded mutual recursion.
+  /// not override it.  A rule overriding neither this nor the legacy form
+  /// gets a std::logic_error instead of unbounded mutual recursion.
   virtual Vector aggregate(const VectorList& received,
                            AggregationWorkspace& workspace,
                            const AggregationContext& ctx) const;
+
+  /// Batch-native aggregation over the contiguous layout: `workspace` must
+  /// have been constructed over `batch`.  The default adapter dispatches to
+  /// the workspace form through the workspace's cached VectorList view, so
+  /// every rule accepts a batch; the hot rules (mean, Krum family, medoid,
+  /// MD rules, coordinate-wise reductions) override it to run entirely on
+  /// flat buffers.
+  virtual Vector aggregate(const GradientBatch& batch,
+                           AggregationWorkspace& workspace,
+                           const AggregationContext& ctx) const;
+  // (No two-argument batch convenience: overloading aggregate(received,
+  // ctx) on a second one-argument-constructible type would make braced
+  // inbox literals ambiguous.  Batch callers hold a workspace anyway.)
 
  protected:
   /// Shared argument validation: non-empty, same dimension, enough vectors.
   static std::size_t validate(const VectorList& received,
                               const AggregationContext& ctx);
+
+  /// Batch-form validation: same bounds and finiteness checks over the
+  /// contiguous layout.
+  static std::size_t validate(const GradientBatch& batch,
+                              const AggregationContext& ctx);
+
+  /// Enforces the batch-form precondition that `workspace` was built over
+  /// `batch` (throws std::invalid_argument otherwise).  Every batch
+  /// override calls this, so a workspace carrying another inbox's distance
+  /// matrix fails loudly instead of silently skewing the aggregate.
+  static void check_batch_workspace(const GradientBatch& batch,
+                                    const AggregationWorkspace& workspace);
 };
 
 using AggregationRulePtr = std::shared_ptr<const AggregationRule>;

@@ -13,6 +13,14 @@ Vector MeanRule::aggregate(const VectorList& received,
   return mean(received);
 }
 
+Vector MeanRule::aggregate(const GradientBatch& batch,
+                           AggregationWorkspace& workspace,
+                           const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  return mean(batch);
+}
+
 Vector GeometricMedianRule::aggregate(const VectorList& received,
                                       const AggregationContext& ctx) const {
   validate(received, ctx);
@@ -26,10 +34,26 @@ Vector MedoidRule::aggregate(const VectorList& received,
   return received[medoid_index(workspace.distances())];
 }
 
+Vector MedoidRule::aggregate(const GradientBatch& batch,
+                             AggregationWorkspace& workspace,
+                             const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  return batch.row_copy(medoid_index(workspace.distances()));
+}
+
 Vector CoordinatewiseMedianRule::aggregate(
     const VectorList& received, const AggregationContext& ctx) const {
   validate(received, ctx);
   return coordinatewise_median(received);
+}
+
+Vector CoordinatewiseMedianRule::aggregate(
+    const GradientBatch& batch, AggregationWorkspace& workspace,
+    const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  return coordinatewise_median(batch);
 }
 
 Vector TrimmedMeanRule::aggregate(const VectorList& received,
@@ -38,6 +62,16 @@ Vector TrimmedMeanRule::aggregate(const VectorList& received,
   const std::size_t m = received.size();
   const std::size_t trim = std::min(ctx.t, (m - 1) / 2);
   return coordinatewise_trimmed_mean(received, trim);
+}
+
+Vector TrimmedMeanRule::aggregate(const GradientBatch& batch,
+                                  AggregationWorkspace& workspace,
+                                  const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  const std::size_t m = batch.rows();
+  const std::size_t trim = std::min(ctx.t, (m - 1) / 2);
+  return coordinatewise_trimmed_mean(batch, trim);
 }
 
 }  // namespace bcl

@@ -19,6 +19,8 @@ class MeanRule final : public AggregationRule {
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
                    const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
 };
 
 /// Weiszfeld geometric median of everything received.
@@ -43,6 +45,8 @@ class MedoidRule final : public AggregationRule {
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
+                   const AggregationContext& ctx) const override;
 };
 
 /// Coordinate-wise median.
@@ -51,6 +55,8 @@ class CoordinatewiseMedianRule final : public AggregationRule {
   std::string name() const override { return "CW-MEDIAN"; }
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 };
 
@@ -61,6 +67,8 @@ class TrimmedMeanRule final : public AggregationRule {
   std::string name() const override { return "TRIM-MEAN"; }
   using AggregationRule::aggregate;
   Vector aggregate(const VectorList& received,
+                   const AggregationContext& ctx) const override;
+  Vector aggregate(const GradientBatch& batch, AggregationWorkspace& workspace,
                    const AggregationContext& ctx) const override;
 };
 

@@ -25,10 +25,11 @@ class AgreementNode final : public HonestProcess {
   Vector outgoing(std::size_t /*round*/) const override { return current_; }
 
   void receive(std::size_t /*round*/, const std::vector<Message>& inbox) override {
-    // One workspace per inbox: every distance consumer inside the round
-    // function (Krum scores, medoid, minimum-diameter search, tie
-    // enumeration) shares a single pairwise matrix for this sub-round.
-    const VectorList received = payloads(inbox);
+    // One contiguous batch + workspace per inbox: every distance consumer
+    // inside the round function (Krum scores, medoid, minimum-diameter
+    // search, tie enumeration) shares a single Gram-trick pairwise matrix
+    // for this sub-round, and batch-native rules run on the flat layout.
+    const GradientBatch received = payload_batch(inbox);
     AggregationWorkspace workspace(received, ctx_.pool);
     current_ = round_function_->step(received, workspace, current_, ctx_);
   }
@@ -92,9 +93,10 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   auto record_trace = [&] {
     const VectorList current = honest_vectors(nodes);
     // The convergence check is itself a pairwise-distance computation;
-    // build it through the shared kernel (pool-parallel when configured).
+    // build it through the Gram-trick kernel over a contiguous copy
+    // (pool-parallel when configured).
     result.trace.honest_diameter.push_back(
-        DistanceMatrix(current, config.pool).diameter());
+        DistanceMatrix(GradientBatch::from(current), config.pool).diameter());
     result.trace.honest_max_edge.push_back(
         Hyperbox::bounding(current).max_edge());
   };

@@ -20,6 +20,17 @@ Vector RoundFunction::step(const VectorList& received,
   return step(received, current, ctx);
 }
 
+Vector RoundFunction::step(const GradientBatch& batch,
+                           AggregationWorkspace& workspace,
+                           const Vector& current,
+                           const AggregationContext& ctx) const {
+  if (workspace.batch() != &batch) {
+    throw std::invalid_argument(
+        "RoundFunction::step: workspace was built over a different batch");
+  }
+  return step(workspace.points(), workspace, current, ctx);
+}
+
 RuleRound::RuleRound(AggregationRulePtr rule) : rule_(std::move(rule)) {
   if (!rule_) throw std::invalid_argument("RuleRound: null rule");
 }
@@ -36,6 +47,13 @@ Vector RuleRound::step(const VectorList& received,
                        const Vector& /*current*/,
                        const AggregationContext& ctx) const {
   return rule_->aggregate(received, workspace, ctx);
+}
+
+Vector RuleRound::step(const GradientBatch& batch,
+                       AggregationWorkspace& workspace,
+                       const Vector& /*current*/,
+                       const AggregationContext& ctx) const {
+  return rule_->aggregate(batch, workspace, ctx);
 }
 
 namespace {

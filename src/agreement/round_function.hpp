@@ -32,6 +32,14 @@ class RoundFunction {
   virtual Vector step(const VectorList& received,
                       AggregationWorkspace& workspace, const Vector& current,
                       const AggregationContext& ctx) const;
+
+  /// Batch-native step over the contiguous inbox layout (the protocol's
+  /// fast path: Gram-trick distances, blocked reductions).  The default
+  /// adapter dispatches to the workspace step through the workspace's
+  /// cached VectorList view.
+  virtual Vector step(const GradientBatch& batch,
+                      AggregationWorkspace& workspace, const Vector& current,
+                      const AggregationContext& ctx) const;
 };
 
 using RoundFunctionPtr = std::shared_ptr<const RoundFunction>;
@@ -44,6 +52,9 @@ class RuleRound final : public RoundFunction {
   Vector step(const VectorList& received, const Vector& current,
               const AggregationContext& ctx) const override;
   Vector step(const VectorList& received, AggregationWorkspace& workspace,
+              const Vector& current,
+              const AggregationContext& ctx) const override;
+  Vector step(const GradientBatch& batch, AggregationWorkspace& workspace,
               const Vector& current,
               const AggregationContext& ctx) const override;
 

@@ -36,7 +36,9 @@
 #include "learning/config.hpp"
 #include "learning/decentralized.hpp"
 #include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
 #include "linalg/hyperbox.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/vector_ops.hpp"
 #include "linalg/workspace.hpp"

@@ -14,33 +14,37 @@ struct SearchState {
   std::size_t k = 0;
   const DistanceMatrix* dist = nullptr;
   std::vector<std::size_t> current;
-  double current_diam = 0.0;
+  // The search compares squared diameters throughout (sqrt is monotone, so
+  // pruning and argmin are unchanged) and takes one sqrt of the winner at
+  // the end — dist2() is a load where dist() would put a sqrt in the
+  // innermost branch-and-bound loop.
+  double current_diam2 = 0.0;
   std::vector<std::size_t> best;
-  double best_diam = std::numeric_limits<double>::infinity();
+  double best_diam2 = std::numeric_limits<double>::infinity();
 };
 
 void search(SearchState& s, std::size_t next) {
   if (s.current.size() == s.k) {
     // Strict improvement keeps the first (lexicographically smallest)
     // optimal subset.
-    if (s.current_diam < s.best_diam) {
-      s.best_diam = s.current_diam;
+    if (s.current_diam2 < s.best_diam2) {
+      s.best_diam2 = s.current_diam2;
       s.best = s.current;
     }
     return;
   }
   const std::size_t needed = s.k - s.current.size();
   for (std::size_t i = next; i + needed <= s.m; ++i) {
-    double new_diam = s.current_diam;
+    double new_diam2 = s.current_diam2;
     for (std::size_t j : s.current) {
-      new_diam = std::max(new_diam, s.dist->dist(i, j));
+      new_diam2 = std::max(new_diam2, s.dist->dist2(i, j));
     }
-    if (new_diam >= s.best_diam) continue;  // prune
+    if (new_diam2 >= s.best_diam2) continue;  // prune
     s.current.push_back(i);
-    const double saved = s.current_diam;
-    s.current_diam = new_diam;
+    const double saved = s.current_diam2;
+    s.current_diam2 = new_diam2;
     search(s, i + 1);
-    s.current_diam = saved;
+    s.current_diam2 = saved;
     s.current.pop_back();
   }
 }
@@ -90,9 +94,9 @@ MinDiameterResult min_diameter_subset(const DistanceMatrix& dist,
   search(s, 0);
   MinDiameterResult out;
   out.indices = std::move(s.best);
-  out.diameter = s.best_diam == std::numeric_limits<double>::infinity()
+  out.diameter = s.best_diam2 == std::numeric_limits<double>::infinity()
                      ? 0.0
-                     : s.best_diam;
+                     : std::sqrt(s.best_diam2);
   return out;
 }
 

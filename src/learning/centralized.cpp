@@ -1,8 +1,11 @@
 #include "learning/centralized.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
+#include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -53,12 +56,18 @@ TrainingResult CentralizedTrainer::run() {
   TrainingResult result;
   result.history.reserve(config_.rounds);
 
+  // All n gradients of a round live in one contiguous batch; clients write
+  // their rows in place (parallel; disjoint rows), so gradients never pass
+  // through intermediate per-client Vectors.  The honest rows occupy the
+  // contiguous prefix [0, n - f).
+  const std::size_t dim = server_model.parameter_count();
+  GradientBatch gradients(n, dim);
+  std::vector<double> losses(n, 0.0);
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
-    // Honest gradients, computed in parallel across clients (each client
-    // touches only its own model replica).
-    std::vector<GradientEstimate> estimates(n);
     auto compute = [&](std::size_t i) {
-      estimates[i] = clients[i]->stochastic_gradient(global_params_);
+      losses[i] = clients[i]->stochastic_gradient_into(global_params_,
+                                                       gradients.row(i));
     };
     if (config_.pool != nullptr) {
       config_.pool->parallel_for(0, n, compute);
@@ -66,25 +75,44 @@ TrainingResult CentralizedTrainer::run() {
       for (std::size_t i = 0; i < n; ++i) compute(i);
     }
 
-    VectorList honest;
     double honest_loss = 0.0;
-    for (std::size_t i = 0; i < n - f; ++i) {
-      honest.push_back(estimates[i].gradient);
-      honest_loss += estimates[i].loss;
-    }
+    for (std::size_t i = 0; i < n - f; ++i) honest_loss += losses[i];
     honest_loss /= static_cast<double>(n - f);
 
-    // Byzantine submissions (the last f ids).
-    VectorList submitted = honest;
-    for (std::size_t i = n - f; i < n; ++i) {
-      const auto corrupted = config_.attack->corrupt(estimates[i].gradient,
-                                                     honest, round, attack_rng);
-      if (corrupted) submitted.push_back(*corrupted);
+    // Byzantine submissions (the last f ids).  The attack interface speaks
+    // VectorList, so the honest prefix is materialized only when there is a
+    // Byzantine client to corrupt.
+    VectorList corrupted_submissions;
+    if (f > 0) {
+      VectorList honest;
+      honest.reserve(n - f);
+      for (std::size_t i = 0; i < n - f; ++i) {
+        honest.push_back(gradients.row_copy(i));
+      }
+      for (std::size_t i = n - f; i < n; ++i) {
+        const auto corrupted = config_.attack->corrupt(
+            gradients.row_copy(i), honest, round, attack_rng);
+        if (corrupted) corrupted_submissions.push_back(*corrupted);
+      }
     }
 
+    // The submitted inbox: with no Byzantine clients it is the gradient
+    // batch itself; otherwise the honest prefix (one contiguous copy) plus
+    // the corrupted rows.
+    GradientBatch compacted;
+    if (f > 0) {
+      compacted = GradientBatch(n - f + corrupted_submissions.size(), dim);
+      std::copy(gradients.row(0), gradients.row(0) + (n - f) * dim,
+                compacted.row(0));
+      for (std::size_t i = 0; i < corrupted_submissions.size(); ++i) {
+        compacted.set_row(n - f + i, corrupted_submissions[i]);
+      }
+    }
+    const GradientBatch& submitted = f > 0 ? compacted : gradients;
+
     // Server-side aggregation and SGD step.  The workspace is built once
-    // per round over the submitted inbox; the rule and the heterogeneity
-    // metric below share its distance matrix.
+    // per round over the submitted batch; the rule and the heterogeneity
+    // metric below share its Gram-trick distance matrix.
     AggregationWorkspace workspace(submitted, ctx.pool);
     const Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
     const double lr = config_.schedule.rate(round);
@@ -101,15 +129,17 @@ TrainingResult CentralizedTrainer::run() {
     metrics.disagreement = 0.0;
     // Honest submissions occupy the first n - f slots of `submitted`, so
     // when the rule already built the shared matrix the metric is a free
-    // subset lookup; for distance-free rules compute it directly instead
-    // of forcing an O(m^2 * d) build over all submissions.
+    // subset lookup; for distance-free rules run the Gram kernel over the
+    // honest prefix only instead of forcing an O(m^2 * d) build over all
+    // submissions.
     if (workspace.has_distances()) {
       std::vector<std::size_t> honest_ids(n - f);
       for (std::size_t i = 0; i < n - f; ++i) honest_ids[i] = i;
       metrics.gradient_diameter =
           workspace.distances().subset_diameter(honest_ids);
     } else {
-      metrics.gradient_diameter = diameter(honest);
+      metrics.gradient_diameter =
+          DistanceMatrix(gradients.row(0), n - f, dim, ctx.pool).diameter();
     }
     result.history.push_back(metrics);
   }

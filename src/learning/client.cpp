@@ -21,17 +21,25 @@ Client::Client(std::size_t id, const ml::Dataset* data,
 }
 
 GradientEstimate Client::stochastic_gradient(const Vector& parameters) {
+  GradientEstimate estimate;
+  estimate.gradient.resize(model_.parameter_count());
+  estimate.loss = stochastic_gradient_into(parameters,
+                                           estimate.gradient.data());
+  return estimate;
+}
+
+double Client::stochastic_gradient_into(const Vector& parameters,
+                                        double* out_gradient) {
   model_.set_parameters(parameters);
   const std::size_t batch = std::min(batch_size_, shard_.size());
   std::vector<std::size_t> indices(batch);
   for (std::size_t i = 0; i < batch; ++i) {
     indices[i] = shard_[rng_.uniform_u64(shard_.size())];
   }
-  GradientEstimate estimate;
-  estimate.loss = model_.compute_loss_and_gradient(
+  const double loss = model_.compute_loss_and_gradient(
       data_->batch(indices), data_->batch_labels(indices));
-  estimate.gradient = model_.gradients();
-  return estimate;
+  model_.read_gradients(out_gradient);
+  return loss;
 }
 
 double Client::evaluate(const Vector& parameters, const ml::Dataset& eval_set,

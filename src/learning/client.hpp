@@ -36,6 +36,14 @@ class Client {
   /// mini-batch of the shard (sampling with replacement).
   GradientEstimate stochastic_gradient(const Vector& parameters);
 
+  /// Same computation, but the gradient is written directly into
+  /// out_gradient[0..parameter_count) — typically a GradientBatch row — so
+  /// the per-round gradient never passes through an intermediate Vector.
+  /// Returns the mini-batch loss.  Consumes the same RNG stream as
+  /// stochastic_gradient, so the two are interchangeable round for round.
+  double stochastic_gradient_into(const Vector& parameters,
+                                  double* out_gradient);
+
   /// Accuracy of the model at `parameters` on an arbitrary evaluation set.
   double evaluate(const Vector& parameters, const ml::Dataset& eval_set,
                   std::size_t max_examples = 0);

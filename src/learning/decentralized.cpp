@@ -7,6 +7,7 @@
 
 #include "agreement/protocol.hpp"
 #include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
 #include "network/adversary.hpp"
 #include "util/thread_pool.hpp"
 
@@ -76,13 +77,19 @@ TrainingResult DecentralizedTrainer::run() {
   TrainingResult result;
   result.history.reserve(config_.rounds);
 
+  // One contiguous gradient batch per round (honest rows first); clients
+  // write their rows in place, and the spread metric runs the Gram kernel
+  // over the honest prefix without materializing per-client Vectors.
+  const std::size_t dim = init_model.parameter_count();
+  GradientBatch gradients(n, dim);
+  std::vector<double> losses(n, 0.0);
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     // Phase 1: local stochastic gradients at each honest client's own
-    // parameters (parallel; disjoint state).
-    std::vector<GradientEstimate> estimates(n);
+    // parameters (parallel; disjoint rows and model replicas).
     auto compute = [&](std::size_t i) {
       const Vector& at = i < honest_count ? params_[i] : params_[0];
-      estimates[i] = clients[i]->stochastic_gradient(at);
+      losses[i] = clients[i]->stochastic_gradient_into(at, gradients.row(i));
     };
     if (config_.pool != nullptr) {
       config_.pool->parallel_for(0, n, compute);
@@ -90,23 +97,28 @@ TrainingResult DecentralizedTrainer::run() {
       for (std::size_t i = 0; i < n; ++i) compute(i);
     }
 
-    VectorList honest_gradients;
     double honest_loss = 0.0;
-    for (std::size_t i = 0; i < honest_count; ++i) {
-      honest_gradients.push_back(estimates[i].gradient);
-      honest_loss += estimates[i].loss;
-    }
+    for (std::size_t i = 0; i < honest_count; ++i) honest_loss += losses[i];
     honest_loss /= static_cast<double>(honest_count);
-    // Pairwise spread of the honest gradients entering agreement, via the
-    // shared (pool-parallel) distance kernel.
+    // Pairwise spread of the honest gradients entering agreement: the
+    // Gram-trick build over the batch's honest prefix (pool-parallel).
     const double gradient_diameter =
-        DistanceMatrix(honest_gradients, config_.pool).diameter();
+        DistanceMatrix(gradients.row(0), honest_count, dim, config_.pool)
+            .diameter();
+
+    // The attack interface and the agreement protocol speak VectorList, so
+    // the honest rows are materialized once per round for both.
+    VectorList honest_gradients;
+    honest_gradients.reserve(honest_count);
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      honest_gradients.push_back(gradients.row_copy(i));
+    }
 
     // Phase 2: Byzantine clients fix their corrupted gradients for the
     // whole agreement phase of this learning round.
     std::vector<std::optional<Vector>> byz_values(n);
     for (std::size_t i = honest_count; i < n; ++i) {
-      byz_values[i] = config_.attack->corrupt(estimates[i].gradient,
+      byz_values[i] = config_.attack->corrupt(gradients.row_copy(i),
                                               honest_gradients, round,
                                               attack_rng);
     }
@@ -120,7 +132,7 @@ TrainingResult DecentralizedTrainer::run() {
 
     // Phase 3: approximate agreement on the gradients for the logarithmic
     // sub-round schedule.
-    VectorList inputs(n, zeros(estimates[0].gradient.size()));
+    VectorList inputs(n, zeros(dim));
     for (std::size_t i = 0; i < honest_count; ++i) {
       inputs[i] = honest_gradients[i];
     }

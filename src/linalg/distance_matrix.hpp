@@ -6,21 +6,46 @@
 // convergence check) reduces to lookups into the same O(m^2) set of pairwise
 // distances over one inbox of m vectors.  Computing that set is the dominant
 // O(m^2 * d) cost of a round; everything downstream is O(m^2) or cheaper.
-// DistanceMatrix computes the set exactly once — optionally chunk-parallel
-// over rows via the ThreadPool — and hands out constant-time lookups, so a
-// comparison suite running r rules over one inbox pays O(m^2 * d) once
-// instead of r times.
+// DistanceMatrix computes the set exactly once — optionally parallel over
+// the ThreadPool — and hands out constant-time lookups, so a comparison
+// suite running r rules over one inbox pays O(m^2 * d) once instead of r
+// times.
 //
-// Both the squared and the plain Euclidean distance are stored: hot loops
-// (Krum's squared flavour, diameter maximization) want d^2 without a sqrt,
-// while the medoid and minimum-diameter searches consume d.  Entries are
-// computed with the same distance_squared / sqrt kernels as the legacy
-// per-pair code paths, so matrix-based results are bitwise identical to the
-// historical per-rule recomputation.
+// Only squared distances are stored (m^2 doubles; the historical d_/d2_
+// pair stored both and doubled the footprint): hot loops (Krum's squared
+// flavour, diameter maximization) consume d^2 directly, and dist() takes
+// the one std::sqrt at the call site.  sqrt is correctly rounded, so
+// dist() is bitwise identical to the historical precomputed entries, and
+// diameter() keeps its documented bitwise agreement with bcl::diameter()
+// (both maximize over squared entries and take a single final sqrt).
+//
+// Two build paths exist:
+//  - the legacy VectorList constructor evaluates distance_squared per pair,
+//    so entries are bitwise identical to the historical per-rule
+//    recomputation (rows handed out via the pool's dynamic schedule; the
+//    triangular row loop is exactly the imbalanced shape the static
+//    schedule handles poorly);
+//  - the GradientBatch constructor uses the Gram trick: when a cheap
+//    streaming check finds the rows' common offset dominating their
+//    spread, the rows are first re-based against row 0 (distances are
+//    translation-invariant, and the re-basing removes the catastrophic
+//    cancellation the raw identity suffers for tightly clustered points
+//    far from the origin), then one blocked
+//    G = X * X^T product (kernels::gram_upper_columns, SIMD-capable and
+//    self-scheduled across column blocks of the upper triangle) yields
+//    ||x_i - x_j||^2 = G_ii + G_jj - 2 G_ij.  This is the fast path — the
+//    contiguous layout and the register-blocked kernel replace m^2/2
+//    latency-bound scalar loops — and agrees with the per-pair build to
+//    ~1e-12 relative to the squared spread (clamped at zero, and exactly
+//    zero for bitwise-equal rows, since norms are read off the Gram
+//    diagonal and the kernel's per-entry arithmetic is
+//    blocking-independent).
 
 #include <cstddef>
+#include <cmath>
 #include <vector>
 
+#include "linalg/gradient_batch.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
@@ -33,17 +58,34 @@ class DistanceMatrix {
   DistanceMatrix() = default;
 
   /// Computes all pairwise distances of `points` (which must share one
-  /// dimension; throws std::invalid_argument otherwise).  With a non-null
-  /// `pool` the rows are partitioned across the pool's workers; the result
-  /// is identical to the serial build.
+  /// dimension; throws std::invalid_argument otherwise) with the exact
+  /// per-pair kernel.  With a non-null `pool` the rows are self-scheduled
+  /// across the pool's workers; the result is identical to the serial
+  /// build.
   explicit DistanceMatrix(const VectorList& points, ThreadPool* pool = nullptr);
+
+  /// Gram-trick build over a contiguous batch (see the header comment).
+  /// With a non-null `pool` the row tiles of G are self-scheduled across
+  /// the workers; the result is bitwise identical to the serial build
+  /// (every G entry is one sequential dot regardless of which worker
+  /// computes it).
+  explicit DistanceMatrix(const GradientBatch& batch,
+                          ThreadPool* pool = nullptr);
+
+  /// Gram-trick build over m raw row-major rows of dimension d (a zero-copy
+  /// slice of a larger batch, e.g. the honest prefix of a round's gradient
+  /// block).  The batch constructor delegates here.
+  DistanceMatrix(const double* rows, std::size_t m, std::size_t d,
+                 ThreadPool* pool = nullptr);
 
   /// Number of points m.
   std::size_t size() const { return m_; }
   bool empty() const { return m_ == 0; }
 
   /// Euclidean distance between points i and j (0 on the diagonal).
-  double dist(std::size_t i, std::size_t j) const { return d_[i * m_ + j]; }
+  double dist(std::size_t i, std::size_t j) const {
+    return std::sqrt(d2_[i * m_ + j]);
+  }
 
   /// Squared Euclidean distance between points i and j.
   double dist2(std::size_t i, std::size_t j) const { return d2_[i * m_ + j]; }
@@ -59,8 +101,7 @@ class DistanceMatrix {
 
  private:
   std::size_t m_ = 0;
-  std::vector<double> d_;   // m_ x m_, row-major, Euclidean
-  std::vector<double> d2_;  // m_ x m_, row-major, squared
+  std::vector<double> d2_;  // m_ x m_, row-major, squared Euclidean
 };
 
 }  // namespace bcl

@@ -1,0 +1,58 @@
+#include "linalg/gradient_batch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace bcl {
+
+GradientBatch GradientBatch::from(const VectorList& vs) {
+  const std::size_t d = check_same_dimension(vs);
+  GradientBatch batch(vs.size(), d);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    std::memcpy(batch.row(i), vs[i].data(), d * sizeof(double));
+  }
+  return batch;
+}
+
+void GradientBatch::set_row(std::size_t i, const Vector& v) {
+  if (i >= m_) throw std::invalid_argument("GradientBatch: row out of range");
+  if (v.size() != d_) {
+    throw std::invalid_argument("GradientBatch: dimension mismatch");
+  }
+  std::memcpy(row(i), v.data(), d_ * sizeof(double));
+}
+
+VectorList GradientBatch::to_vectors() const {
+  VectorList out;
+  out.reserve(m_);
+  for (std::size_t i = 0; i < m_; ++i) out.push_back(row_copy(i));
+  return out;
+}
+
+Vector mean(const GradientBatch& batch) {
+  if (batch.empty()) throw std::invalid_argument("mean of empty batch");
+  Vector r(batch.dim(), 0.0);
+  kernels::col_sum(batch.data(), batch.rows(), batch.dim(), r.data());
+  kernels::scale_inplace(r.data(), 1.0 / static_cast<double>(batch.rows()),
+                         r.size());
+  return r;
+}
+
+Vector mean_of_rows(const GradientBatch& batch,
+                    const std::vector<std::size_t>& indices) {
+  if (indices.empty()) {
+    throw std::invalid_argument("mean_of_rows: empty selection");
+  }
+  Vector r(batch.dim(), 0.0);
+  for (std::size_t i : indices) {
+    kernels::add_inplace(r.data(), batch.row(i), batch.dim());
+  }
+  kernels::scale_inplace(r.data(), 1.0 / static_cast<double>(indices.size()),
+                         r.size());
+  return r;
+}
+
+}  // namespace bcl

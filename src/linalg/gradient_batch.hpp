@@ -1,0 +1,78 @@
+#pragma once
+// Contiguous row-major batch of m gradient vectors in R^d.
+//
+// The aggregation stack historically passed inboxes around as
+// std::vector<std::vector<double>> (VectorList): every row is a separate
+// heap allocation, so the O(m^2 * d) distance build and the coordinate-wise
+// reductions pay a pointer chase per row and defeat both hardware
+// prefetching and cache blocking.  GradientBatch stores the same m x d
+// values in one flat buffer with zero-copy row views, which is the layout
+// the kernels.hpp micro-kernels (Gram build, column reductions, gemm)
+// require.
+//
+// Producers write rows in place (clients deposit gradients directly via
+// row()); consumers that still speak VectorList convert explicitly with
+// to_vectors() / from().  The batch owns its storage; row pointers are
+// invalidated by resize().
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+class GradientBatch {
+ public:
+  /// Empty batch (0 x 0).
+  GradientBatch() = default;
+
+  /// Zero-filled m x d batch.
+  GradientBatch(std::size_t rows, std::size_t dim)
+      : m_(rows), d_(dim), data_(rows * dim, 0.0) {}
+
+  /// Copies a VectorList into contiguous storage (rows must share one
+  /// dimension; throws std::invalid_argument otherwise).
+  static GradientBatch from(const VectorList& vs);
+
+  std::size_t rows() const { return m_; }
+  std::size_t dim() const { return d_; }
+  bool empty() const { return m_ == 0; }
+
+  /// Zero-copy view of row i (d contiguous doubles).
+  double* row(std::size_t i) { return data_.data() + i * d_; }
+  const double* row(std::size_t i) const { return data_.data() + i * d_; }
+
+  /// The whole m x d buffer, row-major.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copies `v` into row i (dimension-checked).
+  void set_row(std::size_t i, const Vector& v);
+
+  /// Copy of row i as a standalone Vector.
+  Vector row_copy(std::size_t i) const {
+    return Vector(row(i), row(i) + d_);
+  }
+
+  /// Copies the batch out into the legacy VectorList representation.
+  VectorList to_vectors() const;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t d_ = 0;
+  std::vector<double> data_;  // m_ x d_, row-major
+};
+
+/// Arithmetic mean of a non-empty batch's rows, via one streaming column
+/// reduction.  Each coordinate accumulates in row order, so the result is
+/// bitwise identical to mean(VectorList) on the same values.
+Vector mean(const GradientBatch& batch);
+
+/// Mean of the selected rows, accumulated in `indices` order — bitwise
+/// identical to mean() over the gathered VectorList.  Throws on an empty
+/// selection.  Shared by the subset-averaging rules (Multi-Krum, MD-MEAN).
+Vector mean_of_rows(const GradientBatch& batch,
+                    const std::vector<std::size_t>& indices);
+
+}  // namespace bcl

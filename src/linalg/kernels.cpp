@@ -1,0 +1,207 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define BCL_KERNELS_SSE2 1
+#else
+#define BCL_KERNELS_SSE2 0
+#endif
+
+namespace bcl::kernels {
+
+namespace {
+
+// Register block width shared by the gemm and Gram kernels: number of B
+// rows (output columns) accumulated per pass over k.  Eight independent
+// accumulator chains are enough to cover the FP latency on current cores
+// without spilling.
+constexpr std::size_t kColBlock = 8;
+
+// --- strict-order gemm micro-kernel ---------------------------------------
+//
+// cvals[q] += arow . brow_q for W consecutive B rows starting at b (each
+// `bstride` apart), k in [k0, k1).  W is a compile-time constant so the q
+// loop fully unrolls and acc[] lives in registers; each acc[q] is a single
+// sequential chain in increasing k — the bitwise-determinism contract
+// matmul_abt documents (this is what lets the im2col Conv2D and the gemm
+// Dense match the direct implementations exactly).
+template <std::size_t W>
+void abt_kernel(const double* arow, const double* b, std::size_t bstride,
+                double* cvals, std::size_t k0, std::size_t k1) {
+  const double* brow[W];
+  for (std::size_t q = 0; q < W; ++q) brow[q] = b + q * bstride;
+  double acc[W];
+  for (std::size_t q = 0; q < W; ++q) acc[q] = cvals[q];
+  for (std::size_t kk = k0; kk < k1; ++kk) {
+    const double av = arow[kk];
+    for (std::size_t q = 0; q < W; ++q) acc[q] += av * brow[q][kk];
+  }
+  for (std::size_t q = 0; q < W; ++q) cvals[q] = acc[q];
+}
+
+// Width dispatch for one A row against B rows [j0, j1) over k in [k0, k1).
+void abt_row_range(const double* arow, const double* b, std::size_t k,
+                   double* crow, std::size_t j0, std::size_t j1,
+                   std::size_t k0, std::size_t k1) {
+  std::size_t j = j0;
+  for (; j + kColBlock <= j1; j += kColBlock) {
+    abt_kernel<kColBlock>(arow, b + j * k, k, crow + j, k0, k1);
+  }
+  if (j + 4 <= j1) {
+    abt_kernel<4>(arow, b + j * k, k, crow + j, k0, k1);
+    j += 4;
+  }
+  if (j + 2 <= j1) {
+    abt_kernel<2>(arow, b + j * k, k, crow + j, k0, k1);
+    j += 2;
+  }
+  if (j < j1) abt_kernel<1>(arow, b + j * k, k, crow + j, k0, k1);
+}
+
+// --- Gram micro-kernel ----------------------------------------------------
+//
+// The Gram build tolerates (documented) reassociation, so its kernel uses
+// two interleaved k-chains per entry — even and odd k indices — which map
+// onto one 2-lane SIMD accumulator per output column.  The per-entry
+// arithmetic is fixed by this definition alone:
+//
+//     G_ij = (sum_{k even} a_k b_k + sum_{k odd} a_k b_k) + tail
+//
+// (tail = the last product when k is odd), and never depends on the kernel
+// width W, on how columns are grouped into blocks, or on which thread runs
+// the block.  Consequences: serial and pool-parallel builds are bitwise
+// identical, and bitwise-equal rows produce bitwise-equal entries (the
+// DistanceMatrix diagonal-norm trick then yields exactly zero distances).
+// The scalar twin below replicates the lane arithmetic exactly, so builds
+// agree bitwise across the SSE2 and fallback paths too.
+
+#if BCL_KERNELS_SSE2
+template <std::size_t W>
+void gram_kernel(const double* arow, const double* const* brow, double* cvals,
+                 std::size_t d) {
+  __m128d acc[W];
+  for (std::size_t q = 0; q < W; ++q) acc[q] = _mm_setzero_pd();
+  std::size_t kk = 0;
+  for (; kk + 2 <= d; kk += 2) {
+    const __m128d av = _mm_loadu_pd(arow + kk);
+    for (std::size_t q = 0; q < W; ++q) {
+      acc[q] = _mm_add_pd(acc[q], _mm_mul_pd(av, _mm_loadu_pd(brow[q] + kk)));
+    }
+  }
+  for (std::size_t q = 0; q < W; ++q) {
+    double lanes[2];
+    _mm_storeu_pd(lanes, acc[q]);
+    double value = lanes[0] + lanes[1];
+    if (kk < d) value += arow[kk] * brow[q][kk];
+    cvals[q] += value;
+  }
+}
+#else
+template <std::size_t W>
+void gram_kernel(const double* arow, const double* const* brow, double* cvals,
+                 std::size_t d) {
+  double even[W];
+  double odd[W];
+  for (std::size_t q = 0; q < W; ++q) even[q] = odd[q] = 0.0;
+  std::size_t kk = 0;
+  for (; kk + 2 <= d; kk += 2) {
+    const double a0 = arow[kk];
+    const double a1 = arow[kk + 1];
+    for (std::size_t q = 0; q < W; ++q) {
+      even[q] += a0 * brow[q][kk];
+      odd[q] += a1 * brow[q][kk + 1];
+    }
+  }
+  for (std::size_t q = 0; q < W; ++q) {
+    double value = even[q] + odd[q];
+    if (kk < d) value += arow[kk] * brow[q][kk];
+    cvals[q] += value;
+  }
+}
+#endif
+
+// One A row against columns [j0, j1) of X, decomposed into 8/4/2/1 widths.
+void gram_row_range(const double* arow, const double* x, std::size_t k,
+                    double* crow, std::size_t j0, std::size_t j1) {
+  const double* brow[kColBlock];
+  std::size_t j = j0;
+  for (; j + kColBlock <= j1; j += kColBlock) {
+    for (std::size_t q = 0; q < kColBlock; ++q) brow[q] = x + (j + q) * k;
+    gram_kernel<kColBlock>(arow, brow, crow + j, k);
+  }
+  if (j + 4 <= j1) {
+    for (std::size_t q = 0; q < 4; ++q) brow[q] = x + (j + q) * k;
+    gram_kernel<4>(arow, brow, crow + j, k);
+    j += 4;
+  }
+  if (j + 2 <= j1) {
+    for (std::size_t q = 0; q < 2; ++q) brow[q] = x + (j + q) * k;
+    gram_kernel<2>(arow, brow, crow + j, k);
+    j += 2;
+  }
+  if (j < j1) {
+    brow[0] = x + j * k;
+    gram_kernel<1>(arow, brow, crow + j, k);
+  }
+}
+
+}  // namespace
+
+double dot_seq(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double* y, double alpha, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void add_inplace(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void scale_inplace(double* y, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+void matmul_abt(const double* a, std::size_t ma, const double* b,
+                std::size_t mb, std::size_t k, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < ma; ++i) {
+    abt_row_range(a + i * k, b, k, c + i * ldc, 0, mb, 0, k);
+  }
+}
+
+void gram_upper_columns(const double* x, std::size_t m, std::size_t k,
+                        double* c, std::size_t col0, std::size_t col1) {
+  std::size_t j0 = col0;
+  while (j0 < col1) {
+    const std::size_t jw = std::min(kColBlock, col1 - j0);
+    // Full-width rows: every column j in [j0, j0 + jw) has j >= i.
+    for (std::size_t i = 0; i < j0; ++i) {
+      gram_row_range(x + i * k, x, k, c + i * m, j0, j0 + jw);
+    }
+    // Diagonal fringe: row i only takes columns j >= i.
+    for (std::size_t i = j0; i < j0 + jw; ++i) {
+      gram_row_range(x + i * k, x, k, c + i * m, i, j0 + jw);
+    }
+    j0 += jw;
+  }
+}
+
+void gram_upper(const double* x, std::size_t m, std::size_t k, double* c) {
+  gram_upper_columns(x, m, k, c, 0, m);
+}
+
+void dot_rows(const double* a, const double* b, std::size_t rows,
+              std::size_t k, double* out) {
+  gram_row_range(a, b, k, out, 0, rows);
+}
+
+void col_sum(const double* x, std::size_t m, std::size_t k, double* out) {
+  for (std::size_t i = 0; i < m; ++i) add_inplace(out, x + i * k, k);
+}
+
+}  // namespace bcl::kernels

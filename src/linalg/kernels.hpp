@@ -1,0 +1,84 @@
+#pragma once
+// Blocked/unrolled BLAS-style micro-kernels over contiguous row-major
+// buffers.
+//
+// Every hot loop in the stack — the Gram-matrix build behind the pairwise
+// distance matrix, the coordinate-wise reductions, and the im2col-based
+// Conv2D / Dense products — bottoms out in the same handful of kernels over
+// flat double arrays.  The legacy loops iterated std::vector<std::vector>
+// and accumulated through a single serial dependency chain, so the compiler
+// could neither vectorize nor overlap the floating-point adds; these kernels
+// work on contiguous memory, tile for cache reuse, and batch several
+// independent accumulator chains so the FPU pipeline stays full.
+//
+// Two determinism contracts coexist:
+//  - matmul_abt accumulates each output entry strictly in increasing-k
+//    order: one accumulator seeded with the existing C value, products
+//    added one at a time (so with a zero seed C[i][j] is bitwise equal to
+//    dot_seq(A_i, B_j)).  Its speed comes from running many
+//    such chains in flight at once (one per output column of the register
+//    block), not from reassociating any single sum — which is what lets
+//    the im2col Conv2D and the gemm Dense match the direct implementations
+//    exactly.
+//  - the Gram kernels (gram_upper / gram_upper_columns) serve the
+//    tolerance-checked distance path and DO reassociate, into exactly two
+//    interleaved k-chains (even + odd indices, folded as
+//    (even + odd) + tail) that map onto one 2-lane SIMD accumulator per
+//    column.  The per-entry arithmetic depends only on that definition —
+//    never on the kernel width, the column blocking, or the thread that
+//    runs it — so serial and pool-parallel builds stay bitwise identical
+//    and bitwise-equal input rows produce bitwise-equal Gram entries.
+//
+#include <cstddef>
+
+namespace bcl::kernels {
+
+/// Strictly sequential dot product: one accumulator, increasing index.
+/// Bitwise identical to the naive `for (i) s += a[i]*b[i]` loop — the
+/// reference the matmul_abt contract is stated (and tested) against.
+double dot_seq(const double* a, const double* b, std::size_t n);
+
+/// y += alpha * x over contiguous arrays (unrolled).
+void axpy(double* y, double alpha, const double* x, std::size_t n);
+
+/// y += x over contiguous arrays (unrolled; preserves per-element order, so
+/// repeated calls accumulate each coordinate in call order).
+void add_inplace(double* y, const double* x, std::size_t n);
+
+/// y *= alpha over a contiguous array.
+void scale_inplace(double* y, double alpha, std::size_t n);
+
+/// C += A * B^T for row-major A (ma x k), B (mb x k), C (ma x ldc, using the
+/// first mb columns of each row).  Tiled over rows of A and B for cache
+/// reuse; each C entry is accumulated in increasing-k order (see the
+/// determinism contract above).
+void matmul_abt(const double* a, std::size_t ma, const double* b,
+                std::size_t mb, std::size_t k, double* c, std::size_t ldc);
+
+/// Gram upper triangle: for 0 <= i <= j < m, C[i*m + j] += X_i . X_j with
+/// X row-major (m x k).  Only the diagonal and the upper triangle of C are
+/// written.  Uses the two-chain reassociated kernel (see the determinism
+/// contract above), SIMD where available.
+void gram_upper(const double* x, std::size_t m, std::size_t k, double* c);
+
+/// Column slice of gram_upper: fills entries C[i*m + j] for
+/// col0 <= j < col1, i <= j.  Slices with disjoint column ranges touch
+/// disjoint outputs, which is the parallel work unit the Gram-trick
+/// DistanceMatrix self-schedules across the ThreadPool.
+void gram_upper_columns(const double* x, std::size_t m, std::size_t k,
+                        double* c, std::size_t col0, std::size_t col1);
+
+/// out[q] += a . b_q for `rows` consecutive rows of row-major B (each of
+/// length k): the multi-row dot behind the Dense layer's products.  Uses
+/// the same two-chain reassociated kernel as the Gram build (see the
+/// determinism contract above), so results are reproducible but not
+/// bitwise equal to a sequential dot.
+void dot_rows(const double* a, const double* b, std::size_t rows,
+              std::size_t k, double* out);
+
+/// out[j] += sum_i X[i][j] for row-major X (m x k): a column reduction that
+/// streams the batch row by row, so each out[j] accumulates in increasing-i
+/// order (bitwise identical to the naive per-coordinate loop over rows).
+void col_sum(const double* x, std::size_t m, std::size_t k, double* out);
+
+}  // namespace bcl::kernels

@@ -57,6 +57,65 @@ Vector coordinatewise_trimmed_mean(const VectorList& vs, std::size_t trim) {
   return r;
 }
 
+namespace {
+
+// Shared blocked column pass: transposes tiles of kColumnTile columns into
+// `scratch` (column c of the batch becomes the contiguous run
+// scratch[c * m .. c * m + m)), sorts each run ascending, and hands it to
+// `reduce`.  The strided batch traversal happens once per tile row instead
+// of once per coordinate, so the pass streams the batch m * d / tile times
+// less than the naive per-coordinate gather.
+template <typename Reduce>
+Vector blocked_column_pass(const GradientBatch& batch, Reduce&& reduce) {
+  constexpr std::size_t kColumnTile = 64;
+  const std::size_t m = batch.rows();
+  const std::size_t d = batch.dim();
+  Vector r(d);
+  std::vector<double> scratch(kColumnTile * m);
+  for (std::size_t k0 = 0; k0 < d; k0 += kColumnTile) {
+    const std::size_t width = std::min(kColumnTile, d - k0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* row = batch.row(i) + k0;
+      for (std::size_t c = 0; c < width; ++c) scratch[c * m + i] = row[c];
+    }
+    for (std::size_t c = 0; c < width; ++c) {
+      double* column = scratch.data() + c * m;
+      std::sort(column, column + m);
+      r[k0 + c] = reduce(column, m);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Vector coordinatewise_median(const GradientBatch& batch) {
+  if (batch.empty()) throw std::invalid_argument("median of empty batch");
+  // Same arithmetic as median() on a sorted copy, so outputs are bitwise
+  // identical to the VectorList form.
+  return blocked_column_pass(batch, [](const double* sorted, std::size_t m) {
+    if (m % 2 == 1) return sorted[m / 2];
+    return 0.5 * (sorted[m / 2 - 1] + sorted[m / 2]);
+  });
+}
+
+Vector coordinatewise_trimmed_mean(const GradientBatch& batch,
+                                   std::size_t trim) {
+  if (batch.empty()) {
+    throw std::invalid_argument("trimmed mean of empty batch");
+  }
+  if (2 * trim >= batch.rows()) {
+    throw std::invalid_argument("trimmed_mean: trim too large");
+  }
+  // Sum ascending over the kept slice, exactly as trimmed_mean() does.
+  return blocked_column_pass(
+      batch, [trim](const double* sorted, std::size_t m) {
+        double s = 0.0;
+        for (std::size_t i = trim; i < m - trim; ++i) s += sorted[i];
+        return s / static_cast<double>(m - 2 * trim);
+      });
+}
+
 Hyperbox trimmed_hyperbox(const VectorList& vs, std::size_t keep) {
   const std::size_t m = vs.size();
   if (keep == 0 || keep > m) {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "linalg/gradient_batch.hpp"
 #include "linalg/hyperbox.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -30,6 +31,15 @@ Vector coordinatewise_median(const VectorList& vs);
 /// Coordinate-wise trimmed mean with `trim` values removed per side in each
 /// coordinate independently.
 Vector coordinatewise_trimmed_mean(const VectorList& vs, std::size_t trim);
+
+/// Batch forms of the coordinate-wise reductions: a blocked column pass
+/// transposes tiles of columns into a small scratch buffer (one strided
+/// sweep per tile instead of one per coordinate), then applies the same
+/// order statistics per column.  Outputs are bitwise identical to the
+/// VectorList forms on the same values.
+Vector coordinatewise_median(const GradientBatch& batch);
+Vector coordinatewise_trimmed_mean(const GradientBatch& batch,
+                                   std::size_t trim);
 
 /// The locally trusted hyperbox of Definition 2.5: in each coordinate,
 /// interval from the (drop+1)-th smallest to the (m-drop)-th smallest value

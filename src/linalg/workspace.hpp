@@ -1,17 +1,27 @@
 #pragma once
 // Per-inbox aggregation workspace.
 //
-// An AggregationWorkspace bundles one inbox of vectors with lazily computed
-// shared state — today the pairwise DistanceMatrix, plus the worker pool to
-// build it with.  A node (or the central server, or a bench harness
-// comparing rules) constructs one workspace per inbox and passes it to every
-// rule, geometry search, and round function that consumes the same vectors,
-// so the O(m^2 * d) distance computation happens at most once per inbox no
+// An AggregationWorkspace bundles one inbox with lazily computed shared
+// state — today the pairwise DistanceMatrix, plus the worker pool to build
+// it with.  A node (or the central server, or a bench harness comparing
+// rules) constructs one workspace per inbox and passes it to every rule,
+// geometry search, and round function that consumes the same vectors, so
+// the O(m^2 * d) distance computation happens at most once per inbox no
 // matter how many consumers run off it.
 //
-// The workspace borrows the vector list; it must outlive the workspace.
+// The inbox is borrowed in one of two representations, and the workspace
+// adapts whichever one a consumer asks for:
+//  - a legacy VectorList: distances() uses the exact per-pair build, so
+//    every matrix-based result stays bitwise identical to the historical
+//    per-rule recomputation; batch() is null.
+//  - a contiguous GradientBatch (the fast path): distances() uses the
+//    tiled Gram-trick build, and points() materializes a VectorList copy
+//    on first use for consumers that still speak the legacy type.
+// Either way the borrowed inbox must outlive the workspace.
+//
 // Laziness matters: rules that never touch pairwise distances (MEAN,
-// CW-MEDIAN, TRIM-MEAN, the clipping baselines) never trigger the build.
+// CW-MEDIAN, TRIM-MEAN, the clipping baselines) never trigger the build,
+// and batch-native rules never trigger the VectorList materialization.
 //
 // A workspace is intended for single-threaded use (one node's round);
 // internal consumers may still fan work out across the attached pool.
@@ -19,6 +29,7 @@
 #include <cstddef>
 
 #include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
@@ -33,14 +44,33 @@ class AggregationWorkspace {
                                 ThreadPool* pool = nullptr)
       : points_(&points), pool_(pool) {}
 
+  /// Borrows a contiguous `batch`; distances() then uses the Gram-trick
+  /// build and points() materializes lazily.
+  explicit AggregationWorkspace(const GradientBatch& batch,
+                                ThreadPool* pool = nullptr)
+      : batch_(&batch), pool_(pool) {}
+
   AggregationWorkspace(const AggregationWorkspace&) = delete;
   AggregationWorkspace& operator=(const AggregationWorkspace&) = delete;
 
-  /// The inbox this workspace was built over.
-  const VectorList& points() const { return *points_; }
+  /// The inbox as a VectorList: the borrowed list itself when list-backed,
+  /// else a copy of the batch materialized on first use and cached.
+  const VectorList& points() {
+    if (points_ != nullptr) return *points_;
+    if (!materialized_built_) {
+      materialized_ = batch_->to_vectors();
+      materialized_built_ = true;
+    }
+    return materialized_;
+  }
+
+  /// The borrowed batch, or nullptr for a list-backed workspace.
+  const GradientBatch* batch() const { return batch_; }
 
   /// Number of vectors in the inbox.
-  std::size_t size() const { return points_->size(); }
+  std::size_t size() const {
+    return points_ != nullptr ? points_->size() : batch_->rows();
+  }
 
   ThreadPool* pool() const { return pool_; }
 
@@ -51,17 +81,21 @@ class AggregationWorkspace {
   /// (pool-parallel when a pool is attached) and cached afterwards.
   const DistanceMatrix& distances() {
     if (!built_) {
-      matrix_ = DistanceMatrix(*points_, pool_);
+      matrix_ = batch_ != nullptr ? DistanceMatrix(*batch_, pool_)
+                                  : DistanceMatrix(*points_, pool_);
       built_ = true;
     }
     return matrix_;
   }
 
  private:
-  const VectorList* points_;
-  ThreadPool* pool_;
+  const VectorList* points_ = nullptr;
+  const GradientBatch* batch_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   DistanceMatrix matrix_;
   bool built_ = false;
+  VectorList materialized_;
+  bool materialized_built_ = false;
 };
 
 }  // namespace bcl

@@ -1,5 +1,14 @@
 #pragma once
 // Fully connected layer: y = x W + b, with x [N, in], W [in, out], b [out].
+//
+// The dot-shaped products (forward activations and grad-input) run on the
+// shared two-chain SIMD kernel (kernels::dot_rows, the same arithmetic as
+// the Gram-trick distance build): deterministic and reproducible, agreeing
+// with the historical per-row loops to rounding (exactly on
+// exactly-representable inputs).  The outer-product updates (grad-weight,
+// grad-bias) keep the historical accumulation order via kernels::axpy /
+// col_sum and are bitwise identical.  The parameter layout (row-major
+// [in, out] plus bias) is unchanged, so checkpoints round-trip.
 
 #include "ml/layer.hpp"
 
@@ -35,6 +44,10 @@ class Dense final : public Layer {
   std::vector<double> grad_weight_;  // accumulated over the batch
   std::vector<double> grad_bias_;
   Tensor cached_input_;
+  // W^T [out, in], rebuilt lazily after a weight mutation so forward's
+  // contiguous row sweeps do not pay a transpose per call.
+  std::vector<double> weight_t_;
+  bool weight_t_valid_ = false;
 };
 
 }  // namespace bcl::ml

@@ -43,12 +43,16 @@ void Model::set_parameters(const Vector& theta) {
 
 Vector Model::gradients() const {
   Vector grad(parameter_count());
+  read_gradients(grad.data());
+  return grad;
+}
+
+void Model::read_gradients(double* dst) const {
   std::size_t offset = 0;
   for (const auto& layer : layers_) {
-    layer->read_gradients(grad.data() + offset);
+    layer->read_gradients(dst + offset);
     offset += layer->parameter_count();
   }
-  return grad;
 }
 
 void Model::zero_gradients() {

@@ -41,6 +41,11 @@ class Model {
   /// Flat gradient accumulated by the last backward pass.
   Vector gradients() const;
 
+  /// Writes the flat gradient into dst[0..parameter_count()) — the
+  /// zero-intermediate path clients use to deposit gradients directly into
+  /// a shared GradientBatch row.
+  void read_gradients(double* dst) const;
+
   void zero_gradients();
 
   /// Forward pass through all layers.

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 
+#include "linalg/gradient_batch.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
@@ -21,6 +22,20 @@ inline VectorList payloads(const std::vector<Message>& inbox) {
   out.reserve(inbox.size());
   for (const auto& msg : inbox) out.push_back(msg.payload);
   return out;
+}
+
+/// Packs an inbox's payloads into one contiguous row-major batch (row i =
+/// i-th message, preserving the sender-sorted order).  Throws
+/// std::invalid_argument if payload dimensions disagree — a malformed
+/// Byzantine payload is rejected at the boundary, as the VectorList path
+/// does inside the rules.
+inline GradientBatch payload_batch(const std::vector<Message>& inbox) {
+  if (inbox.empty()) return GradientBatch();
+  GradientBatch batch(inbox.size(), inbox.front().payload.size());
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    batch.set_row(i, inbox[i].payload);
+  }
+  return batch;
 }
 
 }  // namespace bcl

@@ -68,36 +68,21 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, workers_.size() + 1);
-  if (parts <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+void ThreadPool::fork_join(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks.front()();
     return;
   }
-  // Static chunking: chunk p covers [begin + p*chunk, ...), remainder spread
-  // over the first `rem` chunks.
-  const std::size_t chunk = n / parts;
-  const std::size_t rem = n % parts;
   std::exception_ptr local_error;
   std::mutex err_mu;
   std::atomic<std::size_t> done{0};
-  std::size_t lo = begin;
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  ranges.reserve(parts);
-  for (std::size_t p = 0; p < parts; ++p) {
-    const std::size_t len = chunk + (p < rem ? 1 : 0);
-    ranges.emplace_back(lo, lo + len);
-    lo += len;
-  }
-  // Submit all but the first range; run the first on the calling thread.
-  for (std::size_t p = 1; p < parts; ++p) {
-    const auto [a, b] = ranges[p];
-    submit([&, a, b] {
+  // Submit all but the first task; run the first on the calling thread.
+  for (std::size_t p = 1; p < tasks.size(); ++p) {
+    const std::function<void()>* task_p = &tasks[p];
+    submit([&, task_p] {
       try {
-        for (std::size_t i = a; i < b; ++i) fn(i);
+        (*task_p)();
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);
         if (!local_error) local_error = std::current_exception();
@@ -106,16 +91,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     });
   }
   try {
-    for (std::size_t i = ranges[0].first; i < ranges[0].second; ++i) fn(i);
+    tasks.front()();
   } catch (...) {
     std::lock_guard<std::mutex> lock(err_mu);
     if (!local_error) local_error = std::current_exception();
   }
-  // Wait for the submitted chunks (not the whole pool, so nested use from
+  // Wait for the submitted tasks (not the whole pool, so nested use from
   // multiple callers does not deadlock on unrelated work).  While waiting,
-  // help drain the queue so nested parallel_for calls from worker threads
-  // cannot deadlock when all workers are busy.
-  while (done.load(std::memory_order_acquire) != parts - 1) {
+  // help drain the queue so nested fork-joins from worker threads cannot
+  // deadlock when all workers are busy.
+  while (done.load(std::memory_order_acquire) != tasks.size() - 1) {
     std::function<void()> task;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -139,6 +124,56 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
   }
   if (local_error) std::rethrow_exception(local_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+  if (parts <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Static chunking: chunk p covers [begin + p*chunk, ...), remainder spread
+  // over the first `rem` chunks.
+  const std::size_t chunk = n / parts;
+  const std::size_t rem = n % parts;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(parts);
+  std::size_t lo = begin;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = chunk + (p < rem ? 1 : 0);
+    const std::size_t a = lo;
+    const std::size_t b = lo + len;
+    tasks.push_back([&fn, a, b] {
+      for (std::size_t i = a; i < b; ++i) fn(i);
+    });
+    lo += len;
+  }
+  fork_join(tasks);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn, std::size_t chunk) {
+  if (begin >= end) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t n = end - begin;
+  // One shared cursor; every participant (workers + the calling thread)
+  // repeatedly claims the next `chunk` indices until the range is drained.
+  std::atomic<std::size_t> cursor{begin};
+  auto drain = [&cursor, end, chunk, &fn] {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  const std::size_t participants =
+      1 + std::min(workers_.size(), (n + chunk - 1) / chunk - 1);
+  fork_join(std::vector<std::function<void()>>(participants, drain));
 }
 
 ThreadPool& ThreadPool::global() {

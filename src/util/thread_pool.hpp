@@ -45,11 +45,30 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Self-scheduling variant for imbalanced iterations (an OpenMP "dynamic"
+  /// schedule): indices are handed out `chunk` at a time from a shared
+  /// atomic cursor, so a worker that draws cheap iterations immediately
+  /// comes back for more.  The static parallel_for assigns each worker one
+  /// contiguous slab, which degenerates on triangular loops — the worker
+  /// holding the first rows of a pairwise build carries ~m/2 times the work
+  /// of the one holding the last rows; this variant keeps all workers busy
+  /// to the end.  fn(i) must still touch only its own data.  Blocks until
+  /// done; rethrows the first worker exception.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& fn,
+                            std::size_t chunk = 1);
+
   /// Process-wide shared pool, sized to the hardware.
   static ThreadPool& global();
 
  private:
   void worker_loop();
+
+  /// Shared fork-join core: runs tasks[0] on the calling thread, submits
+  /// the rest to the pool, help-drains the queue until the submitted tasks
+  /// finish (so nested calls from worker threads cannot deadlock), and
+  /// rethrows the first captured exception.
+  void fork_join(const std::vector<std::function<void()>>& tasks);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

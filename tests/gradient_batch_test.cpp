@@ -1,0 +1,378 @@
+// Regression suite for the contiguous GradientBatch layout, the Gram-trick
+// distance build, and the batch-native rule/layer paths.
+//
+// The contracts under test:
+//  - Gram-trick distances agree with the exact per-pair build within 1e-9
+//    relative tolerance on randomized inputs (and exactly for duplicate
+//    rows), serial and pool builds bitwise identical;
+//  - every relabeled rule (Krum, Multi-Krum, MDA, MD-GEOM, medoid, mean,
+//    CW-median, trimmed mean) returns identical selections/outputs through
+//    the batch entry point as through the legacy VectorList path;
+//  - the im2col Conv2D matches the direct convolution exactly on forward
+//    and to 1e-12 on gradients (the accumulation orders differ).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bcl.hpp"
+#include "ml/conv2d.hpp"
+
+namespace bcl {
+namespace {
+
+VectorList random_points(Rng& rng, std::size_t m, std::size_t d) {
+  VectorList pts;
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector v(d);
+    for (auto& x : v) x = rng.uniform(-10.0, 10.0);
+    pts.push_back(v);
+  }
+  return pts;
+}
+
+// --- layout ---------------------------------------------------------------
+
+TEST(GradientBatch, RoundTripsThroughVectorList) {
+  Rng rng(31);
+  const VectorList pts = random_points(rng, 7, 5);
+  const GradientBatch batch = GradientBatch::from(pts);
+  EXPECT_EQ(batch.rows(), pts.size());
+  EXPECT_EQ(batch.dim(), pts.front().size());
+  EXPECT_EQ(batch.to_vectors(), pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(batch.row_copy(i), pts[i]);
+  }
+}
+
+TEST(GradientBatch, SetRowChecksDimensions) {
+  GradientBatch batch(3, 4);
+  EXPECT_THROW(batch.set_row(0, Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(batch.set_row(3, zeros(4)), std::invalid_argument);
+  batch.set_row(1, Vector{1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(batch.row_copy(1), (Vector{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(batch.row_copy(0), zeros(4));
+}
+
+TEST(GradientBatch, RejectsRaggedInput) {
+  EXPECT_THROW(GradientBatch::from(VectorList{{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(GradientBatch, MeanMatchesVectorListMeanExactly) {
+  Rng rng(32);
+  const VectorList pts = random_points(rng, 9, 33);
+  EXPECT_EQ(mean(GradientBatch::from(pts)), mean(pts));
+}
+
+// --- kernel contracts -----------------------------------------------------
+
+TEST(Kernels, MatmulAbtIsBitwiseSequentialPerEntry) {
+  Rng rng(30);
+  const std::size_t ma = 5, mb = 11, k = 37;
+  std::vector<double> a(ma * k), b(mb * k);
+  for (auto& v : a) v = rng.uniform(-3.0, 3.0);
+  for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+  std::vector<double> c0(ma * mb, 0.0);
+  kernels::matmul_abt(a.data(), ma, b.data(), mb, k, c0.data(), mb);
+  std::vector<double> c1(ma * mb, 0.5);  // non-zero seed (the conv bias case)
+  kernels::matmul_abt(a.data(), ma, b.data(), mb, k, c1.data(), mb);
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < mb; ++j) {
+      // The documented contract: the accumulator is seeded with the
+      // existing C value and products are added in increasing k — with a
+      // zero seed that is exactly dot_seq.
+      EXPECT_EQ(c0[i * mb + j],
+                kernels::dot_seq(a.data() + i * k, b.data() + j * k, k));
+      double seeded = 0.5;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        seeded += a[i * k + kk] * b[j * k + kk];
+      }
+      EXPECT_EQ(c1[i * mb + j], seeded);
+    }
+  }
+}
+
+TEST(Kernels, GramUpperMatchesDotsWithinTolerance) {
+  Rng rng(42);
+  const std::size_t m = 13, k = 97;
+  std::vector<double> x(m * k);
+  for (auto& v : x) v = rng.uniform(-3.0, 3.0);
+  std::vector<double> g(m * m, 0.0);
+  kernels::gram_upper(x.data(), m, k, g.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j < i) {
+        EXPECT_EQ(g[i * m + j], 0.0);  // lower triangle untouched
+      } else {
+        const double want =
+            kernels::dot_seq(x.data() + i * k, x.data() + j * k, k);
+        EXPECT_NEAR(g[i * m + j], want, 1e-12 * (1.0 + std::abs(want)));
+      }
+    }
+  }
+}
+
+// --- Gram-trick distances -------------------------------------------------
+
+TEST(GramDistance, MatchesExactBuildWithinTolerance) {
+  Rng rng(33);
+  for (const auto& [m, d] : {std::pair<std::size_t, std::size_t>{3, 1},
+                             {10, 7},
+                             {23, 129},
+                             {50, 1000}}) {
+    const VectorList pts = random_points(rng, m, d);
+    const DistanceMatrix exact(pts);
+    const DistanceMatrix gram(GradientBatch::from(pts));
+    ASSERT_EQ(gram.size(), m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double want = exact.dist2(i, j);
+        EXPECT_NEAR(gram.dist2(i, j), want, 1e-9 * (1.0 + std::abs(want)))
+            << "m=" << m << " d=" << d << " i=" << i << " j=" << j;
+        EXPECT_EQ(gram.dist2(i, j), gram.dist2(j, i));
+      }
+      EXPECT_EQ(gram.dist2(i, i), 0.0);
+    }
+  }
+}
+
+TEST(GramDistance, SurvivesLargeCommonOffset) {
+  // Tightly clustered points far from the origin: the raw Gram identity
+  // ni + nj - 2*Gij cancels catastrophically here (G entries ~ 1e16, true
+  // spread ~ 1e-8); the centering step keeps full precision.
+  Rng rng(48);
+  const std::size_t m = 12, d = 64;
+  VectorList pts;
+  for (std::size_t i = 0; i < m; ++i) {
+    Vector v(d);
+    for (auto& x : v) x = 1.0e8 + rng.uniform(-1e-4, 1e-4);
+    pts.push_back(v);
+  }
+  const DistanceMatrix exact(pts);
+  const DistanceMatrix gram(GradientBatch::from(pts));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double want = exact.dist2(i, j);
+      ASSERT_GT(want, 0.0);
+      EXPECT_NEAR(gram.dist2(i, j), want, 1e-9 * want) << i << "," << j;
+    }
+  }
+}
+
+TEST(GramDistance, OutlierRowDoesNotPoisonClusterPrecision) {
+  // Adversarial variant of the large-offset case: the honest rows cluster
+  // at 1e8 with spread ~1e-4, but a Byzantine zero vector sits at row 0,
+  // which both defeats the row-0 re-basing heuristic and inflates the
+  // spread estimate.  The per-pair cancellation guard must still deliver
+  // accurate honest-honest distances.
+  Rng rng(49);
+  const std::size_t m = 10, d = 64;
+  VectorList pts;
+  pts.push_back(zeros(d));  // Byzantine outlier at the reference slot
+  for (std::size_t i = 1; i < m; ++i) {
+    Vector v(d);
+    for (auto& x : v) x = 1.0e8 + rng.uniform(-1e-4, 1e-4);
+    pts.push_back(v);
+  }
+  const DistanceMatrix exact(pts);
+  const DistanceMatrix gram(GradientBatch::from(pts));
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double want = exact.dist2(i, j);
+      ASSERT_GT(want, 0.0);
+      EXPECT_NEAR(gram.dist2(i, j), want, 1e-9 * want) << i << "," << j;
+    }
+    // Outlier-to-cluster distances are huge and cancellation-free.
+    EXPECT_NEAR(gram.dist2(0, i), exact.dist2(0, i),
+                1e-9 * exact.dist2(0, i));
+  }
+}
+
+TEST(GramDistance, DuplicateRowsAreExactlyZero) {
+  Rng rng(34);
+  VectorList pts = random_points(rng, 12, 257);
+  pts[9] = pts[2];   // cross-column-block duplicate
+  pts[11] = pts[10]; // same-block duplicate
+  const DistanceMatrix gram(GradientBatch::from(pts));
+  EXPECT_EQ(gram.dist2(2, 9), 0.0);
+  EXPECT_EQ(gram.dist2(10, 11), 0.0);
+  EXPECT_EQ(gram.dist(2, 9), 0.0);
+}
+
+TEST(GramDistance, PoolBuildBitwiseMatchesSerial) {
+  Rng rng(35);
+  ThreadPool pool(4);
+  const VectorList pts = random_points(rng, 19, 301);
+  const GradientBatch batch = GradientBatch::from(pts);
+  const DistanceMatrix serial(batch);
+  const DistanceMatrix parallel(batch, &pool);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_EQ(serial.dist2(i, j), parallel.dist2(i, j));
+    }
+  }
+}
+
+TEST(GramDistance, RawRowSliceMatchesBatchCtor) {
+  Rng rng(36);
+  const VectorList pts = random_points(rng, 11, 45);
+  const GradientBatch batch = GradientBatch::from(pts);
+  const DistanceMatrix whole(batch);
+  // Slice over the first 6 rows, as the trainers' honest-prefix metric
+  // does.  The slice centers around its own row mean, so entries agree to
+  // rounding, not bitwise.
+  const DistanceMatrix slice(batch.row(0), 6, batch.dim());
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      const double want = whole.dist2(i, j);
+      EXPECT_NEAR(slice.dist2(i, j), want, 1e-12 * (1.0 + want));
+    }
+  }
+}
+
+// --- batch-native reductions ---------------------------------------------
+
+TEST(BatchReductions, CoordinatewiseMedianMatchesExactly) {
+  Rng rng(37);
+  for (std::size_t m : {3u, 4u, 9u, 16u}) {
+    const VectorList pts = random_points(rng, m, 131);
+    EXPECT_EQ(coordinatewise_median(GradientBatch::from(pts)),
+              coordinatewise_median(pts));
+  }
+}
+
+TEST(BatchReductions, TrimmedMeanMatchesExactly) {
+  Rng rng(38);
+  const VectorList pts = random_points(rng, 10, 200);
+  for (std::size_t trim : {0u, 1u, 3u, 4u}) {
+    EXPECT_EQ(coordinatewise_trimmed_mean(GradientBatch::from(pts), trim),
+              coordinatewise_trimmed_mean(pts, trim));
+  }
+  EXPECT_THROW(coordinatewise_trimmed_mean(GradientBatch::from(pts), 5),
+               std::invalid_argument);
+}
+
+// --- rules: batch path vs legacy path ------------------------------------
+
+TEST(BatchRules, AllRulesMatchLegacyOnRandomInputs) {
+  Rng rng(39);
+  AggregationContext ctx;
+  ctx.n = 10;
+  ctx.t = 2;
+  const std::vector<std::string> names{
+      "MEAN",      "CW-MEDIAN", "TRIM-MEAN", "MEDOID",  "KRUM",
+      "MULTIKRUM-3", "MD-MEAN",  "MD-GEOM",   "GEOMED",  "BOX-MEAN",
+      "BOX-GEOM"};
+  for (int trial = 0; trial < 5; ++trial) {
+    const VectorList received = random_points(rng, 10, 24);
+    const GradientBatch batch = GradientBatch::from(received);
+    for (const auto& name : names) {
+      const auto rule = make_rule(name);
+      const Vector legacy = rule->aggregate(received, ctx);
+      AggregationWorkspace ws(batch);
+      const Vector shared = rule->aggregate(batch, ws, ctx);
+      EXPECT_EQ(legacy, shared) << "rule " << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(BatchRules, WorkspaceOverWrongBatchThrows) {
+  Rng rng(40);
+  const GradientBatch a = GradientBatch::from(random_points(rng, 8, 3));
+  const GradientBatch b = GradientBatch::from(random_points(rng, 8, 3));
+  AggregationWorkspace ws(a);
+  AggregationContext ctx;
+  ctx.n = 8;
+  ctx.t = 2;
+  // GEOMED dispatches through the base adapter; KRUM through its own batch
+  // override — both must enforce the workspace/batch precondition.
+  EXPECT_THROW(make_rule("GEOMED")->aggregate(b, ws, ctx),
+               std::invalid_argument);
+  EXPECT_THROW(make_rule("KRUM")->aggregate(b, ws, ctx),
+               std::invalid_argument);
+}
+
+TEST(BatchRules, RoundFunctionBatchStepMatchesLegacyStep) {
+  Rng rng(41);
+  AggregationContext ctx;
+  ctx.n = 9;
+  ctx.t = 2;
+  const VectorList received = random_points(rng, 9, 12);
+  const Vector current = random_points(rng, 1, 12).front();
+  const GradientBatch batch = GradientBatch::from(received);
+  for (const auto& name : {"KRUM", "MD-GEOM", "CW-MEDIAN", "MD-GEOM-STICKY"}) {
+    const auto round = make_round_function(name);
+    AggregationWorkspace ws(batch);
+    EXPECT_EQ(round->step(batch, ws, current, ctx),
+              round->step(received, current, ctx))
+        << "round function " << name;
+  }
+}
+
+// --- im2col Conv2D vs direct ---------------------------------------------
+
+void fill_tensor(ml::Tensor& t, Rng& rng) {
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-2.0, 2.0);
+}
+
+void compare_conv_modes(std::size_t in_c, std::size_t out_c, std::size_t k,
+                        std::size_t pad, std::size_t n, std::size_t h,
+                        std::size_t w, std::uint64_t seed) {
+  ml::Conv2D fast(in_c, out_c, k, pad, ml::Conv2D::Mode::Im2col);
+  ml::Conv2D direct(in_c, out_c, k, pad, ml::Conv2D::Mode::Direct);
+  Rng init(seed);
+  fast.initialize(init);
+  std::vector<double> params(fast.parameter_count());
+  fast.read_parameters(params.data());
+  direct.write_parameters(params.data());
+
+  Rng data(seed + 1);
+  ml::Tensor x({n, in_c, h, w});
+  fill_tensor(x, data);
+  const ml::Tensor y_fast = fast.forward(x);
+  const ml::Tensor y_direct = direct.forward(x);
+  ASSERT_EQ(y_fast.shape(), y_direct.shape());
+  // Forward is exact: the gemm accumulates each output in the same
+  // (ic, kh, kw) order as the direct loops, bias first.
+  for (std::size_t i = 0; i < y_fast.size(); ++i) {
+    EXPECT_EQ(y_fast[i], y_direct[i]) << "output " << i;
+  }
+
+  ml::Tensor gy(y_fast.shape());
+  fill_tensor(gy, data);
+  const ml::Tensor gx_fast = fast.backward(gy);
+  const ml::Tensor gx_direct = direct.backward(gy);
+  std::vector<double> g_fast(fast.parameter_count());
+  std::vector<double> g_direct(direct.parameter_count());
+  fast.read_gradients(g_fast.data());
+  direct.read_gradients(g_direct.data());
+  // Backward contributions arrive in a different order (per-position scatter
+  // vs per-entry gemm), so agreement is to rounding, not bitwise.
+  for (std::size_t i = 0; i < gx_fast.size(); ++i) {
+    EXPECT_NEAR(gx_fast[i], gx_direct[i],
+                1e-12 * (1.0 + std::abs(gx_direct[i])));
+  }
+  for (std::size_t i = 0; i < g_fast.size(); ++i) {
+    EXPECT_NEAR(g_fast[i], g_direct[i],
+                1e-12 * (1.0 + std::abs(g_direct[i])));
+  }
+}
+
+TEST(Im2colConv, MatchesDirectNoPadding) {
+  compare_conv_modes(1, 1, 2, 0, 1, 3, 3, 51);
+  compare_conv_modes(2, 3, 3, 0, 2, 5, 4, 52);
+}
+
+TEST(Im2colConv, MatchesDirectWithPadding) {
+  compare_conv_modes(2, 4, 3, 1, 2, 5, 5, 53);
+  compare_conv_modes(3, 2, 3, 2, 1, 4, 6, 54);
+}
+
+TEST(Im2colConv, DefaultModeIsIm2col) {
+  ml::Conv2D conv(1, 1, 3, 1);
+  EXPECT_EQ(conv.mode(), ml::Conv2D::Mode::Im2col);
+}
+
+}  // namespace
+}  // namespace bcl

@@ -61,7 +61,7 @@ TEST(VectorOps, MeanMatchesDefinition21) {
 }
 
 TEST(VectorOps, MeanOfEmptyThrows) {
-  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(mean(VectorList{}), std::invalid_argument);
 }
 
 TEST(VectorOps, DiameterOfPointSetIsMaxPairwise) {
