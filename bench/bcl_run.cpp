@@ -1,0 +1,154 @@
+// bcl_run: the scenario CLI.  Executes any single scenario or a
+// cross-product sweep over rules x attacks x f x heterogeneity x topology,
+// streaming metrics to the console and optional CSV/JSON artifacts.
+//
+//   # registries
+//   ./bcl_run --list
+//
+//   # one scenario, full key=value grammar (docs/scenarios.md)
+//   ./bcl_run --scenario "topology=decentralized rule=BOX-GEOM \
+//       attack=sign-flip:scale=2 f=2 rounds=30"
+//
+//   # sweep: every combination of the comma-separated axes
+//   ./bcl_run --rules KRUM,BOX-GEOM --attacks sign-flip,alie,mimic \
+//       --fs 1,2 --hets mild,extreme --rounds 40 --json sweep.json
+//
+// Sweep axes: --rules, --attacks, --topologies, --hets, --fs.  Shared
+// scalar overrides: --n, --t, --model, --full, --rounds, --batch, --lr,
+// --subrounds, --delay, --seed, --eval-max.  Artifacts: --csv <base>,
+// --json <file>.  --threads attaches a worker pool.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "figure_harness.hpp"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+void print_registries() {
+  std::cout << "aggregation rules (make_rule):\n ";
+  for (const auto& name : bcl::all_rule_names()) std::cout << " " << name;
+  std::cout << "\n  extended baselines:";
+  for (const auto& name : bcl::extended_rule_names()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\n  parameterized: MULTIKRUM-<q>\n\n";
+  // Rendered from the registry's own validation table so this menu can
+  // never go stale against make_attack.
+  std::cout << "attacks (make_attack, grammar name[:key=value,...]):\n ";
+  for (const auto& [family, params] : bcl::attack_parameter_table()) {
+    std::cout << " " << family;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::cout << (i == 0 ? ":" : ",") << params[i] << "=<v>";
+    }
+  }
+  std::cout << "\n\nscenario keys (--scenario \"key=value ...\"):\n ";
+  for (const auto& key : bcl::experiments::scenario_keys()) {
+    std::cout << " " << key;
+  }
+  std::cout << "\n\nSee docs/scenarios.md for the full reference.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bcl;
+  using experiments::ScenarioSpec;
+  const CliArgs args(argc, argv,
+                     {"list", "scenario", "rules", "attacks", "topologies",
+                      "hets", "fs", "n", "t", "model", "full", "rounds",
+                      "batch", "lr", "subrounds", "delay", "seed",
+                      "eval-max", "csv", "json", "threads"});
+  if (args.get_bool("list", false)) {
+    print_registries();
+    return 0;
+  }
+
+  // Shared scalar overrides, applied to every spec of the sweep through
+  // the spec grammar's own strict validation (flag name == spec key).
+  const std::vector<std::string> scalar_keys = {
+      "n",  "t",     "model",     "rounds", "batch",
+      "lr", "subrounds", "delay", "seed",   "eval-max"};
+
+  std::vector<ScenarioSpec> specs;
+  try {
+    if (args.has("scenario")) {
+      // A single fully spelled-out scenario and the sweep axes are
+      // mutually exclusive: dropping user-provided axes silently would
+      // contradict the CLI's fail-loudly design.
+      for (const char* axis :
+           {"rules", "attacks", "topologies", "hets", "fs"}) {
+        if (args.has(axis)) {
+          throw std::invalid_argument(
+              std::string("--scenario cannot be combined with the sweep "
+                          "axis --") +
+              axis + " (put the value in the scenario string instead)");
+        }
+      }
+      // Scalar flags are applied after the scenario string so they win,
+      // exactly as in sweep mode and the bench harnesses.
+      ScenarioSpec spec;
+      spec.apply(args.get_string("scenario", ""));
+      bench::apply_scalar_flags(args, scalar_keys, spec);
+      specs.push_back(spec);
+    } else {
+      const auto rules = split_list(args.get_string("rules", "BOX-GEOM"));
+      const auto attacks =
+          split_list(args.get_string("attacks", "sign-flip"));
+      const auto topologies =
+          split_list(args.get_string("topologies", "centralized"));
+      const auto hets = split_list(args.get_string("hets", "mild"));
+      const auto fs = split_list(args.get_string("fs", "1"));
+      for (const auto& topology : topologies) {
+        for (const auto& het : hets) {
+          for (const auto& f : fs) {
+            for (const auto& rule : rules) {
+              for (const auto& attack : attacks) {
+                ScenarioSpec spec;
+                spec.set("topology", topology);
+                spec.set("het", het);
+                spec.set("f", f);
+                spec.set("rule", rule);
+                spec.set("attack", attack);
+                bench::apply_scalar_flags(args, scalar_keys, spec);
+                specs.push_back(spec);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Fail fast on unknown rule/attack names (with the registry menus in
+    // the message) before any dataset is generated.
+    for (const auto& spec : specs) {
+      make_rule(spec.rule);
+      make_attack(spec.attack);
+    }
+
+    std::cout << "=== bcl_run: " << specs.size()
+              << " scenario(s) ===\n\n";
+    ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+    experiments::ScenarioRunner runner(&pool);
+    bench::EmitterSet emitters(std::cout, args, "bcl_run",
+                               "BENCH_scenarios.json");
+    runner.run_all(specs, emitters.pointers);
+    emitters.report(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "bcl_run: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

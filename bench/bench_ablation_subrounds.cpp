@@ -1,162 +1,83 @@
 // Ablation: how many agreement sub-rounds does decentralized learning
 // need?  The paper adopts the El-Mhamdi et al. schedule of ceil(log2 t)
 // sub-rounds per learning iteration; this bench compares fixed budgets of
-// 1..4 sub-rounds against the logarithmic schedule for BOX-GEOM under a
-// sign-flip attack, reporting final accuracy and the residual gradient
-// disagreement.
+// 1..4 sub-rounds (ScenarioSpec key `subrounds`) against the logarithmic
+// schedule (subrounds=0) for BOX-GEOM under a sign-flip attack, reporting
+// best/final accuracy and the mean residual gradient disagreement.
 //
-//   ./bench/bench_ablation_subrounds [--rounds N] [--seed S] [--csv file]
+// Honest messages are delayed with probability 0.35 (floor n - t enforced
+// by the protocol): without delays every honest inbox is identical and one
+// sub-round already produces exact agreement, hiding the schedule.
+//
+//   ./bench/bench_ablation_subrounds [--rounds N] [--seed S] [--csv base]
+//       [--json file] [--threads K]
 
 #include <iostream>
 
-#include "core/bcl.hpp"
-
-namespace {
-
-using namespace bcl;
-
-// Decentralized trainer variant with a fixed sub-round budget, built from
-// the public protocol API (the library trainer uses the paper's log
-// schedule; this harness re-implements the loop to vary the budget).
-struct FixedSubroundResult {
-  double best_accuracy = 0.0;
-  double final_accuracy = 0.0;
-  double mean_disagreement = 0.0;
-};
-
-FixedSubroundResult run_fixed_subrounds(
-    const ml::TrainTestSplit& data, const ModelFactory& factory,
-    std::size_t subrounds_budget, bool use_log_schedule, std::size_t rounds,
-    std::uint64_t seed, ThreadPool* pool) {
-  const std::size_t n = 10;
-  const std::size_t f = 1;
-  const std::size_t t = 1;
-  Rng root(seed);
-  Rng partition_rng = root.split(1);
-  const auto shards = ml::partition_dataset(data.train, n,
-                                            ml::Heterogeneity::Mild,
-                                            partition_rng);
-  std::vector<std::unique_ptr<Client>> clients;
-  for (std::size_t i = 0; i < n; ++i) {
-    clients.push_back(std::make_unique<Client>(
-        i, &data.train, shards[i], factory, 16, root.split(100 + i)));
-  }
-  ml::Model init_model = factory();
-  Rng init_rng = root.split(2);
-  init_model.initialize(init_rng);
-  VectorList params(n - f, init_model.parameters());
-
-  AgreementConfig agreement;
-  agreement.n = n;
-  agreement.t = t;
-  agreement.round_function = make_round_function("BOX-GEOM");
-  agreement.pool = pool;
-
-  const auto attack = make_attack("sign-flip");
-  Rng attack_rng = root.split(3);
-  const ml::LearningRateSchedule schedule(0.25, 0.25 / rounds);
-
-  FixedSubroundResult result;
-  double disagreement_sum = 0.0;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    std::vector<GradientEstimate> estimates(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vector& at = i < n - f ? params[i] : params[0];
-      estimates[i] = clients[i]->stochastic_gradient(at);
-    }
-    VectorList honest;
-    for (std::size_t i = 0; i < n - f; ++i) {
-      honest.push_back(estimates[i].gradient);
-    }
-    std::vector<std::optional<Vector>> byz_values(n);
-    for (std::size_t i = n - f; i < n; ++i) {
-      byz_values[i] =
-          attack->corrupt(estimates[i].gradient, honest, round, attack_rng);
-    }
-    std::vector<std::size_t> byz_ids;
-    for (std::size_t i = n - f; i < n; ++i) byz_ids.push_back(i);
-    PerNodeFixedAdversary fixed(byz_ids, byz_values);
-    // Honest messages delayed with probability 0.35 (floor n - t enforced
-    // by the protocol): without delays every honest inbox is identical and
-    // one sub-round already produces exact agreement, hiding the schedule.
-    DelayingAdversary adversary(fixed, 0.35, seed ^ (round * 977u));
-
-    VectorList inputs(n, zeros(honest[0].size()));
-    for (std::size_t i = 0; i < n - f; ++i) inputs[i] = honest[i];
-    const std::size_t budget =
-        use_log_schedule ? agreement_subrounds(round) : subrounds_budget;
-    const auto agreed =
-        run_fixed_rounds_agreement(inputs, adversary, budget, agreement);
-
-    const double lr = schedule.rate(round);
-    for (std::size_t i = 0; i < n - f; ++i) {
-      ml::sgd_step(params[i], agreed.outputs[i], lr);
-    }
-    disagreement_sum += agreed.trace.honest_diameter.back();
-
-    double acc_sum = 0.0;
-    for (std::size_t i = 0; i < n - f; ++i) {
-      acc_sum += clients[i]->evaluate(params[i], data.test, 0);
-    }
-    const double acc = acc_sum / static_cast<double>(n - f);
-    result.best_accuracy = std::max(result.best_accuracy, acc);
-    result.final_accuracy = acc;
-  }
-  result.mean_disagreement = disagreement_sum / static_cast<double>(rounds);
-  return result;
-}
-
-}  // namespace
+#include "figure_harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace bcl;
-  const CliArgs args(argc, argv, {"rounds", "seed", "csv", "threads"});
-  const std::size_t rounds =
-      static_cast<std::size_t>(args.get_int("rounds", 25));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 31));
-  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
-
-  ml::SyntheticSpec spec = ml::SyntheticSpec::mnist_small(seed);
-  spec.height = 8;
-  spec.width = 8;
-  spec.train_per_class = 50;
-  spec.test_per_class = 15;
-  const auto data = ml::make_synthetic_dataset(spec);
-  const std::size_t dim = data.train.feature_dim();
-  ModelFactory factory = [dim] { return ml::make_mlp(dim, 16, 8, 10); };
-
-  std::cout << "=== Sub-round budget ablation (decentralized BOX-GEOM, "
-               "sign flip, f=1, " << rounds << " learning rounds) ===\n\n";
-  Table table({"sub-rounds per iteration", "best acc", "final acc",
-               "mean gradient disagreement"});
-  for (std::size_t budget = 1; budget <= 4; ++budget) {
-    const auto r = run_fixed_subrounds(data, factory, budget, false, rounds,
-                                       seed, &pool);
-    table.new_row()
-        .add(std::to_string(budget))
-        .add_num(r.best_accuracy, 4)
-        .add_num(r.final_accuracy, 4)
-        .add_num(r.mean_disagreement, 6);
-    std::cout << "[ablation-subrounds] budget " << budget << " done\n";
-  }
+  using bcl::experiments::ScenarioSpec;
+  // The sub-round budget IS this ablation's axis: the shared --subrounds
+  // override would silently collapse all five specs into identical runs.
   {
-    const auto r = run_fixed_subrounds(data, factory, 0, true, rounds, seed,
-                                       &pool);
-    table.new_row()
-        .add("ceil(log2 t) (paper)")
-        .add_num(r.best_accuracy, 4)
-        .add_num(r.final_accuracy, 4)
-        .add_num(r.mean_disagreement, 6);
+    const bcl::CliArgs pre(argc, argv, bcl::bench::scenario_flags());
+    if (pre.has("subrounds")) {
+      std::cerr << "bench_ablation_subrounds: --subrounds would collapse "
+                   "the budget axis this ablation sweeps; the budgets are "
+                   "fixed per scenario (1..4 and the log schedule)\n";
+      return 1;
+    }
   }
-  std::cout << "\n";
+  std::vector<ScenarioSpec> specs;
+  for (int budget : {1, 2, 3, 4, 0}) {  // 0 = the paper's log schedule
+    specs.push_back(ScenarioSpec::parse(
+        "topology=decentralized rule=BOX-GEOM attack=sign-flip f=1 het=mild "
+        "seed=31 rounds=25 delay=0.35 subrounds=" +
+        std::to_string(budget)));
+  }
+  const auto summaries = bcl::bench::run_scenarios(
+      "ablation-subrounds", std::move(specs), argc, argv);
+
+  bcl::Table table({"sub-rounds per iteration", "best acc", "final acc",
+                    "mean gradient disagreement"});
+  for (const auto& summary : summaries) {
+    if (!summary.error.empty()) {
+      table.new_row()
+          .add(summary.spec.subrounds == 0
+                   ? "ceil(log2 t) (paper)"
+                   : std::to_string(summary.spec.subrounds))
+          .add("FAILED")
+          .add("FAILED")
+          .add("FAILED");
+      continue;
+    }
+    double disagreement_sum = 0.0;
+    for (const auto& metrics : summary.result.history) {
+      disagreement_sum += metrics.disagreement;
+    }
+    const double rounds =
+        std::max<std::size_t>(1, summary.result.history.size());
+    table.new_row()
+        .add(summary.spec.subrounds == 0
+                 ? "ceil(log2 t) (paper)"
+                 : std::to_string(summary.spec.subrounds))
+        .add_num(summary.result.best_accuracy(), 4)
+        .add_num(summary.result.final_accuracy, 4)
+        .add_num(disagreement_sum / rounds, 6);
+  }
+  std::cout << "\n--- sub-round budget vs accuracy/disagreement ---\n";
   table.print(std::cout);
+  const bcl::CliArgs args(argc, argv, bcl::bench::scenario_flags());
+  if (args.has("csv")) {
+    const std::string path =
+        args.get_string("csv", "ablation-subrounds") + "_budgets.csv";
+    table.write_csv(path);
+    std::cout << "\nBudget CSV written to " << path << "\n";
+  }
   std::cout << "\nEach extra sub-round halves the residual disagreement "
                "(Theorem 4.4); accuracy saturates once disagreement is "
                "small relative to gradient noise — the paper's log "
                "schedule is enough.\n";
-  if (args.has("csv")) {
-    table.write_csv(args.get_string("csv", "ablation_subrounds.csv"));
-  }
   return 0;
 }

@@ -5,20 +5,22 @@
 // extreme heterogeneity.
 //
 //   ./bench/bench_fig1_centralized_heterogeneity [--full] [--rounds N]
-//       [--seed S] [--csv basename] [--threads K]
+//       [--seed S] [--csv basename] [--json file] [--threads K]
 
 #include "figure_harness.hpp"
 
 int main(int argc, char** argv) {
-  bcl::bench::FigureSpec spec;
-  spec.figure = "fig1";
-  spec.rules = {"MEAN",    "GEOMED",  "KRUM",     "MULTIKRUM-3",
-                "MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"};
-  spec.heterogeneities = {bcl::ml::Heterogeneity::Uniform,
-                          bcl::ml::Heterogeneity::Mild,
-                          bcl::ml::Heterogeneity::Extreme};
-  spec.byzantine = 1;
-  spec.attack = "sign-flip";
-  spec.decentralized = false;
-  return bcl::bench::run_figure(spec, argc, argv);
+  using bcl::experiments::ScenarioSpec;
+  std::vector<ScenarioSpec> specs;
+  for (const char* het : {"uniform", "mild", "extreme"}) {
+    for (const char* rule :
+         {"MEAN", "GEOMED", "KRUM", "MULTIKRUM-3", "MD-MEAN", "MD-GEOM",
+          "BOX-MEAN", "BOX-GEOM"}) {
+      specs.push_back(ScenarioSpec::parse(
+          std::string("topology=centralized attack=sign-flip f=1 seed=11") +
+          " het=" + het + " rule=" + rule));
+    }
+  }
+  bcl::bench::run_scenarios("fig1", std::move(specs), argc, argv);
+  return 0;
 }

@@ -3,18 +3,21 @@
 // plain MEAN) fail to converge under the sign flip, while MD-GEOM and
 // BOX-GEOM converge to 77.8% / 78.8%.
 //
-//   ./bench/bench_fig3a_decentralized_f1 [--full] [--rounds N] ...
+//   ./bench/bench_fig3a_decentralized_f1 [--full] [--rounds N] [--delay P]
+//       ...
 
 #include "figure_harness.hpp"
 
 int main(int argc, char** argv) {
-  bcl::bench::FigureSpec spec;
-  spec.figure = "fig3a";
-  spec.rules = {"MEAN", "GEOMED", "MD-MEAN", "MD-GEOM", "BOX-MEAN",
-                "BOX-GEOM"};
-  spec.heterogeneities = {bcl::ml::Heterogeneity::Mild};
-  spec.byzantine = 1;
-  spec.attack = "sign-flip";
-  spec.decentralized = true;
-  return bcl::bench::run_figure(spec, argc, argv);
+  using bcl::experiments::ScenarioSpec;
+  std::vector<ScenarioSpec> specs;
+  for (const char* rule :
+       {"MEAN", "GEOMED", "MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"}) {
+    specs.push_back(ScenarioSpec::parse(
+        std::string("topology=decentralized attack=sign-flip f=1 seed=11 "
+                    "het=mild rule=") +
+        rule));
+  }
+  bcl::bench::run_scenarios("fig3a", std::move(specs), argc, argv);
+  return 0;
 }

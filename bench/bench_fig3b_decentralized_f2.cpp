@@ -2,17 +2,20 @@
 // mild heterogeneity.  Paper shape: MD-MEAN and BOX-MEAN fail to converge;
 // MD-GEOM reaches ~65% but is unstable; BOX-GEOM converges around 62%.
 //
-//   ./bench/bench_fig3b_decentralized_f2 [--full] [--rounds N] ...
+//   ./bench/bench_fig3b_decentralized_f2 [--full] [--rounds N] [--delay P]
+//       ...
 
 #include "figure_harness.hpp"
 
 int main(int argc, char** argv) {
-  bcl::bench::FigureSpec spec;
-  spec.figure = "fig3b";
-  spec.rules = {"MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"};
-  spec.heterogeneities = {bcl::ml::Heterogeneity::Mild};
-  spec.byzantine = 2;
-  spec.attack = "sign-flip";
-  spec.decentralized = true;
-  return bcl::bench::run_figure(spec, argc, argv);
+  using bcl::experiments::ScenarioSpec;
+  std::vector<ScenarioSpec> specs;
+  for (const char* rule : {"MD-MEAN", "MD-GEOM", "BOX-MEAN", "BOX-GEOM"}) {
+    specs.push_back(ScenarioSpec::parse(
+        std::string("topology=decentralized attack=sign-flip f=2 seed=11 "
+                    "het=mild rule=") +
+        rule));
+  }
+  bcl::bench::run_scenarios("fig3b", std::move(specs), argc, argv);
+  return 0;
 }

@@ -1,14 +1,16 @@
 #pragma once
-// Shared harness for the figure-reproduction benchmarks.
+// Shared glue for the figure/ablation reproduction benchmarks.
 //
-// Each bench_figN binary builds the experiment of one paper figure
-// (Section 5) at a reduced default scale (so the whole suite runs in
-// minutes on a laptop; pass --full for closer-to-paper scale), runs every
-// aggregation rule of that figure, and prints the accuracy-vs-round series
-// the figure plots, plus a summary row per rule.  CSV artifacts are written
-// next to the binary when --csv is given.
+// Each bench binary is now a thin list of ScenarioSpecs (src/experiments/)
+// plus this helper, which applies the shared CLI overrides (--full,
+// --rounds, --seed, --delay, --subrounds, --threads) to every spec and
+// drives them through one ScenarioRunner with console + optional CSV/JSON
+// emitters.  All training loops live in the engine; the binaries only
+// declare *what* to run.  bcl_run reuses EmitterSet so the artifact
+// wiring exists in exactly one place.
 
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,156 +18,93 @@
 
 namespace bcl::bench {
 
-struct FigureScale {
-  std::size_t image = 10;          ///< square image side
-  std::size_t train_per_class = 60;
-  std::size_t test_per_class = 20;
-  std::size_t hidden1 = 16;
-  std::size_t hidden2 = 8;
-  std::size_t rounds = 60;
-  std::size_t batch = 16;
-  double lr = 0.25;
-};
-
-inline FigureScale reduced_scale() { return {}; }
-
-inline FigureScale full_scale() {
-  FigureScale s;
-  s.image = 28;                 // the paper's 28x28 MNIST shape
-  s.train_per_class = 200;
-  s.test_per_class = 40;
-  s.hidden1 = 64;
-  s.hidden2 = 32;
-  s.rounds = 150;
-  s.batch = 32;
-  s.lr = 0.1;
-  return s;
+/// The CLI flags every scenario-driven bench accepts (bcl_run adds its
+/// sweep axes on top).
+inline const std::vector<std::string>& scenario_flags() {
+  static const std::vector<std::string> flags = {
+      "full",  "rounds",    "seed", "csv",     "json",
+      "threads", "delay", "subrounds", "eval-max"};
+  return flags;
 }
 
-struct FigureSpec {
-  std::string figure;          ///< "fig1", "fig2a", ...
-  std::vector<std::string> rules;
-  std::vector<ml::Heterogeneity> heterogeneities;
-  std::size_t byzantine = 1;
-  std::string attack = "sign-flip";
-  bool decentralized = false;
-  /// Overrides the scale's default round count when nonzero (harder
-  /// settings need longer horizons); --rounds still wins.
-  std::size_t default_rounds = 0;
-};
-
-inline TrainingConfig make_training_config(const FigureSpec& spec,
-                                           const FigureScale& scale,
-                                           const std::string& rule,
-                                           ml::Heterogeneity heterogeneity,
-                                           std::uint64_t seed,
-                                           ThreadPool* pool) {
-  TrainingConfig cfg;
-  cfg.num_clients = 10;
-  cfg.num_byzantine = spec.byzantine;
-  cfg.rounds = scale.rounds;
-  cfg.batch_size = scale.batch;
-  cfg.rule = make_rule(rule);
-  cfg.attack = make_attack(spec.attack);
-  cfg.schedule = ml::LearningRateSchedule(scale.lr, scale.lr / scale.rounds);
-  cfg.heterogeneity = heterogeneity;
-  cfg.seed = seed;
-  cfg.pool = pool;
-  return cfg;
+/// Applies scalar override flags to `spec` through ScenarioSpec::set, so
+/// CLI values get the same strict validation (non-negative integers,
+/// known enum values) as the textual grammar — `--rounds -1` fails with
+/// the grammar's message instead of wrapping to 2^64-1.  Each entry of
+/// `keys` is both the flag name and the spec key; `--full` is handled
+/// separately (boolean flag, not a key=value).
+inline void apply_scalar_flags(const CliArgs& args,
+                               const std::vector<std::string>& keys,
+                               experiments::ScenarioSpec& spec) {
+  if (args.get_bool("full", false)) spec.full_scale = true;
+  for (const auto& key : keys) {
+    if (args.has(key)) spec.set(key, args.get_string(key, ""));
+  }
 }
 
-/// Runs one figure (all rules x heterogeneities), printing per-round
-/// accuracy series (sampled every `stride` rounds) and a summary table.
-inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
-  const CliArgs args(argc, argv,
-                     {"full", "rounds", "seed", "csv", "threads", "delay"});
-  FigureScale scale =
-      args.get_bool("full", false) ? full_scale() : reduced_scale();
-  if (spec.default_rounds != 0) scale.rounds = spec.default_rounds;
-  scale.rounds = static_cast<std::size_t>(
-      args.get_int("rounds", static_cast<long long>(scale.rounds)));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 11));
-  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
-
-  ml::SyntheticSpec data_spec = ml::SyntheticSpec::mnist_like(seed);
-  data_spec.height = scale.image;
-  data_spec.width = scale.image;
-  data_spec.train_per_class = scale.train_per_class;
-  data_spec.test_per_class = scale.test_per_class;
-  const auto data = ml::make_synthetic_dataset(data_spec);
-  const std::size_t dim = data.train.feature_dim();
-  const FigureScale s = scale;
-  ModelFactory factory = [dim, s] {
-    return ml::make_mlp(dim, s.hidden1, s.hidden2, 10);
-  };
-
-  std::cout << "=== " << spec.figure << ": "
-            << (spec.decentralized ? "decentralized" : "centralized")
-            << " collaborative learning, attack=" << spec.attack
-            << ", f=" << spec.byzantine << ", MLP(" << dim << "-"
-            << scale.hidden1 << "-" << scale.hidden2 << "-10), rounds="
-            << scale.rounds << " ===\n\n";
-
-  Table summary({"heterogeneity", "rule", "best acc", "final acc",
-                 "rounds", "seconds"});
-  Table series({"heterogeneity", "rule", "round", "accuracy"});
-  const std::size_t stride = std::max<std::size_t>(1, scale.rounds / 12);
-
-  for (const auto heterogeneity : spec.heterogeneities) {
-    for (const auto& rule : spec.rules) {
-      TrainingConfig cfg = make_training_config(
-          spec, scale, rule, heterogeneity, seed, &pool);
-      // Optional honest-message delays during the agreement sub-rounds
-      // (decentralized figures only): --delay 0.3 etc.
-      cfg.honest_delay_probability = args.get_double("delay", 0.0);
-      Stopwatch watch;
-      TrainingResult result;
-      if (spec.decentralized) {
-        DecentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
-        result = trainer.run();
-      } else {
-        CentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
-        result = trainer.run();
-      }
-      const double secs = watch.seconds();
-      for (const auto& metrics : result.history) {
-        if (metrics.round % stride == 0 ||
-            metrics.round + 1 == scale.rounds) {
-          series.new_row()
-              .add(ml::heterogeneity_name(heterogeneity))
-              .add(rule)
-              .add_int(static_cast<long long>(metrics.round))
-              .add_num(metrics.accuracy, 4);
-        }
-      }
-      summary.new_row()
-          .add(ml::heterogeneity_name(heterogeneity))
-          .add(rule)
-          .add_num(result.best_accuracy(), 4)
-          .add_num(result.final_accuracy, 4)
-          .add_int(static_cast<long long>(scale.rounds))
-          .add_num(secs, 2);
-      std::cout << "[" << spec.figure << "] "
-                << ml::heterogeneity_name(heterogeneity) << " / " << rule
-                << ": best=" << format_double(result.best_accuracy(), 4)
-                << " final=" << format_double(result.final_accuracy, 4)
-                << " (" << format_double(secs, 2) << "s)\n";
+/// Console emitter plus the optional --csv/--json artifact emitters, with
+/// their "written to" report — one construction site shared by the bench
+/// harnesses and bcl_run.
+struct EmitterSet {
+  EmitterSet(std::ostream& os, const CliArgs& args,
+             const std::string& csv_default, const std::string& json_default)
+      : console(os) {
+    pointers.push_back(&console);
+    if (args.has("csv")) {
+      csv_base = args.get_string("csv", csv_default);
+      csv.emplace(csv_base);
+      pointers.push_back(&*csv);
+    }
+    if (args.has("json")) {
+      json_path = args.get_string("json", json_default);
+      json.emplace(json_path);
+      pointers.push_back(&*json);
     }
   }
 
-  std::cout << "\n--- accuracy series (" << spec.figure << ") ---\n";
-  series.print(std::cout);
-  std::cout << "\n--- summary (" << spec.figure << ") ---\n";
-  summary.print(std::cout);
+  // `pointers` aliases this object's own members, so a copy/move would
+  // leave the new object pointing into the old one (use-after-free once
+  // the source dies).  Both call sites construct in place.
+  EmitterSet(const EmitterSet&) = delete;
+  EmitterSet& operator=(const EmitterSet&) = delete;
 
-  if (args.has("csv")) {
-    const std::string base = args.get_string("csv", spec.figure);
-    series.write_csv(base + "_series.csv");
-    summary.write_csv(base + "_summary.csv");
-    std::cout << "\nCSV written to " << base << "_{series,summary}.csv\n";
+  /// Prints where the artifacts went (after the emitters' finish()).
+  void report(std::ostream& os) const {
+    if (csv) os << "\nCSV written to " << csv_base << "_{series,summary}.csv\n";
+    if (json) os << "JSON written to " << json_path << "\n";
   }
-  return 0;
+
+  experiments::ConsoleEmitter console;
+  std::optional<experiments::CsvEmitter> csv;
+  std::optional<experiments::JsonEmitter> json;
+  std::string csv_base;
+  std::string json_path;
+  std::vector<experiments::MetricsEmitter*> pointers;
+};
+
+/// Applies CLI overrides to `specs`, runs them all through the scenario
+/// engine, prints the series/summary tables, writes --csv/--json
+/// artifacts, and returns the per-scenario summaries for binary-specific
+/// post-processing (pivot tables etc.).
+inline std::vector<experiments::ScenarioSummary> run_scenarios(
+    const std::string& title, std::vector<experiments::ScenarioSpec> specs,
+    int argc, char** argv) {
+  const CliArgs args(argc, argv, scenario_flags());
+  for (auto& spec : specs) {
+    apply_scalar_flags(args, {"rounds", "seed", "delay", "subrounds",
+                              "eval-max"},
+                       spec);
+  }
+
+  std::cout << "=== " << title << ": " << specs.size()
+            << " scenario(s) through the scenario engine ===\n\n";
+
+  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+  experiments::ScenarioRunner runner(&pool);
+  EmitterSet emitters(std::cout, args, title, "BENCH_" + title + ".json");
+  const auto summaries = runner.run_all(specs, emitters.pointers);
+  emitters.report(std::cout);
+  return summaries;
 }
 
 }  // namespace bcl::bench

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 #include "aggregation/hyperbox_rules.hpp"
 #include "aggregation/krum.hpp"
 #include "aggregation/minimum_diameter_rules.hpp"
@@ -30,7 +32,12 @@ AggregationRulePtr make_rule(const std::string& name) {
     const std::size_t q = static_cast<std::size_t>(std::stoul(q_str));
     return std::make_shared<MultiKrumRule>(q);
   }
-  throw std::invalid_argument("make_rule: unknown rule '" + name + "'");
+  std::vector<std::string> valid = all_rule_names();
+  const auto extended = extended_rule_names();
+  valid.insert(valid.end(), extended.begin(), extended.end());
+  valid.push_back("MULTIKRUM-<q>");
+  throw std::invalid_argument("make_rule: unknown rule '" + name +
+                              "' (valid: " + join_names(valid) + ")");
 }
 
 std::vector<std::string> all_rule_names() {

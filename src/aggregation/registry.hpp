@@ -1,7 +1,14 @@
 #pragma once
 // Name-based factory for aggregation rules, used by experiment configs,
-// examples and bench harnesses ("--rule BOX-GEOM").
+// scenario specs, examples and bench harnesses ("--rule BOX-GEOM").  The
+// attack registry (attacks/registry.hpp) mirrors this interface, so rules
+// and attacks are selected with the same string-keyed idiom everywhere.
+//
+// Name grammar: a canonical upper-case name, plus the parameterized family
+// MULTIKRUM-<q> where <q> is the selection size (a positive integer, e.g.
+// MULTIKRUM-3, the paper's configuration).
 
+#include <string>
 #include <vector>
 
 #include "aggregation/rule.hpp"
@@ -9,12 +16,16 @@
 namespace bcl {
 
 /// Creates a rule by its canonical name: MEAN, GEOMED, MEDOID, CW-MEDIAN,
-/// TRIM-MEAN, KRUM, MULTIKRUM-<q>, MD-MEAN, MD-GEOM, BOX-MEAN, BOX-GEOM.
-/// Throws std::invalid_argument for unknown names.
+/// TRIM-MEAN, KRUM, MULTIKRUM-<q>, MD-MEAN, MD-GEOM, BOX-MEAN, BOX-GEOM,
+/// plus the extended baselines RFA, CCLIP, NORM-CLIP.  The returned rule is
+/// immutable and safe to share across threads/rounds.  Throws
+/// std::invalid_argument for unknown names; the message lists every valid
+/// name so sweep typos fail with the menu attached.
 AggregationRulePtr make_rule(const std::string& name);
 
 /// All canonical rule names (MULTIKRUM listed as MULTIKRUM-3, the paper's
-/// configuration).
+/// configuration).  Every entry constructs: make_rule(n) succeeds for each
+/// n returned.
 std::vector<std::string> all_rule_names();
 
 /// The additional robust baselines from the wider literature (RFA, CCLIP,

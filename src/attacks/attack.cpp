@@ -1,5 +1,6 @@
 #include "attacks/attack.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -66,29 +67,68 @@ std::optional<Vector> ALittleIsEnoughAttack::corrupt(
   return out;
 }
 
+std::optional<Vector> MimicAttack::corrupt(const Vector& own_gradient,
+                                           const VectorList& honest_gradients,
+                                           std::size_t /*round*/,
+                                           Rng& /*rng*/) const {
+  if (honest_gradients.empty()) return own_gradient;
+  const std::size_t idx = std::min(target_, honest_gradients.size() - 1);
+  return honest_gradients[idx];
+}
+
+std::optional<Vector> MinMaxAttack::corrupt(const Vector& own_gradient,
+                                            const VectorList& honest_gradients,
+                                            std::size_t /*round*/,
+                                            Rng& /*rng*/) const {
+  if (honest_gradients.empty()) return scale(own_gradient, -1.0);
+  const Vector mu = mean(honest_gradients);
+  const double mu_norm = norm2(mu);
+  if (mu_norm == 0.0) return mu;  // no descent direction to oppose
+  const Vector p = scale(mu, -1.0 / mu_norm);
+
+  // Honest diameter: the distance budget any crafted vector must respect to
+  // look like one more honest straggler under pairwise-distance filters.
+  const double budget = diameter(honest_gradients);
+
+  // fits(gamma): max_i ||mu + gamma p - g_i|| <= budget.  Monotone in gamma
+  // (the crafted point moves along a ray leaving the honest hull), so the
+  // largest feasible gamma is found by doubling + bisection.
+  auto fits = [&](double gamma) {
+    Vector mal = mu;
+    axpy(mal, gamma, p);
+    for (const auto& g : honest_gradients) {
+      if (distance(mal, g) > budget) return false;
+    }
+    return true;
+  };
+  if (!fits(0.0)) return mu;  // degenerate (budget 0 with spread): stay put
+  double lo = 0.0;
+  double hi = std::max(budget, 1e-12);
+  for (int i = 0; i < 60 && fits(hi); ++i) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (fits(mid) ? lo : hi) = mid;
+  }
+  Vector out = mu;
+  axpy(out, lo, p);
+  return out;
+}
+
+std::optional<Vector> LabelFlipAttack::corrupt(const Vector& own_gradient,
+                                               const VectorList& /*honest*/,
+                                               std::size_t /*round*/,
+                                               Rng& /*rng*/) const {
+  return own_gradient;
+}
+
 std::optional<Vector> NoAttack::corrupt(const Vector& own_gradient,
                                         const VectorList& /*honest*/,
                                         std::size_t /*round*/,
                                         Rng& /*rng*/) const {
   return own_gradient;
-}
-
-GradientAttackPtr make_attack(const std::string& name) {
-  if (name == "none") return std::make_shared<NoAttack>();
-  if (name == "sign-flip") return std::make_shared<SignFlipAttack>();
-  if (name == "sign-flip-10") return std::make_shared<SignFlipAttack>(10.0);
-  if (name == "crash") return std::make_shared<CrashAttack>();
-  if (name == "random") return std::make_shared<RandomGradientAttack>();
-  if (name == "scale") return std::make_shared<ScaleAttack>();
-  if (name == "zero") return std::make_shared<ZeroAttack>();
-  if (name == "opposite-mean") return std::make_shared<OppositeMeanAttack>();
-  if (name == "alie") return std::make_shared<ALittleIsEnoughAttack>();
-  throw std::invalid_argument("make_attack: unknown attack '" + name + "'");
-}
-
-std::vector<std::string> all_attack_names() {
-  return {"none",  "sign-flip", "sign-flip-10", "crash",
-          "random", "scale",    "zero",         "opposite-mean", "alie"};
 }
 
 void flip_labels_in_place(ml::Dataset& dataset,
@@ -98,6 +138,19 @@ void flip_labels_in_place(ml::Dataset& dataset,
     dataset.labels[i] =
         static_cast<std::uint8_t>(dataset.num_classes - 1 - y);
   }
+}
+
+const ml::Dataset* poison_byzantine_shards(
+    const GradientAttack& attack, const ml::Dataset& train,
+    const std::vector<std::vector<std::size_t>>& shards,
+    std::size_t num_byzantine, ml::Dataset& poisoned_storage) {
+  if (num_byzantine == 0 || !attack.poisons_labels()) return &train;
+  poisoned_storage = train;
+  for (std::size_t i = shards.size() - num_byzantine; i < shards.size();
+       ++i) {
+    flip_labels_in_place(poisoned_storage, shards[i]);
+  }
+  return &poisoned_storage;
 }
 
 }  // namespace bcl

@@ -1,0 +1,164 @@
+#include "attacks/registry.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+namespace {
+
+using Params = std::map<std::string, std::string>;
+
+// Splits "family:key=val,key=val" into the family name and a key->value
+// map.  Malformed parameter tokens (no '=') throw immediately.
+void split_spec(const std::string& spec, std::string& family, Params& params) {
+  const std::size_t colon = spec.find(':');
+  family = spec.substr(0, colon);
+  if (colon == std::string::npos) return;
+  std::stringstream rest(spec.substr(colon + 1));
+  std::string token;
+  while (std::getline(rest, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      throw std::invalid_argument("make_attack: malformed parameter '" +
+                                  token + "' in '" + spec +
+                                  "' (expected key=value)");
+    }
+    params[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+}
+
+// Typed parameter lookup; strict parsing so "target=1.9" fails instead of
+// truncating.  Key validation happens centrally in make_attack via
+// reject_unknown against the family's attack_parameter_table() row — new
+// families only add a table row and a constructor branch.
+double get_double(const Params& params, const std::string& key,
+                  double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return parse_strict_double(it->second,
+                             "make_attack: parameter '" + key + "'");
+}
+
+std::size_t get_size(const Params& params, const std::string& key,
+                     std::size_t fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return static_cast<std::size_t>(
+      parse_strict_u64(it->second, "make_attack: parameter '" + key + "'"));
+}
+
+// Validates every supplied key against the family's row of
+// attack_parameter_table() so a typo ("sigma" vs "scale") fails with the
+// valid keys listed.
+void reject_unknown(const std::string& family, const Params& params,
+                    const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool ok = false;
+    for (const auto& a : allowed) ok = ok || a == key;
+    if (!ok) {
+      throw std::invalid_argument(
+          "make_attack: unknown parameter '" + key + "' for attack '" +
+          family + "'" +
+          (allowed.empty() ? std::string(" (takes no parameters)")
+                           : " (valid: " + join_names(allowed) + ")"));
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+attack_parameter_table() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      table = {{"none", {}},
+               {"sign-flip", {"scale"}},
+               {"sign-flip-10", {}},
+               {"crash", {"from"}},
+               {"random", {"sigma"}},
+               {"scale", {"factor"}},
+               {"zero", {}},
+               {"opposite-mean", {"scale"}},
+               {"alie", {"z"}},
+               {"ipm", {"eps"}},
+               {"mimic", {"target"}},
+               {"min-max", {}},
+               {"label-flip", {}}};
+  return table;
+}
+
+GradientAttackPtr make_attack(const std::string& name) {
+  std::string family;
+  Params params;
+  split_spec(name, family, params);
+
+  // One lookup against the registry table covers both the unknown-family
+  // error (with the full menu) and the family's parameter allowlist.
+  const std::vector<std::string>* allowed = nullptr;
+  for (const auto& [known, keys] : attack_parameter_table()) {
+    if (known == family) {
+      allowed = &keys;
+      break;
+    }
+  }
+  if (allowed == nullptr) {
+    throw std::invalid_argument("make_attack: unknown attack '" + family +
+                                "' (valid: " + join_names(all_attack_names()) +
+                                ")");
+  }
+  reject_unknown(family, params, *allowed);
+
+  if (family == "none") return std::make_shared<NoAttack>();
+  if (family == "sign-flip") {
+    return std::make_shared<SignFlipAttack>(get_double(params, "scale", 1.0));
+  }
+  if (family == "sign-flip-10") return std::make_shared<SignFlipAttack>(10.0);
+  if (family == "crash") {
+    return std::make_shared<CrashAttack>(get_size(params, "from", 0));
+  }
+  if (family == "random") {
+    return std::make_shared<RandomGradientAttack>(
+        get_double(params, "sigma", 1.0));
+  }
+  if (family == "scale") {
+    return std::make_shared<ScaleAttack>(get_double(params, "factor", 100.0));
+  }
+  if (family == "zero") return std::make_shared<ZeroAttack>();
+  if (family == "opposite-mean") {
+    return std::make_shared<OppositeMeanAttack>(
+        get_double(params, "scale", 1.0));
+  }
+  if (family == "alie") {
+    return std::make_shared<ALittleIsEnoughAttack>(
+        get_double(params, "z", 1.5));
+  }
+  if (family == "ipm") {
+    return std::make_shared<InnerProductAttack>(
+        get_double(params, "eps", 0.1));
+  }
+  if (family == "mimic") {
+    return std::make_shared<MimicAttack>(get_size(params, "target", 0));
+  }
+  if (family == "min-max") return std::make_shared<MinMaxAttack>();
+  if (family == "label-flip") return std::make_shared<LabelFlipAttack>();
+  // A table row without a matching branch is a registry bug, not user
+  // input: fail loudly instead of silently constructing the wrong attack.
+  throw std::logic_error("make_attack: family '" + family +
+                         "' is registered but has no constructor branch");
+}
+
+std::vector<std::string> all_attack_names() {
+  std::vector<std::string> names;
+  names.reserve(attack_parameter_table().size());
+  for (const auto& [family, keys] : attack_parameter_table()) {
+    (void)keys;
+    names.push_back(family);
+  }
+  return names;
+}
+
+}  // namespace bcl

@@ -1,0 +1,58 @@
+#pragma once
+// Name-based factory for Byzantine attacks, mirroring the aggregation-rule
+// registry (aggregation/registry.hpp): scenario specs, bcl_run sweeps and
+// the bench harnesses select attacks with the same string grammar that
+// make_rule uses for rules.
+//
+// Name grammar:
+//
+//   <family>[:<key>=<value>[,<key>=<value>]...]
+//
+// e.g. "sign-flip", "sign-flip:scale=2", "crash:from=3", "alie:z=1.5",
+// "mimic:target=1".  Families and their accepted parameters:
+//
+//   none                 honest control arm
+//   sign-flip[:scale=S]  -S * own gradient (default S=1)
+//   sign-flip-10         legacy alias for sign-flip:scale=10
+//   crash[:from=R]       silent from round R on (default 0)
+//   random[:sigma=S]     N(0, S^2) noise per coordinate (default 1)
+//   scale[:factor=F]     F * own gradient (default 100)
+//   zero                 all-zero submission
+//   opposite-mean[:scale=S]  -S * mean(honest) (default 1)
+//   alie[:z=Z]           mean + Z * std per coordinate (default 1.5)
+//   ipm[:eps=E]          -E * mean(honest), small-E stealth (default 0.1)
+//   mimic[:target=I]     copy honest submission I (default 0)
+//   min-max              optimal variance attack within the honest diameter
+//   label-flip           static label poisoning of the Byzantine shards
+//
+// Unknown families and unknown parameter keys both throw
+// std::invalid_argument whose message lists the valid alternatives, so a
+// typo in a sweep spec fails loudly with the menu attached.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacks/attack.hpp"
+
+namespace bcl {
+
+/// Creates an attack from a grammar string (see file comment).  The
+/// returned object is immutable and safe to share across all Byzantine
+/// clients of a run.  Throws std::invalid_argument on unknown family
+/// names (message lists all families) or unknown parameter keys (message
+/// lists the family's parameters).
+GradientAttackPtr make_attack(const std::string& name);
+
+/// All family names accepted by make_attack, in registry order
+/// ("sign-flip-10" included as the legacy alias).  Every entry constructs
+/// without parameters: make_attack(n) succeeds for each n returned.
+std::vector<std::string> all_attack_names();
+
+/// family -> accepted parameter keys, in registry order (empty vector =
+/// takes no parameters).  This is the same table make_attack validates
+/// against, so menus rendered from it (bcl_run --list) cannot go stale.
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+attack_parameter_table();
+
+}  // namespace bcl

@@ -11,8 +11,9 @@
 //   network     - synchronous P2P simulator with Byzantine adversaries
 //   agreement   - multidimensional approximate-agreement protocols
 //   ml          - tensors, layers, models, synthetic datasets, partitions
-//   attacks     - Byzantine client behaviours
+//   attacks     - Byzantine client behaviours + name registry
 //   learning    - centralized / decentralized collaborative training
+//   experiments - declarative scenario specs, runner, metric emitters
 
 #include "aggregation/approximation.hpp"
 #include "aggregation/hyperbox_rules.hpp"
@@ -24,6 +25,10 @@
 #include "agreement/protocol.hpp"
 #include "agreement/round_function.hpp"
 #include "attacks/attack.hpp"
+#include "attacks/registry.hpp"
+#include "experiments/emitters.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/scenario.hpp"
 #include "geometry/convex2d.hpp"
 #include "geometry/enclosing_ball.hpp"
 #include "geometry/medoid.hpp"
@@ -55,6 +60,7 @@
 #include "network/sync_network.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"

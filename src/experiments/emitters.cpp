@@ -1,0 +1,219 @@
+#include "experiments/emitters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "experiments/runner.hpp"
+
+namespace bcl::experiments {
+
+void MetricsEmitter::begin_scenario(const ScenarioSpec& /*spec*/) {}
+void MetricsEmitter::emit_round(const ScenarioSpec& /*spec*/,
+                                const RoundMetrics& /*metrics*/) {}
+void MetricsEmitter::end_scenario(const ScenarioSummary& /*summary*/) {}
+void MetricsEmitter::finish() {}
+
+// --- console ---------------------------------------------------------------
+
+ConsoleEmitter::ConsoleEmitter(std::ostream& os, std::size_t series_samples)
+    : os_(os),
+      series_samples_(std::max<std::size_t>(1, series_samples)),
+      summary_({"scenario", "rule", "attack", "best acc", "final acc",
+                "rounds", "seconds"}) {}
+
+void ConsoleEmitter::begin_scenario(const ScenarioSpec& spec) {
+  series_.emplace_back(spec.name(), std::vector<RoundMetrics>{});
+}
+
+void ConsoleEmitter::emit_round(const ScenarioSpec& /*spec*/,
+                                const RoundMetrics& metrics) {
+  series_.back().second.push_back(metrics);
+}
+
+void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
+  const auto& result = summary.result;
+  if (!summary.error.empty()) {
+    summary_.new_row()
+        .add(summary.spec.name())
+        .add(summary.spec.rule)
+        .add(summary.spec.attack)
+        .add("FAILED")
+        .add("FAILED")
+        .add_int(static_cast<long long>(result.history.size()))
+        .add_num(summary.seconds, 2);
+    os_ << "[" << summary.spec.name() << "] FAILED: " << summary.error
+        << "\n";
+    return;
+  }
+  summary_.new_row()
+      .add(summary.spec.name())
+      .add(summary.spec.rule)
+      .add(summary.spec.attack)
+      .add_num(result.best_accuracy(), 4)
+      .add_num(result.final_accuracy, 4)
+      .add_int(static_cast<long long>(result.history.size()))
+      .add_num(summary.seconds, 2);
+  os_ << "[" << summary.spec.name()
+      << "] best=" << format_double(result.best_accuracy(), 4)
+      << " final=" << format_double(result.final_accuracy, 4) << " ("
+      << format_double(summary.seconds, 2) << "s)\n";
+}
+
+void ConsoleEmitter::finish() {
+  Table series({"scenario", "round", "accuracy", "loss", "grad diameter"});
+  for (const auto& [name, rounds] : series_) {
+    if (rounds.empty()) continue;
+    const std::size_t stride =
+        std::max<std::size_t>(1, rounds.size() / series_samples_);
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+      if (i % stride != 0 && i + 1 != rounds.size()) continue;
+      series.new_row()
+          .add(name)
+          .add_int(static_cast<long long>(rounds[i].round))
+          .add_num(rounds[i].accuracy, 4)
+          .add_num(rounds[i].mean_honest_loss, 4)
+          .add_num(rounds[i].gradient_diameter, 4);
+    }
+  }
+  os_ << "\n--- accuracy series ---\n";
+  series.print(os_);
+  os_ << "\n--- summary ---\n";
+  summary_.print(os_);
+}
+
+// --- CSV -------------------------------------------------------------------
+
+CsvEmitter::CsvEmitter(std::string base_path)
+    : base_path_(std::move(base_path)),
+      series_({"scenario", "round", "accuracy", "accuracy_min",
+               "accuracy_max", "loss", "lr", "disagreement",
+               "gradient_diameter", "seconds"}),
+      summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
+                "f", "best_accuracy", "final_accuracy", "seconds",
+                "error"}) {}
+
+void CsvEmitter::emit_round(const ScenarioSpec& spec,
+                            const RoundMetrics& m) {
+  series_.new_row()
+      .add(spec.name())
+      .add_int(static_cast<long long>(m.round))
+      .add_num(m.accuracy, 6)
+      .add_num(m.accuracy_min, 6)
+      .add_num(m.accuracy_max, 6)
+      .add_num(m.mean_honest_loss, 6)
+      .add_num(m.learning_rate, 6)
+      .add_num(m.disagreement, 6)
+      .add_num(m.gradient_diameter, 6)
+      .add_num(m.seconds, 4);
+}
+
+void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
+  summary_.new_row()
+      .add(summary.spec.name())
+      .add(summary.spec.rule)
+      .add(summary.spec.attack)
+      .add(topology_name(summary.spec.topology))
+      .add(ml::heterogeneity_name(summary.spec.heterogeneity))
+      .add_int(static_cast<long long>(summary.spec.byzantine))
+      .add_num(summary.result.best_accuracy(), 6)
+      .add_num(summary.result.final_accuracy, 6)
+      .add_num(summary.seconds, 2)
+      .add(summary.error);
+}
+
+void CsvEmitter::finish() {
+  series_.write_csv(base_path_ + "_series.csv");
+  summary_.write_csv(base_path_ + "_summary.csv");
+}
+
+// --- JSON ------------------------------------------------------------------
+
+JsonEmitter::JsonEmitter(std::string path) : path_(std::move(path)) {}
+
+void JsonEmitter::begin_scenario(const ScenarioSpec& spec) {
+  entries_.push_back({spec, {}, 0.0, 0.0, 0.0, ""});
+}
+
+void JsonEmitter::emit_round(const ScenarioSpec& /*spec*/,
+                             const RoundMetrics& metrics) {
+  entries_.back().rounds.push_back(metrics);
+}
+
+void JsonEmitter::end_scenario(const ScenarioSummary& summary) {
+  Entry& entry = entries_.back();
+  entry.best_accuracy = summary.result.best_accuracy();
+  entry.final_accuracy = summary.result.final_accuracy;
+  entry.seconds = summary.seconds;
+  entry.error = summary.error;
+}
+
+namespace {
+// Error messages pass through here too (they may embed arbitrary
+// user-provided names), so control characters are escaped along with the
+// JSON metacharacters.
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void JsonEmitter::finish() {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("JsonEmitter: cannot open '" + path_ + "'");
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f, "  {\"scenario\": \"%s\",\n",
+                 escape_json(e.spec.name()).c_str());
+    std::fprintf(f, "   \"spec\": \"%s\",\n",
+                 escape_json(e.spec.to_string()).c_str());
+    std::fprintf(f, "   \"rule\": \"%s\", \"attack\": \"%s\",\n",
+                 escape_json(e.spec.rule).c_str(),
+                 escape_json(e.spec.attack).c_str());
+    std::fprintf(f,
+                 "   \"topology\": \"%s\", \"heterogeneity\": \"%s\", "
+                 "\"f\": %zu,\n",
+                 topology_name(e.spec.topology),
+                 ml::heterogeneity_name(e.spec.heterogeneity),
+                 e.spec.byzantine);
+    std::fprintf(f,
+                 "   \"best_accuracy\": %.6f, \"final_accuracy\": %.6f, "
+                 "\"seconds\": %.3f, \"error\": \"%s\",\n",
+                 e.best_accuracy, e.final_accuracy, e.seconds,
+                 escape_json(e.error).c_str());
+    std::fprintf(f, "   \"rounds\": [\n");
+    for (std::size_t r = 0; r < e.rounds.size(); ++r) {
+      const RoundMetrics& m = e.rounds[r];
+      std::fprintf(f,
+                   "     {\"round\": %zu, \"accuracy\": %.6f, "
+                   "\"loss\": %.6f, \"lr\": %.6f, "
+                   "\"disagreement\": %.6g, "
+                   "\"gradient_diameter\": %.6g, \"seconds\": %.4f}%s\n",
+                   m.round, m.accuracy, m.mean_honest_loss, m.learning_rate,
+                   m.disagreement, m.gradient_diameter, m.seconds,
+                   r + 1 < e.rounds.size() ? "," : "");
+    }
+    std::fprintf(f, "   ]}%s\n", i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace bcl::experiments

@@ -1,0 +1,82 @@
+#pragma once
+// The scenario engine: materializes a ScenarioSpec into datasets, models
+// and a TrainingConfig, drives the matching trainer (centralized or
+// decentralized) batch-natively, and streams per-round metrics through the
+// registered emitters while the run is in flight.
+//
+// One runner instance serves a whole sweep: datasets are cached by
+// (model, scale, seed), so a cross-product over rules/attacks pays the
+// synthetic-data generation once per data configuration instead of once
+// per scenario.  Returned ScenarioSummary objects are self-contained
+// copies; references handed to emitters are only valid during the
+// callback.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/emitters.hpp"
+#include "experiments/scenario.hpp"
+#include "learning/config.hpp"
+#include "ml/dataset.hpp"
+
+namespace bcl {
+class ThreadPool;
+}
+
+namespace bcl::experiments {
+
+/// Everything one scenario produced: the spec it ran, the full per-round
+/// training history, and total wall time.  `error` is non-empty when the
+/// scenario failed (unknown rule/attack name, inconsistent config, or
+/// runtime divergence — e.g. MEAN under an amplified attack feeding
+/// non-finite gradients into aggregation); `result` is then empty (the
+/// history is assembled by the trainer, which did not return) — the
+/// rounds completed before the failure survive only as the emitters'
+/// streamed per-round records.
+struct ScenarioSummary {
+  ScenarioSpec spec;
+  TrainingResult result;
+  double seconds = 0.0;
+  std::string error;
+};
+
+/// Drives scenarios (see file comment).  Not thread-safe: one runner, one
+/// thread — parallelism lives inside the trainers via the pool.
+class ScenarioRunner {
+ public:
+  /// `pool` (optional) is handed to every trainer for intra-round
+  /// parallelism; must outlive the runner.
+  explicit ScenarioRunner(ThreadPool* pool = nullptr);
+
+  /// Runs one scenario.  Emitters (caller-owned, see emitters.hpp) receive
+  /// begin_scenario / emit_round / end_scenario; finish() is NOT called —
+  /// use run_all or call it yourself after the last run().  Failures do
+  /// not throw: they come back as ScenarioSummary::error (with the
+  /// registries' valid-name lists in the message for typos), so one
+  /// divergent cell of a sweep cannot abort the sweep or lose the other
+  /// scenarios' artifacts.  Callers wanting fail-fast name validation can
+  /// call make_rule/make_attack on the spec strings up front, as bcl_run
+  /// does.
+  ScenarioSummary run(const ScenarioSpec& spec,
+                      const std::vector<MetricsEmitter*>& emitters = {});
+
+  /// Runs every spec in order (failed scenarios are recorded and skipped
+  /// past, see run) and then calls finish() on each emitter.
+  std::vector<ScenarioSummary> run_all(
+      const std::vector<ScenarioSpec>& specs,
+      const std::vector<MetricsEmitter*>& emitters = {});
+
+ private:
+  /// The throwing core of run(): materializes the spec and trains,
+  /// filling summary.result.
+  void run_trained(const ScenarioSpec& spec,
+                   const std::vector<MetricsEmitter*>& emitters,
+                   ScenarioSummary& summary);
+  const ml::TrainTestSplit& dataset_for(const ScenarioSpec& spec);
+
+  ThreadPool* pool_;
+  std::map<std::string, ml::TrainTestSplit> dataset_cache_;
+};
+
+}  // namespace bcl::experiments

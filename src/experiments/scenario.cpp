@@ -1,0 +1,173 @@
+#include "experiments/scenario.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl::experiments {
+namespace {
+
+std::string join_keys() { return join_names(scenario_keys()); }
+
+// %.12g round-trips every value the harnesses use and keeps common
+// decimals short ("0.25", not "0.250000000000").
+std::string format_g(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+  return static_cast<std::size_t>(
+      parse_strict_u64(value, "ScenarioSpec: key '" + key + "'"));
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  return parse_strict_double(value, "ScenarioSpec: key '" + key + "'");
+}
+
+}  // namespace
+
+const char* topology_name(Topology topology) {
+  return topology == Topology::Centralized ? "centralized" : "decentralized";
+}
+
+Topology parse_topology(const std::string& name) {
+  if (name == "centralized") return Topology::Centralized;
+  if (name == "decentralized") return Topology::Decentralized;
+  throw std::invalid_argument("ScenarioSpec: unknown topology '" + name +
+                              "' (valid: centralized, decentralized)");
+}
+
+const char* model_kind_name(ModelKind model) {
+  return model == ModelKind::Mlp ? "mlp" : "cifarnet";
+}
+
+ModelKind parse_model_kind(const std::string& name) {
+  if (name == "mlp") return ModelKind::Mlp;
+  if (name == "cifarnet") return ModelKind::CifarNet;
+  throw std::invalid_argument("ScenarioSpec: unknown model '" + name +
+                              "' (valid: mlp, cifarnet)");
+}
+
+const std::vector<std::string>& scenario_keys() {
+  static const std::vector<std::string> keys = {
+      "label", "rule",  "attack", "n",         "f",     "t",
+      "topology", "model", "het",  "scale",    "rounds", "batch",
+      "lr",    "subrounds", "delay", "seed",   "eval-max"};
+  return keys;
+}
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  if (key == "label") {
+    // The textual grammar is whitespace-separated, so a label containing
+    // whitespace could never parse back — reject it here so the
+    // parse(to_string()) round-trip holds for every constructible spec.
+    if (value.find_first_of(" \t\n\r") != std::string::npos) {
+      throw std::invalid_argument(
+          "ScenarioSpec: label must not contain whitespace, got '" + value +
+          "'");
+    }
+    label = value;
+  } else if (key == "rule") {
+    rule = value;
+  } else if (key == "attack") {
+    attack = value;
+  } else if (key == "n") {
+    clients = parse_size(key, value);
+  } else if (key == "f") {
+    byzantine = parse_size(key, value);
+  } else if (key == "t") {
+    tolerance = parse_size(key, value);
+  } else if (key == "topology") {
+    topology = parse_topology(value);
+  } else if (key == "model") {
+    model = parse_model_kind(value);
+  } else if (key == "het") {
+    heterogeneity = ml::parse_heterogeneity(value);
+  } else if (key == "scale") {
+    if (value == "reduced") {
+      full_scale = false;
+    } else if (value == "full") {
+      full_scale = true;
+    } else {
+      throw std::invalid_argument("ScenarioSpec: unknown scale '" + value +
+                                  "' (valid: reduced, full)");
+    }
+  } else if (key == "rounds") {
+    rounds = parse_size(key, value);
+  } else if (key == "batch") {
+    batch = parse_size(key, value);
+  } else if (key == "lr") {
+    lr = parse_double(key, value);
+  } else if (key == "subrounds") {
+    subrounds = parse_size(key, value);
+  } else if (key == "delay") {
+    delay = parse_double(key, value);
+  } else if (key == "seed") {
+    seed = static_cast<std::uint64_t>(parse_size(key, value));
+  } else if (key == "eval-max") {
+    eval_max = parse_size(key, value);
+  } else {
+    throw std::invalid_argument("ScenarioSpec: unknown key '" + key +
+                                "' (valid: " + join_keys() + ")");
+  }
+}
+
+void ScenarioSpec::apply(const std::string& text) {
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: malformed token '" + token +
+          "' (expected key=value; valid keys: " + join_keys() + ")");
+    }
+    set(token.substr(0, eq), token.substr(eq + 1));
+  }
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  spec.apply(text);
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string out;
+  if (!label.empty()) out += "label=" + label + " ";
+  out += "rule=" + rule;
+  out += " attack=" + attack;
+  out += " n=" + std::to_string(clients);
+  out += " f=" + std::to_string(byzantine);
+  out += " t=" + std::to_string(tolerance);
+  out += std::string(" topology=") + topology_name(topology);
+  out += std::string(" model=") + model_kind_name(model);
+  out += std::string(" het=") + ml::heterogeneity_name(heterogeneity);
+  out += std::string(" scale=") + (full_scale ? "full" : "reduced");
+  out += " rounds=" + std::to_string(rounds);
+  out += " batch=" + std::to_string(batch);
+  out += " lr=" + format_g(lr);
+  out += " subrounds=" + std::to_string(subrounds);
+  out += " delay=" + format_g(delay);
+  out += " seed=" + std::to_string(seed);
+  out += " eval-max=" + std::to_string(eval_max);
+  return out;
+}
+
+std::string ScenarioSpec::name() const {
+  if (!label.empty()) return label;
+  std::string out = topology == Topology::Centralized ? "cen" : "dec";
+  if (model == ModelKind::CifarNet) out += "/cifar";
+  out += std::string("/") + ml::heterogeneity_name(heterogeneity);
+  out += "/" + rule;
+  out += "/" + attack;
+  out += "/f" + std::to_string(byzantine);
+  if (subrounds > 0) out += "/k" + std::to_string(subrounds);
+  return out;
+}
+
+}  // namespace bcl::experiments

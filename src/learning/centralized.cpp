@@ -6,6 +6,7 @@
 
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -33,12 +34,18 @@ TrainingResult CentralizedTrainer::run() {
   Rng partition_rng = root.split(1);
   const auto shards =
       ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  // Data-poisoning attacks (label-flip) corrupt the Byzantine shards at
+  // setup: those clients then train honestly on a poisoned copy of the
+  // training set, so their "own gradient" is already attacked.
+  ml::Dataset poisoned_train;
+  const ml::Dataset* byz_train = poison_byzantine_shards(
+      *config_.attack, *train_, shards, f, poisoned_train);
   std::vector<std::unique_ptr<Client>> clients;
   clients.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    clients.push_back(std::make_unique<Client>(i, train_, shards[i], factory_,
-                                               config_.batch_size,
-                                               root.split(100 + i)));
+    clients.push_back(std::make_unique<Client>(
+        i, i < n - f ? train_ : byz_train, shards[i], factory_,
+        config_.batch_size, root.split(100 + i)));
   }
 
   // Global model initialization.
@@ -65,6 +72,7 @@ TrainingResult CentralizedTrainer::run() {
   std::vector<double> losses(n, 0.0);
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
+    Stopwatch round_watch;
     auto compute = [&](std::size_t i) {
       losses[i] = clients[i]->stochastic_gradient_into(global_params_,
                                                        gradients.row(i));
@@ -141,7 +149,9 @@ TrainingResult CentralizedTrainer::run() {
       metrics.gradient_diameter =
           DistanceMatrix(gradients.row(0), n - f, dim, ctx.pool).diameter();
     }
+    metrics.seconds = round_watch.seconds();
     result.history.push_back(metrics);
+    if (config_.on_round) config_.on_round(result.history.back());
   }
   result.final_accuracy =
       result.history.empty() ? 0.0 : result.history.back().accuracy;

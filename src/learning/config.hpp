@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "aggregation/rule.hpp"
@@ -13,6 +14,7 @@
 namespace bcl {
 
 class ThreadPool;
+struct RoundMetrics;
 
 struct TrainingConfig {
   /// Total clients n (the paper uses 10) and true Byzantine count f.
@@ -47,6 +49,17 @@ struct TrainingConfig {
   /// Cap on test examples per evaluation (0 = all).
   std::size_t eval_max_examples = 0;
 
+  /// Decentralized model only: fixed agreement sub-round budget per
+  /// learning round.  0 (default) = the paper's ceil(log2(t + 2)) schedule
+  /// (agreement_subrounds); k > 0 runs exactly k sub-rounds every round
+  /// (the sub-round ablation scenarios).
+  std::size_t fixed_subrounds = 0;
+
+  /// Invoked by both trainers right after each round's metrics are
+  /// recorded (streaming consumers: scenario emitters, live progress).
+  /// The reference is only valid during the call.  May be empty.
+  std::function<void(const RoundMetrics&)> on_round;
+
   /// Resolved tolerance: max(tolerance, num_byzantine).
   std::size_t resolved_t() const {
     return tolerance > num_byzantine ? tolerance : num_byzantine;
@@ -69,6 +82,9 @@ struct RoundMetrics {
   /// read off the round's shared distance matrix (a direct measure of the
   /// heterogeneity the robust rules must absorb).
   double gradient_diameter = 0.0;
+  /// Wall time of this round (gradients + attack + aggregation/agreement +
+  /// evaluation), seconds.
+  double seconds = 0.0;
 };
 
 struct TrainingResult {

@@ -9,6 +9,7 @@
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
 #include "network/adversary.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -49,12 +50,16 @@ TrainingResult DecentralizedTrainer::run() {
   Rng partition_rng = root.split(1);
   const auto shards =
       ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  // Label-poisoning attacks corrupt the Byzantine shards at setup.
+  ml::Dataset poisoned_train;
+  const ml::Dataset* byz_train = poison_byzantine_shards(
+      *config_.attack, *train_, shards, f, poisoned_train);
   std::vector<std::unique_ptr<Client>> clients;
   clients.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    clients.push_back(std::make_unique<Client>(i, train_, shards[i], factory_,
-                                               config_.batch_size,
-                                               root.split(100 + i)));
+    clients.push_back(std::make_unique<Client>(
+        i, i < honest_count ? train_ : byz_train, shards[i], factory_,
+        config_.batch_size, root.split(100 + i)));
   }
 
   // Every client starts from the same initial model (created once at the
@@ -85,6 +90,7 @@ TrainingResult DecentralizedTrainer::run() {
   std::vector<double> losses(n, 0.0);
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
+    Stopwatch round_watch;
     // Phase 1: local stochastic gradients at each honest client's own
     // parameters (parallel; disjoint rows and model replicas).
     auto compute = [&](std::size_t i) {
@@ -136,7 +142,9 @@ TrainingResult DecentralizedTrainer::run() {
     for (std::size_t i = 0; i < honest_count; ++i) {
       inputs[i] = honest_gradients[i];
     }
-    const std::size_t subrounds = agreement_subrounds(round);
+    const std::size_t subrounds = config_.fixed_subrounds > 0
+                                      ? config_.fixed_subrounds
+                                      : agreement_subrounds(round);
     const AgreementResult agreed =
         run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
 
@@ -175,7 +183,9 @@ TrainingResult DecentralizedTrainer::run() {
     metrics.accuracy_max = hi;
     metrics.disagreement = agreed.trace.honest_diameter.back();
     metrics.gradient_diameter = gradient_diameter;
+    metrics.seconds = round_watch.seconds();
     result.history.push_back(metrics);
+    if (config_.on_round) config_.on_round(result.history.back());
   }
   result.final_accuracy =
       result.history.empty() ? 0.0 : result.history.back().accuracy;

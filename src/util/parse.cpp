@@ -1,0 +1,45 @@
+#include "util/parse.hpp"
+
+#include <stdexcept>
+
+namespace bcl {
+
+std::uint64_t parse_strict_u64(const std::string& text,
+                               const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    // stoull accepts a leading '-' (wrapping the value); reject it here.
+    if (!text.empty() && text[0] == '-') throw std::invalid_argument("sign");
+    const unsigned long long value = std::stoull(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trail");
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(context +
+                                " expects a non-negative integer, got '" +
+                                text + "'");
+  }
+}
+
+double parse_strict_double(const std::string& text,
+                           const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trail");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(context + " expects a number, got '" + text +
+                                "'");
+  }
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace bcl

@@ -1,0 +1,28 @@
+#pragma once
+// Strict numeric string parsing shared by the string-keyed registries and
+// the scenario grammar: the whole token must be consumed (no trailing
+// garbage, no silent truncation of "1.9" to an integer), and failures
+// throw std::invalid_argument with the caller's context prefixed so the
+// user sees which key was malformed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/// Parses a non-negative integer; throws std::invalid_argument
+/// "<context> expects a non-negative integer, got '<text>'" when the text
+/// is not wholly a base-10 unsigned integer.
+std::uint64_t parse_strict_u64(const std::string& text,
+                               const std::string& context);
+
+/// Parses a floating-point number with the same whole-token contract;
+/// throws "<context> expects a number, got '<text>'" otherwise.
+double parse_strict_double(const std::string& text,
+                           const std::string& context);
+
+/// Comma-joins names for the registries' "valid: ..." error menus.
+std::string join_names(const std::vector<std::string>& names);
+
+}  // namespace bcl

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "attacks/attack.hpp"
+#include "attacks/registry.hpp"
 #include "linalg/hyperbox.hpp"
 #include "ml/dataset.hpp"
 #include "util/rng.hpp"

@@ -8,6 +8,7 @@
 
 #include "aggregation/registry.hpp"
 #include "attacks/attack.hpp"
+#include "attacks/registry.hpp"
 #include "learning/centralized.hpp"
 #include "learning/decentralized.hpp"
 #include "ml/architectures.hpp"

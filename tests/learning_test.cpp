@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "aggregation/registry.hpp"
+#include "attacks/registry.hpp"
 #include "learning/centralized.hpp"
 #include "learning/client.hpp"
 #include "learning/config.hpp"

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file (excluding build directories) for inline
+links [text](target) and verifies that every relative target resolves to
+an existing file or directory.  Reference-style definitions ([ref]:
+target) are not parsed — the repo's docs use inline links only.  External
+links (scheme://, mailto:) and pure in-page anchors (#...) are ignored; a
+#fragment on a relative link is stripped before the existence check.
+
+Usage: python3 tools/check_markdown_links.py [repo_root]
+Exit code 0 when all links resolve, 1 otherwise (each failure printed as
+file:line: target).
+"""
+
+import os
+import re
+import sys
+
+# Inline links; [text](target "title") tolerated. Images share the syntax.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {"build", ".git", "node_modules"}
+# Vendored retrieval artifacts (paper abstract/related-work dumps) carry
+# links into their original sources; only repo-authored docs are checked.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    failures = []
+    with open(path, encoding="utf-8") as handle:
+        in_code_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in INLINE.finditer(line):
+                target = match.group(1)
+                if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                    continue  # scheme: http(s), mailto, ...
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    failures.append(f"{rel}:{lineno}: broken link -> "
+                                    f"{match.group(1)}")
+    return failures
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    count = 0
+    for path in sorted(md_files(root)):
+        count += 1
+        failures.extend(check_file(path, root))
+    for failure in failures:
+        print(failure)
+    print(f"checked {count} markdown file(s): "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
