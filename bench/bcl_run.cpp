@@ -13,11 +13,19 @@
 //   ./bcl_run --rules KRUM,BOX-GEOM --attacks sign-flip,alie,mimic \
 //       --fs 1,2 --hets mild,extreme --rounds 40 --json sweep.json
 //
-// Sweep axes: --rules, --attacks, --topologies, --hets, --fs.  Shared
-// scalar overrides: --n, --t, --model, --full, --rounds, --batch, --lr,
-// --subrounds, --delay, --seed, --eval-max.  Artifacts: --csv <base>,
-// --json <file>.  --threads attaches a worker pool.
+//   # network-timing sweep (NetConfig grammar values contain commas, so
+//   # the --nets axis is ';'-separated), four cells in parallel
+//   ./bcl_run --rules BOX-GEOM --jobs 4 \
+//       --nets "sync;async:delay=exp,mean=5,drop=0.05,timeout=50"
+//
+// Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets.
+// Shared scalar overrides: --n, --t, --model, --full, --rounds, --batch,
+// --lr, --subrounds, --delay, --net, --seed, --eval-max.  Artifacts:
+// --csv <base>, --json <file>.  --threads attaches a worker pool; --jobs N
+// runs independent sweep cells concurrently (artifact row order stays
+// deterministic — cells are replayed through the emitters in spec order).
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,11 +35,12 @@
 
 namespace {
 
-std::vector<std::string> split_list(const std::string& csv) {
+std::vector<std::string> split_list(const std::string& csv,
+                                    char separator = ',') {
   std::vector<std::string> out;
   std::stringstream stream(csv);
   std::string token;
-  while (std::getline(stream, token, ',')) {
+  while (std::getline(stream, token, separator)) {
     if (!token.empty()) out.push_back(token);
   }
   return out;
@@ -58,6 +67,12 @@ void print_registries() {
   for (const auto& key : bcl::experiments::scenario_keys()) {
     std::cout << " " << key;
   }
+  std::cout << "\n\nnetwork models (net=sync | net=async:key=value,...):\n ";
+  for (const auto& key : bcl::net_config_keys()) std::cout << " " << key;
+  std::cout << "\n  delay families:";
+  for (const auto& family : bcl::delay_family_names()) {
+    std::cout << " " << family;
+  }
   std::cout << "\n\nSee docs/scenarios.md for the full reference.\n";
 }
 
@@ -68,9 +83,9 @@ int main(int argc, char** argv) {
   using experiments::ScenarioSpec;
   const CliArgs args(argc, argv,
                      {"list", "scenario", "rules", "attacks", "topologies",
-                      "hets", "fs", "n", "t", "model", "full", "rounds",
-                      "batch", "lr", "subrounds", "delay", "seed",
-                      "eval-max", "csv", "json", "threads"});
+                      "hets", "fs", "nets", "n", "t", "model", "full",
+                      "rounds", "batch", "lr", "subrounds", "delay", "net",
+                      "seed", "eval-max", "csv", "json", "threads", "jobs"});
   if (args.get_bool("list", false)) {
     print_registries();
     return 0;
@@ -79,8 +94,8 @@ int main(int argc, char** argv) {
   // Shared scalar overrides, applied to every spec of the sweep through
   // the spec grammar's own strict validation (flag name == spec key).
   const std::vector<std::string> scalar_keys = {
-      "n",  "t",     "model",     "rounds", "batch",
-      "lr", "subrounds", "delay", "seed",   "eval-max"};
+      "n",  "t",     "model",     "rounds", "batch",    "lr",
+      "subrounds", "delay", "net", "seed",   "eval-max"};
 
   std::vector<ScenarioSpec> specs;
   try {
@@ -89,7 +104,7 @@ int main(int argc, char** argv) {
       // mutually exclusive: dropping user-provided axes silently would
       // contradict the CLI's fail-loudly design.
       for (const char* axis :
-           {"rules", "attacks", "topologies", "hets", "fs"}) {
+           {"rules", "attacks", "topologies", "hets", "fs", "nets"}) {
         if (args.has(axis)) {
           throw std::invalid_argument(
               std::string("--scenario cannot be combined with the sweep "
@@ -111,19 +126,32 @@ int main(int argc, char** argv) {
           split_list(args.get_string("topologies", "centralized"));
       const auto hets = split_list(args.get_string("hets", "mild"));
       const auto fs = split_list(args.get_string("fs", "1"));
+      // NetConfig values embed commas ("async:delay=exp,mean=5"), so this
+      // axis is ';'-separated.  The scalar --net override is applied after
+      // the axis values and would silently collapse the sweep — fail
+      // loudly instead, like --scenario with any axis.
+      if (args.has("nets") && args.has("net")) {
+        throw std::invalid_argument(
+            "--nets cannot be combined with the scalar override --net "
+            "(every cell would end up with the --net value)");
+      }
+      const auto nets = split_list(args.get_string("nets", "sync"), ';');
       for (const auto& topology : topologies) {
         for (const auto& het : hets) {
           for (const auto& f : fs) {
-            for (const auto& rule : rules) {
-              for (const auto& attack : attacks) {
-                ScenarioSpec spec;
-                spec.set("topology", topology);
-                spec.set("het", het);
-                spec.set("f", f);
-                spec.set("rule", rule);
-                spec.set("attack", attack);
-                bench::apply_scalar_flags(args, scalar_keys, spec);
-                specs.push_back(spec);
+            for (const auto& net : nets) {
+              for (const auto& rule : rules) {
+                for (const auto& attack : attacks) {
+                  ScenarioSpec spec;
+                  spec.set("topology", topology);
+                  spec.set("het", het);
+                  spec.set("f", f);
+                  spec.set("net", net);
+                  spec.set("rule", rule);
+                  spec.set("attack", attack);
+                  bench::apply_scalar_flags(args, scalar_keys, spec);
+                  specs.push_back(spec);
+                }
               }
             }
           }
@@ -144,7 +172,9 @@ int main(int argc, char** argv) {
     experiments::ScenarioRunner runner(&pool);
     bench::EmitterSet emitters(std::cout, args, "bcl_run",
                                "BENCH_scenarios.json");
-    runner.run_all(specs, emitters.pointers);
+    const std::size_t jobs =
+        static_cast<std::size_t>(std::max(1LL, args.get_int("jobs", 1)));
+    runner.run_all(specs, emitters.pointers, jobs);
     emitters.report(std::cout);
   } catch (const std::exception& error) {
     std::cerr << "bcl_run: " << error.what() << "\n";

@@ -23,7 +23,7 @@ namespace bcl::bench {
 inline const std::vector<std::string>& scenario_flags() {
   static const std::vector<std::string> flags = {
       "full",  "rounds",    "seed", "csv",     "json",
-      "threads", "delay", "subrounds", "eval-max"};
+      "threads", "delay", "subrounds", "net", "eval-max"};
   return flags;
 }
 
@@ -91,7 +91,7 @@ inline std::vector<experiments::ScenarioSummary> run_scenarios(
     int argc, char** argv) {
   const CliArgs args(argc, argv, scenario_flags());
   for (auto& spec : specs) {
-    apply_scalar_flags(args, {"rounds", "seed", "delay", "subrounds",
+    apply_scalar_flags(args, {"rounds", "seed", "delay", "subrounds", "net",
                               "eval-max"},
                        spec);
   }

@@ -25,6 +25,11 @@ class AgreementNode final : public HonestProcess {
   Vector outgoing(std::size_t /*round*/) const override { return current_; }
 
   void receive(std::size_t /*round*/, const std::vector<Message>& inbox) override {
+    // Under partial synchrony a timeout (or a dropped neighborhood) can
+    // resolve a round below the n - t quorum.  The t-resilient round
+    // functions are only sound on >= n - t inputs, so the node skips its
+    // update and keeps its current vector for this sub-round.
+    if (inbox.size() < ctx_.n - ctx_.t) return;
     // One contiguous batch + workspace per inbox: every distance consumer
     // inside the round function (Krum scores, medoid, minimum-diameter
     // search, tie enumeration) shares a single Gram-trick pairwise matrix
@@ -81,10 +86,25 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
     }
   }
 
-  // Delivery floor n - t: the network honors adversarial delays of honest
-  // messages only down to the guaranteed "up to n messages" minimum.
-  SyncNetwork network(processes, adversary, config.pool,
-                      config.n - config.t);
+  // Delivery floor n - t: a node may resolve a round at n - t messages,
+  // and the network honors adversarial delays of honest messages only down
+  // to that guaranteed "up to n messages" minimum.  The sync model runs
+  // the same event engine with zero delays and timeout 0 (bitwise the
+  // lockstep semantics); an async NetConfig plugs in its delay model,
+  // loss, round timeout Delta and adversarial scheduling bound.
+  std::unique_ptr<DelayModel> delay_model;
+  EventNetworkConfig net_config;
+  net_config.quorum = config.n - config.t;
+  net_config.pool = config.pool;
+  if (config.net.async) {
+    delay_model = make_delay_model(config.net, config.n);
+    net_config.delay = delay_model.get();
+    net_config.timeout = config.net.timeout > 0.0 ? config.net.timeout : -1.0;
+    net_config.drop_probability = config.net.drop;
+    net_config.adversary_delay_bound = config.net.adv;
+    net_config.seed = config.net.seed;
+  }
+  EventNetwork network(processes, adversary, net_config);
   AgreementResult result;
   for (std::size_t i = 0; i < config.n; ++i) {
     if (nodes[i]) result.honest_ids.push_back(i);
@@ -110,6 +130,7 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
     }
     network.run_round();
     ++result.rounds;
+    result.trace.round_latency.push_back(network.last_round_latency());
     record_trace();
   }
   if (result.trace.honest_diameter.back() < config.epsilon) {
@@ -118,6 +139,11 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
 
   result.outputs = honest_vectors(nodes);
   result.network = network.stats();
+  // The protocol is over when the last round completed; now() can sit past
+  // that instant when beyond-quorum stragglers were processed late.
+  result.simulated_seconds = network.round_end_times().empty()
+                                 ? 0.0
+                                 : network.round_end_times().back();
   return result;
 }
 

@@ -14,7 +14,8 @@
 
 #include "agreement/round_function.hpp"
 #include "network/adversary.hpp"
-#include "network/sync_network.hpp"
+#include "network/delay_model.hpp"
+#include "network/event_network.hpp"
 
 namespace bcl {
 
@@ -33,6 +34,11 @@ struct AgreementConfig {
   std::size_t max_rounds = 64;
   /// Optional pool for parallel node execution.
   ThreadPool* pool = nullptr;
+  /// Timing model of the rounds: the default (sync) runs the zero-delay
+  /// lockstep engine; an async NetConfig runs the same protocol on the
+  /// discrete-event engine with that delay/drop/timeout configuration
+  /// (net.seed drives the sampled latencies).
+  NetConfig net;
 };
 
 /// Per-round convergence trace.
@@ -42,6 +48,9 @@ struct AgreementTrace {
   std::vector<double> honest_diameter;
   /// E_max of the bounding box of honest vectors at the start of each round.
   std::vector<double> honest_max_edge;
+  /// Simulated duration of each executed round (empty index 0 offset:
+  /// entry r is the latency of round r).  All zeros under the sync model.
+  std::vector<double> round_latency;
 };
 
 struct AgreementResult {
@@ -53,6 +62,8 @@ struct AgreementResult {
   bool converged = false;  ///< pairwise distance < epsilon reached
   AgreementTrace trace;
   NetworkStats network;
+  /// Total simulated time of the run (0 under the sync model).
+  double simulated_seconds = 0.0;
 };
 
 /// Runs approximate agreement.  `inputs[i]` is the input vector of node i;

@@ -8,7 +8,8 @@
 //   geometry    - Weiszfeld, medoid, enclosing balls, min-diameter subsets,
 //                 planar safe areas
 //   aggregation - all aggregation rules + the approximation measure
-//   network     - synchronous P2P simulator with Byzantine adversaries
+//   network     - discrete-event P2P simulator (delay models, partial
+//                 synchrony) with Byzantine adversaries; sync adapter
 //   agreement   - multidimensional approximate-agreement protocols
 //   ml          - tensors, layers, models, synthetic datasets, partitions
 //   attacks     - Byzantine client behaviours + name registry
@@ -56,6 +57,8 @@
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
 #include "network/adversary.hpp"
+#include "network/delay_model.hpp"
+#include "network/event_network.hpp"
 #include "network/message.hpp"
 #include "network/sync_network.hpp"
 #include "util/cli.hpp"

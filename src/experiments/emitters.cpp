@@ -62,7 +62,8 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
 }
 
 void ConsoleEmitter::finish() {
-  Table series({"scenario", "round", "accuracy", "loss", "grad diameter"});
+  Table series({"scenario", "round", "accuracy", "loss", "grad diameter",
+                "sim s"});
   for (const auto& [name, rounds] : series_) {
     if (rounds.empty()) continue;
     const std::size_t stride =
@@ -74,7 +75,8 @@ void ConsoleEmitter::finish() {
           .add_int(static_cast<long long>(rounds[i].round))
           .add_num(rounds[i].accuracy, 4)
           .add_num(rounds[i].mean_honest_loss, 4)
-          .add_num(rounds[i].gradient_diameter, 4);
+          .add_num(rounds[i].gradient_diameter, 4)
+          .add_num(rounds[i].sim_seconds, 3);
     }
   }
   os_ << "\n--- accuracy series ---\n";
@@ -89,10 +91,10 @@ CsvEmitter::CsvEmitter(std::string base_path)
     : base_path_(std::move(base_path)),
       series_({"scenario", "round", "accuracy", "accuracy_min",
                "accuracy_max", "loss", "lr", "disagreement",
-               "gradient_diameter", "seconds"}),
+               "gradient_diameter", "seconds", "sim_seconds"}),
       summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
-                "f", "best_accuracy", "final_accuracy", "seconds",
-                "error"}) {}
+                "f", "net", "best_accuracy", "final_accuracy", "seconds",
+                "sim_seconds", "error"}) {}
 
 void CsvEmitter::emit_round(const ScenarioSpec& spec,
                             const RoundMetrics& m) {
@@ -106,10 +108,12 @@ void CsvEmitter::emit_round(const ScenarioSpec& spec,
       .add_num(m.learning_rate, 6)
       .add_num(m.disagreement, 6)
       .add_num(m.gradient_diameter, 6)
-      .add_num(m.seconds, 4);
+      .add_num(m.seconds, 4)
+      .add_num(m.sim_seconds, 4);
 }
 
 void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
+  const double sim_total = summary.result.sim_seconds_total();
   summary_.new_row()
       .add(summary.spec.name())
       .add(summary.spec.rule)
@@ -117,9 +121,11 @@ void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
       .add(topology_name(summary.spec.topology))
       .add(ml::heterogeneity_name(summary.spec.heterogeneity))
       .add_int(static_cast<long long>(summary.spec.byzantine))
+      .add(summary.spec.net)
       .add_num(summary.result.best_accuracy(), 6)
       .add_num(summary.result.final_accuracy, 6)
       .add_num(summary.seconds, 2)
+      .add_num(sim_total, 3)
       .add(summary.error);
 }
 
@@ -133,7 +139,8 @@ void CsvEmitter::finish() {
 JsonEmitter::JsonEmitter(std::string path) : path_(std::move(path)) {}
 
 void JsonEmitter::begin_scenario(const ScenarioSpec& spec) {
-  entries_.push_back({spec, {}, 0.0, 0.0, 0.0, ""});
+  entries_.emplace_back();
+  entries_.back().spec = spec;
 }
 
 void JsonEmitter::emit_round(const ScenarioSpec& /*spec*/,
@@ -146,6 +153,7 @@ void JsonEmitter::end_scenario(const ScenarioSummary& summary) {
   entry.best_accuracy = summary.result.best_accuracy();
   entry.final_accuracy = summary.result.final_accuracy;
   entry.seconds = summary.seconds;
+  entry.sim_seconds = summary.result.sim_seconds_total();
   entry.error = summary.error;
 }
 
@@ -189,14 +197,15 @@ void JsonEmitter::finish() {
                  escape_json(e.spec.attack).c_str());
     std::fprintf(f,
                  "   \"topology\": \"%s\", \"heterogeneity\": \"%s\", "
-                 "\"f\": %zu,\n",
+                 "\"f\": %zu, \"net\": \"%s\",\n",
                  topology_name(e.spec.topology),
                  ml::heterogeneity_name(e.spec.heterogeneity),
-                 e.spec.byzantine);
+                 e.spec.byzantine, escape_json(e.spec.net).c_str());
     std::fprintf(f,
                  "   \"best_accuracy\": %.6f, \"final_accuracy\": %.6f, "
-                 "\"seconds\": %.3f, \"error\": \"%s\",\n",
-                 e.best_accuracy, e.final_accuracy, e.seconds,
+                 "\"seconds\": %.3f, \"sim_seconds\": %.4f, "
+                 "\"error\": \"%s\",\n",
+                 e.best_accuracy, e.final_accuracy, e.seconds, e.sim_seconds,
                  escape_json(e.error).c_str());
     std::fprintf(f, "   \"rounds\": [\n");
     for (std::size_t r = 0; r < e.rounds.size(); ++r) {
@@ -205,10 +214,11 @@ void JsonEmitter::finish() {
                    "     {\"round\": %zu, \"accuracy\": %.6f, "
                    "\"loss\": %.6f, \"lr\": %.6f, "
                    "\"disagreement\": %.6g, "
-                   "\"gradient_diameter\": %.6g, \"seconds\": %.4f}%s\n",
+                   "\"gradient_diameter\": %.6g, \"seconds\": %.4f, "
+                   "\"sim_seconds\": %.4f}%s\n",
                    m.round, m.accuracy, m.mean_honest_loss, m.learning_rate,
                    m.disagreement, m.gradient_diameter, m.seconds,
-                   r + 1 < e.rounds.size() ? "," : "");
+                   m.sim_seconds, r + 1 < e.rounds.size() ? "," : "");
     }
     std::fprintf(f, "   ]}%s\n", i + 1 < entries_.size() ? "," : "");
   }

@@ -98,6 +98,7 @@ class JsonEmitter final : public MetricsEmitter {
     double best_accuracy = 0.0;
     double final_accuracy = 0.0;
     double seconds = 0.0;
+    double sim_seconds = 0.0;  ///< total simulated network time
     std::string error;
   };
   std::string path_;

@@ -1,5 +1,8 @@
 #include "experiments/runner.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include "aggregation/registry.hpp"
 #include "attacks/registry.hpp"
 #include "learning/centralized.hpp"
@@ -122,6 +125,8 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
       scale.lr, scale.lr / static_cast<double>(scale.rounds));
   cfg.heterogeneity = spec.heterogeneity;
   cfg.honest_delay_probability = spec.delay;
+  cfg.net = NetConfig::parse(spec.net);
+  cfg.net.seed = spec.seed;
   cfg.seed = spec.seed;
   cfg.pool = pool_;
   cfg.eval_max_examples = spec.eval_max;
@@ -139,12 +144,84 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
   }
 }
 
+namespace {
+
+/// Private per-cell sink for the parallel sweep: records the streamed
+/// rounds so the cell can be replayed through the real emitters in spec
+/// order once every cell finished.
+class RecordingEmitter final : public MetricsEmitter {
+ public:
+  void emit_round(const ScenarioSpec& /*spec*/,
+                  const RoundMetrics& metrics) override {
+    rounds_.push_back(metrics);
+  }
+  const std::vector<RoundMetrics>& rounds() const { return rounds_; }
+
+ private:
+  std::vector<RoundMetrics> rounds_;
+};
+
+}  // namespace
+
 std::vector<ScenarioSummary> ScenarioRunner::run_all(
     const std::vector<ScenarioSpec>& specs,
-    const std::vector<MetricsEmitter*>& emitters) {
+    const std::vector<MetricsEmitter*>& emitters, std::size_t jobs) {
   std::vector<ScenarioSummary> summaries;
-  summaries.reserve(specs.size());
-  for (const auto& spec : specs) summaries.push_back(run(spec, emitters));
+  if (jobs <= 1 || specs.size() <= 1) {
+    summaries.reserve(specs.size());
+    for (const auto& spec : specs) summaries.push_back(run(spec, emitters));
+    for (MetricsEmitter* e : emitters) e->finish();
+    return summaries;
+  }
+
+  // Warm the dataset cache serially: afterwards every concurrent cell only
+  // reads the map, so the workers need no locking.  (The trainers' own
+  // parallelism composes: the shared pool's fork-join help-drains, so many
+  // cells can fan out over it at once.)  A failing generation is that
+  // cell's error, not the sweep's ("scenario failures are data, not
+  // exceptions") — and the cell must then be kept off the workers, where
+  // retrying the generation would mutate the cache concurrently.
+  std::vector<std::string> warmup_errors(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    try {
+      dataset_for(specs[i]);
+    } catch (const std::exception& failure) {
+      warmup_errors[i] = failure.what();
+    }
+  }
+
+  summaries.resize(specs.size());
+  std::vector<std::vector<RoundMetrics>> recorded(specs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      if (!warmup_errors[i].empty()) {
+        summaries[i].spec = specs[i];
+        summaries[i].error = warmup_errors[i];
+        continue;
+      }
+      RecordingEmitter recorder;
+      summaries[i] = run(specs[i], {&recorder});
+      recorded[i] = recorder.rounds();
+    }
+  };
+  std::vector<std::thread> threads;
+  const std::size_t parallel = std::min(jobs, specs.size());
+  threads.reserve(parallel);
+  for (std::size_t p = 0; p < parallel; ++p) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+
+  // Replay in spec order: emitters see exactly the serial call sequence,
+  // so artifact rows land in a deterministic order.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (MetricsEmitter* e : emitters) e->begin_scenario(specs[i]);
+    for (const auto& metrics : recorded[i]) {
+      for (MetricsEmitter* e : emitters) e->emit_round(specs[i], metrics);
+    }
+    for (MetricsEmitter* e : emitters) e->end_scenario(summaries[i]);
+  }
   for (MetricsEmitter* e : emitters) e->finish();
   return summaries;
 }

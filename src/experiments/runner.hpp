@@ -41,8 +41,10 @@ struct ScenarioSummary {
   std::string error;
 };
 
-/// Drives scenarios (see file comment).  Not thread-safe: one runner, one
-/// thread — parallelism lives inside the trainers via the pool.
+/// Drives scenarios (see file comment).  Drive a runner from one thread
+/// only — parallelism lives inside the trainers via the pool, plus
+/// optionally across sweep cells via run_all's `jobs` (which pre-warms the
+/// shared dataset cache serially before fanning out).
 class ScenarioRunner {
  public:
   /// `pool` (optional) is handed to every trainer for intra-round
@@ -63,9 +65,18 @@ class ScenarioRunner {
 
   /// Runs every spec in order (failed scenarios are recorded and skipped
   /// past, see run) and then calls finish() on each emitter.
+  ///
+  /// `jobs` > 1 runs up to that many scenarios concurrently (scenarios are
+  /// independent per (spec, seed), and every cell is deterministic from
+  /// its seed, so results are identical to the serial run).  Emitters are
+  /// still driven from the calling thread only, in spec order: each cell
+  /// records its rounds privately and is replayed through the emitters
+  /// once all cells finished, so CSV/JSON artifact row order is
+  /// deterministic regardless of scheduling.
   std::vector<ScenarioSummary> run_all(
       const std::vector<ScenarioSpec>& specs,
-      const std::vector<MetricsEmitter*>& emitters = {});
+      const std::vector<MetricsEmitter*>& emitters = {},
+      std::size_t jobs = 1);
 
  private:
   /// The throwing core of run(): materializes the spec and trains,

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "network/delay_model.hpp"
 #include "util/parse.hpp"
 
 namespace bcl::experiments {
@@ -11,13 +12,8 @@ namespace {
 
 std::string join_keys() { return join_names(scenario_keys()); }
 
-// %.12g round-trips every value the harnesses use and keeps common
-// decimals short ("0.25", not "0.250000000000").
-std::string format_g(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
-  return buffer;
-}
+// Shared grammar formatting policy (util/parse).
+std::string format_g(double value) { return format_double_g(value); }
 
 std::size_t parse_size(const std::string& key, const std::string& value) {
   return static_cast<std::size_t>(
@@ -56,7 +52,7 @@ const std::vector<std::string>& scenario_keys() {
   static const std::vector<std::string> keys = {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
-      "lr",    "subrounds", "delay", "seed",   "eval-max"};
+      "lr",    "subrounds", "delay", "net",    "seed",   "eval-max"};
   return keys;
 }
 
@@ -106,6 +102,12 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     subrounds = parse_size(key, value);
   } else if (key == "delay") {
     delay = parse_double(key, value);
+  } else if (key == "net") {
+    // Validate the grammar eagerly (NetConfig::parse throws with the valid
+    // modes/keys listed) but store the user's text verbatim so the
+    // artifact replays exactly what was written.
+    (void)NetConfig::parse(value);
+    net = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -153,6 +155,7 @@ std::string ScenarioSpec::to_string() const {
   out += " lr=" + format_g(lr);
   out += " subrounds=" + std::to_string(subrounds);
   out += " delay=" + format_g(delay);
+  out += " net=" + net;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -167,6 +170,7 @@ std::string ScenarioSpec::name() const {
   out += "/" + attack;
   out += "/f" + std::to_string(byzantine);
   if (subrounds > 0) out += "/k" + std::to_string(subrounds);
+  if (net != "sync") out += "/" + net;
   return out;
 }
 

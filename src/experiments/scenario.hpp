@@ -32,7 +32,11 @@
 //   subrounds decentralized sub-round budget (0 = paper
 //             log schedule)                              [0]
 //   delay     honest-message delay probability           [0]
-//   seed      root RNG seed (drives data + training)     [11]
+//   net       network timing model (NetConfig grammar:
+//             "sync" or "async:delay=exp,mean=5,
+//             drop=0.01,timeout=50,...")                 [sync]
+//   seed      root RNG seed (drives data + training +
+//             network delays)                            [11]
 //   eval-max  cap on test examples per evaluation (0 =
 //             all)                                       [0]
 //
@@ -89,6 +93,9 @@ struct ScenarioSpec {
   double lr = 0.0;
   std::size_t subrounds = 0;
   double delay = 0.0;
+  /// NetConfig grammar string (validated eagerly by set(); stored verbatim
+  /// so artifacts replay the exact text the user wrote).
+  std::string net = "sync";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

@@ -63,6 +63,13 @@ TrainingResult CentralizedTrainer::run() {
   TrainingResult result;
   result.history.reserve(config_.rounds);
 
+  // Simulated network pricing of the server round (async NetConfig only):
+  // clients upload over sampled links, the server waits for the quorum-th
+  // arrival, then broadcasts back.  The virtual server is node id n.
+  std::unique_ptr<DelayModel> delay_model;
+  if (config_.net.async) delay_model = make_delay_model(config_.net, n);
+  const std::size_t net_quorum = n - config_.resolved_t();
+
   // All n gradients of a round live in one contiguous batch; clients write
   // their rows in place (parallel; disjoint rows), so gradients never pass
   // through intermediate per-client Vectors.  The honest rows occupy the
@@ -150,6 +157,10 @@ TrainingResult CentralizedTrainer::run() {
           DistanceMatrix(gradients.row(0), n - f, dim, ctx.pool).diameter();
     }
     metrics.seconds = round_watch.seconds();
+    if (delay_model != nullptr) {
+      metrics.sim_seconds = star_round_latency(*delay_model, config_.net, n,
+                                               f, net_quorum, round);
+    }
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

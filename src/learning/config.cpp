@@ -11,6 +11,12 @@ double TrainingResult::best_accuracy() const {
   return best;
 }
 
+double TrainingResult::sim_seconds_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.sim_seconds;
+  return total;
+}
+
 void validate_config(const TrainingConfig& config) {
   if (config.num_clients == 0) {
     throw std::invalid_argument("TrainingConfig: num_clients must be > 0");

@@ -10,6 +10,7 @@
 #include "attacks/attack.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
+#include "network/delay_model.hpp"
 
 namespace bcl {
 
@@ -42,6 +43,15 @@ struct TrainingConfig {
   /// synchrony, in which case honest inboxes coincide and agreement is
   /// immediate.
   double honest_delay_probability = 0.0;
+
+  /// Timing model of the communication rounds (the scenario `net=`
+  /// dimension).  sync (default) = zero-delay lockstep; an async config
+  /// runs the decentralized agreement sub-rounds on the discrete-event
+  /// engine (delay model + loss + timeout Delta + bounded adversarial
+  /// scheduling) and prices the centralized server round through the same
+  /// delay model's star topology.  net.seed is mixed per learning round by
+  /// the trainers.
+  NetConfig net;
 
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
@@ -85,6 +95,11 @@ struct RoundMetrics {
   /// Wall time of this round (gradients + attack + aggregation/agreement +
   /// evaluation), seconds.
   double seconds = 0.0;
+  /// Simulated network time of this round under the configured NetConfig:
+  /// total event-engine time of the agreement sub-rounds (decentralized)
+  /// or the star-topology upload-quorum + broadcast latency (centralized).
+  /// 0 under the sync model.
+  double sim_seconds = 0.0;
 };
 
 struct TrainingResult {
@@ -93,6 +108,11 @@ struct TrainingResult {
 
   /// Highest accuracy reached over the run (figures quote this).
   double best_accuracy() const;
+
+  /// Total simulated network time of the run (sum of the rounds'
+  /// sim_seconds; 0 under the sync model).  The artifact emitters quote
+  /// this as the scenario-level sim_seconds.
+  double sim_seconds_total() const;
 };
 
 /// Validates a config and throws std::invalid_argument with a specific

@@ -74,6 +74,7 @@ TrainingResult DecentralizedTrainer::run() {
   agreement.t = config_.resolved_t();
   agreement.round_function = std::make_shared<RuleRound>(config_.rule);
   agreement.pool = config_.pool;
+  agreement.net = config_.net;
 
   std::vector<std::size_t> byzantine_ids;
   for (std::size_t i = n - f; i < n; ++i) byzantine_ids.push_back(i);
@@ -145,6 +146,11 @@ TrainingResult DecentralizedTrainer::run() {
     const std::size_t subrounds = config_.fixed_subrounds > 0
                                       ? config_.fixed_subrounds
                                       : agreement_subrounds(round);
+    // Each learning round runs a fresh agreement instance whose sub-rounds
+    // restart at 0, so the network seed is mixed per learning round to
+    // decorrelate the sampled latencies across rounds.
+    agreement.net.seed =
+        config_.net.seed ^ ((round + 1) * 0x9E3779B97F4A7C15ull);
     const AgreementResult agreed =
         run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
 
@@ -184,6 +190,7 @@ TrainingResult DecentralizedTrainer::run() {
     metrics.disagreement = agreed.trace.honest_diameter.back();
     metrics.gradient_diameter = gradient_diameter;
     metrics.seconds = round_watch.seconds();
+    metrics.sim_seconds = agreed.simulated_seconds;
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

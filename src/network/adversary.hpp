@@ -62,6 +62,25 @@ class Adversary {
     return false;
   }
 
+  /// Extra simulated latency the adversary injects on the message
+  /// sender -> receiver in `round` (scheduling power under partial
+  /// synchrony: targeted slow-downs of honest links, or holding back its
+  /// own messages instead of rushing them).  The discrete-event engine
+  /// clamps the request to [0, adversary_delay_bound] and never consults
+  /// the hook when the bound is 0 — in particular the synchronous adapter
+  /// never calls it.  Defaults to no extra delay.
+  ///
+  /// Decision hooks (delivers, delays_honest, scheduling_delay) should be
+  /// pure functions of their arguments: the engines may consult them a
+  /// different number of times per link per round.
+  virtual double scheduling_delay(std::size_t sender, std::size_t receiver,
+                                  std::size_t round) {
+    (void)sender;
+    (void)receiver;
+    (void)round;
+    return 0.0;
+  }
+
   /// Number of Byzantine nodes among ids [0, n).
   std::size_t count_byzantine(std::size_t n) const;
 };

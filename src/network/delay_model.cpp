@@ -1,0 +1,347 @@
+#include "network/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+namespace {
+
+// Shared grammar formatting policy (util/parse).
+std::string format_g(double value) { return format_double_g(value); }
+
+double get_double(const std::map<std::string, std::string>& params,
+                  const std::string& key, double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return parse_strict_double(it->second, "NetConfig: key '" + key + "'");
+}
+
+std::size_t get_size(const std::map<std::string, std::string>& params,
+                     const std::string& key, std::size_t fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return static_cast<std::size_t>(
+      parse_strict_u64(it->second, "NetConfig: key '" + key + "'"));
+}
+
+void check_probability(double value, const char* key) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string("NetConfig: '") + key +
+                                "' must be a probability in [0, 1], got " +
+                                format_g(value));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& delay_family_names() {
+  static const std::vector<std::string> families = {
+      "zero", "const", "uniform", "exp", "mmpp", "partition"};
+  return families;
+}
+
+const std::vector<std::string>& net_config_keys() {
+  static const std::vector<std::string> keys = {
+      "delay", "mean", "min",     "max",   "mean2",    "p01", "p10",
+      "drop",  "timeout", "adv", "penalty", "until", "boundary"};
+  return keys;
+}
+
+Rng message_stream(std::uint64_t seed, std::size_t sender,
+                   std::size_t receiver, std::size_t round) {
+  std::uint64_t state = splitmix64(seed ^ 0xD6E8FEB86659FD93ull);
+  state = splitmix64(state ^ static_cast<std::uint64_t>(sender));
+  state = splitmix64(state ^ static_cast<std::uint64_t>(receiver));
+  state = splitmix64(state ^ static_cast<std::uint64_t>(round));
+  return Rng(state);
+}
+
+NetConfig NetConfig::parse(const std::string& text) {
+  NetConfig config;
+  const std::size_t colon = text.find(':');
+  const std::string mode = text.substr(0, colon);
+  if (mode == "sync") {
+    if (colon != std::string::npos) {
+      throw std::invalid_argument(
+          "NetConfig: mode 'sync' takes no parameters, got '" + text + "'");
+    }
+    return config;
+  }
+  if (mode != "async") {
+    throw std::invalid_argument("NetConfig: unknown mode '" + mode +
+                                "' (valid: sync, async)");
+  }
+  config.async = true;
+  std::map<std::string, std::string> params;
+  if (colon != std::string::npos) {
+    std::stringstream rest(text.substr(colon + 1));
+    std::string token;
+    while (std::getline(rest, token, ',')) {
+      if (token.empty()) continue;
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+        throw std::invalid_argument("NetConfig: malformed parameter '" +
+                                    token + "' in '" + text +
+                                    "' (expected key=value)");
+      }
+      params[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool known = false;
+    for (const auto& k : net_config_keys()) known = known || k == key;
+    if (!known) {
+      throw std::invalid_argument("NetConfig: unknown key '" + key +
+                                  "' (valid: " + join_names(net_config_keys()) +
+                                  ")");
+    }
+  }
+  const auto it = params.find("delay");
+  if (it != params.end()) config.delay = it->second;
+  bool family_known = false;
+  for (const auto& f : delay_family_names()) {
+    family_known = family_known || f == config.delay;
+  }
+  if (!family_known) {
+    throw std::invalid_argument("NetConfig: unknown delay family '" +
+                                config.delay +
+                                "' (valid: " + join_names(delay_family_names()) +
+                                ")");
+  }
+  config.mean = get_double(params, "mean", config.mean);
+  config.min = get_double(params, "min", config.min);
+  config.max = get_double(params, "max", config.max);
+  config.mean2 = get_double(params, "mean2", config.mean2);
+  config.p01 = get_double(params, "p01", config.p01);
+  config.p10 = get_double(params, "p10", config.p10);
+  config.drop = get_double(params, "drop", config.drop);
+  config.timeout = get_double(params, "timeout", config.timeout);
+  config.adv = get_double(params, "adv", config.adv);
+  config.penalty = get_double(params, "penalty", config.penalty);
+  config.until = get_size(params, "until", config.until);
+  config.boundary = get_size(params, "boundary", config.boundary);
+
+  check_probability(config.drop, "drop");
+  check_probability(config.p01, "p01");
+  check_probability(config.p10, "p10");
+  if (config.mean < 0.0 || config.min < 0.0 || config.max < 0.0 ||
+      config.mean2 < 0.0 || config.timeout < 0.0 || config.adv < 0.0) {
+    throw std::invalid_argument(
+        "NetConfig: delay parameters must be non-negative in '" + text + "'");
+  }
+  if (config.min > config.max) {
+    throw std::invalid_argument("NetConfig: min must not exceed max, got [" +
+                                format_g(config.min) + ", " +
+                                format_g(config.max) + "]");
+  }
+  return config;
+}
+
+std::string NetConfig::to_string() const {
+  if (!async) return "sync";
+  // Every field that differs from the defaults is emitted (in
+  // net_config_keys() order), whether or not the delay family consumes it:
+  // parse() accepts any known key for any family, so this keeps the
+  // parse(to_string()) == *this contract for every accepted config.
+  std::string out = "async";
+  std::string params;
+  const auto add = [&params](const char* key, const std::string& value) {
+    params += params.empty() ? ":" : ",";
+    params += key;
+    params += '=';
+    params += value;
+  };
+  const NetConfig defaults;
+  if (delay != defaults.delay) add("delay", delay);
+  if (mean != defaults.mean) add("mean", format_g(mean));
+  if (min != defaults.min) add("min", format_g(min));
+  if (max != defaults.max) add("max", format_g(max));
+  if (mean2 != defaults.mean2) add("mean2", format_g(mean2));
+  if (p01 != defaults.p01) add("p01", format_g(p01));
+  if (p10 != defaults.p10) add("p10", format_g(p10));
+  if (drop != defaults.drop) add("drop", format_g(drop));
+  if (timeout != defaults.timeout) add("timeout", format_g(timeout));
+  if (adv != defaults.adv) add("adv", format_g(adv));
+  if (penalty != defaults.penalty) add("penalty", format_g(penalty));
+  if (until != defaults.until) add("until", std::to_string(until));
+  if (boundary != defaults.boundary) {
+    add("boundary", std::to_string(boundary));
+  }
+  return out + params;
+}
+
+// --- models ----------------------------------------------------------------
+
+ConstantDelayModel::ConstantDelayModel(double value) : value_(value) {
+  if (value < 0.0) {
+    throw std::invalid_argument("ConstantDelayModel: value must be >= 0");
+  }
+}
+
+UniformDelayModel::UniformDelayModel(double min, double max)
+    : min_(min), max_(max) {
+  if (min < 0.0 || min > max) {
+    throw std::invalid_argument(
+        "UniformDelayModel: need 0 <= min <= max");
+  }
+}
+
+double UniformDelayModel::sample(std::size_t, std::size_t, std::size_t,
+                                 Rng& rng) {
+  return rng.uniform(min_, max_);
+}
+
+ExponentialDelayModel::ExponentialDelayModel(double mean) : mean_(mean) {
+  if (mean < 0.0) {
+    throw std::invalid_argument("ExponentialDelayModel: mean must be >= 0");
+  }
+}
+
+double ExponentialDelayModel::sample(std::size_t, std::size_t, std::size_t,
+                                     Rng& rng) {
+  // Inverse CDF over uniform() in [0, 1): log argument stays in (0, 1].
+  return -mean_ * std::log(1.0 - rng.uniform());
+}
+
+MmppDelayModel::MmppDelayModel(double calm_mean, double burst_mean, double p01,
+                               double p10, std::uint64_t seed)
+    : calm_mean_(calm_mean),
+      burst_mean_(burst_mean),
+      p01_(p01),
+      p10_(p10),
+      seed_(seed) {
+  if (calm_mean < 0.0 || burst_mean < 0.0) {
+    throw std::invalid_argument("MmppDelayModel: means must be >= 0");
+  }
+}
+
+bool MmppDelayModel::congested(std::size_t sender, std::size_t round) {
+  if (sender >= chains_.size()) chains_.resize(sender + 1);
+  Chain& chain = chains_[sender];
+  if (round < chain.round) chain = Chain{};  // replay from the start
+  while (chain.round < round) {
+    ++chain.round;
+    // One transition draw per (seed, sender, round): the chain is a pure
+    // function of its key, so cache state is an optimization, not truth.
+    Rng step(splitmix64(splitmix64(seed_ ^ 0xA24BAED4963EE407ull ^
+                                   static_cast<std::uint64_t>(sender)) ^
+                        static_cast<std::uint64_t>(chain.round)));
+    const double u = step.uniform();
+    chain.congested = chain.congested ? u >= p10_ : u < p01_;
+  }
+  return chain.congested;
+}
+
+double MmppDelayModel::sample(std::size_t sender, std::size_t /*receiver*/,
+                              std::size_t round, Rng& rng) {
+  const double mean = congested(sender, round) ? burst_mean_ : calm_mean_;
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+PartitionDelayModel::PartitionDelayModel(double base_mean, double penalty,
+                                         std::size_t until,
+                                         std::size_t boundary)
+    : base_mean_(base_mean),
+      penalty_(penalty),
+      until_(until),
+      boundary_(boundary) {
+  if (base_mean < 0.0) {
+    throw std::invalid_argument("PartitionDelayModel: base mean must be >= 0");
+  }
+}
+
+double PartitionDelayModel::sample(std::size_t sender, std::size_t receiver,
+                                   std::size_t round, Rng& rng) {
+  const double base = -base_mean_ * std::log(1.0 - rng.uniform());
+  const bool cross = (sender < boundary_) != (receiver < boundary_);
+  if (!cross || round >= until_) return base;
+  if (penalty_ < 0.0) return -1.0;  // hard partition: the link eats it
+  return base + penalty_;
+}
+
+std::unique_ptr<DelayModel> make_delay_model(const NetConfig& config,
+                                             std::size_t n) {
+  if (config.delay == "zero") return std::make_unique<ZeroDelayModel>();
+  if (config.delay == "const") {
+    return std::make_unique<ConstantDelayModel>(config.mean);
+  }
+  if (config.delay == "uniform") {
+    return std::make_unique<UniformDelayModel>(config.min, config.max);
+  }
+  if (config.delay == "exp") {
+    return std::make_unique<ExponentialDelayModel>(config.mean);
+  }
+  if (config.delay == "mmpp") {
+    return std::make_unique<MmppDelayModel>(config.mean, config.mean2,
+                                            config.p01, config.p10,
+                                            config.seed);
+  }
+  if (config.delay == "partition") {
+    const std::size_t boundary =
+        config.boundary > 0 ? config.boundary : n / 2;
+    return std::make_unique<PartitionDelayModel>(config.mean, config.penalty,
+                                                 config.until, boundary);
+  }
+  throw std::invalid_argument("make_delay_model: unknown delay family '" +
+                              config.delay + "'");
+}
+
+double star_round_latency(DelayModel& model, const NetConfig& config,
+                          std::size_t n, std::size_t f, std::size_t quorum,
+                          std::size_t round) {
+  const std::size_t honest = n - f;
+  // Uplink: honest clients sample their link to the (virtual) server id n;
+  // Byzantine uploads rush (0).  The drop draw precedes the latency draw on
+  // every stream, matching the event engine's per-message order.
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+  for (std::size_t i = honest; i < n; ++i) arrivals.push_back(0.0);
+  for (std::size_t i = 0; i < honest; ++i) {
+    Rng rng = message_stream(config.seed, i, n, round);
+    if (config.drop > 0.0 && rng.uniform() < config.drop) continue;
+    const double d = model.sample(i, n, round, rng);
+    if (d < 0.0) continue;
+    arrivals.push_back(d);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  const std::size_t need = std::min<std::size_t>(std::max<std::size_t>(
+                                                     quorum, 1),
+                                                 n);
+  double up = 0.0;
+  if (arrivals.size() >= need) {
+    up = arrivals[need - 1];
+    if (config.timeout > 0.0) up = std::min(up, config.timeout);
+  } else if (config.timeout > 0.0) {
+    up = config.timeout;  // stalled below quorum: wait out the full Delta
+  } else if (!arrivals.empty()) {
+    up = arrivals.back();  // no timeout: the last arrival opens the round
+  }
+
+  // Downlink: the round ends when the slowest honest client holds the new
+  // model; dropped downlinks wait for the timeout (or are ignored without
+  // one — the client re-syncs next round).
+  double down = 0.0;
+  for (std::size_t i = 0; i < honest; ++i) {
+    Rng rng = message_stream(config.seed, n, i, round);
+    if (config.drop > 0.0 && rng.uniform() < config.drop) {
+      if (config.timeout > 0.0) down = std::max(down, config.timeout);
+      continue;
+    }
+    const double d = model.sample(n, i, round, rng);
+    if (d < 0.0) {
+      if (config.timeout > 0.0) down = std::max(down, config.timeout);
+      continue;
+    }
+    down = std::max(down, d);
+  }
+  if (config.timeout > 0.0) down = std::min(down, config.timeout);
+  return up + down;
+}
+
+}  // namespace bcl

@@ -1,0 +1,315 @@
+#include "network/event_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+
+namespace {
+
+constexpr std::size_t kNoQuorum = static_cast<std::size_t>(-1);
+
+double clamp_extra_delay(double requested, double bound) {
+  if (requested <= 0.0) return 0.0;
+  return requested < bound ? requested : bound;
+}
+
+}  // namespace
+
+EventNetwork::EventNetwork(std::vector<HonestProcess*> processes,
+                           Adversary& adversary, EventNetworkConfig config)
+    : processes_(std::move(processes)),
+      adversary_(adversary),
+      config_(config),
+      nodes_(processes_.size()) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    const bool byz = adversary_.is_byzantine(i);
+    if (byz && processes_[i] != nullptr) {
+      throw std::invalid_argument(
+          "EventNetwork: Byzantine id must not own an honest process");
+    }
+    if (!byz && processes_[i] == nullptr) {
+      throw std::invalid_argument("EventNetwork: honest id requires a process");
+    }
+    if (!byz) ++honest_count_;
+  }
+}
+
+void EventNetwork::schedule(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(event);
+}
+
+void EventNetwork::enter_round(std::size_t node, std::size_t round) {
+  NodeState& st = nodes_[node];
+  const double entry = st.completed;  // a round starts when the last ended
+  st.round = round;
+  st.entered = entry;
+  st.done = false;
+  st.timed_out = false;
+  st.inbox.clear();
+  const auto buffered = st.future.find(round);
+  if (buffered != st.future.end()) {
+    st.inbox = std::move(buffered->second);
+    st.future.erase(buffered);
+  }
+
+  auto& values = values_by_round_[round];
+  if (values.empty()) values.resize(processes_.size());
+  values[node] = processes_[node]->outgoing(round);
+  auto& max_entry = round_max_entry_[round];
+  max_entry = std::max(max_entry, entry);
+
+  // Broadcast: one message per honest receiver.  Self-delivery is a local
+  // loopback — instant and lossless — so the delay model, the drop draw and
+  // the adversary's scheduling power only apply to real links.
+  const bool adversarial_scheduling = config_.adversary_delay_bound > 0.0;
+  for (std::size_t receiver = 0; receiver < processes_.size(); ++receiver) {
+    if (processes_[receiver] == nullptr) continue;
+    double latency = 0.0;
+    if (receiver != node) {
+      Rng rng = message_stream(config_.seed, node, receiver, round);
+      if (config_.drop_probability > 0.0 &&
+          rng.uniform() < config_.drop_probability) {
+        ++stats_.messages_dropped;
+        continue;
+      }
+      latency = config_.delay != nullptr
+                    ? config_.delay->sample(node, receiver, round, rng)
+                    : 0.0;
+      if (latency < 0.0) {  // the model itself ate the message
+        ++stats_.messages_dropped;
+        continue;
+      }
+      if (adversarial_scheduling) {
+        latency += clamp_extra_delay(
+            adversary_.scheduling_delay(node, receiver, round),
+            config_.adversary_delay_bound);
+      }
+    }
+    schedule(Event{entry + latency, 0, EventKind::Delivery, receiver, round,
+                   node});
+  }
+  if (config_.timeout >= 0.0) {
+    schedule(Event{entry + config_.timeout, 0, EventKind::Timeout, node,
+                   round, node});
+  }
+
+  const std::size_t entered = ++honest_entered_[round];
+  if (entered == honest_count_) fix_byzantine_values(round);
+}
+
+void EventNetwork::fix_byzantine_values(std::size_t round) {
+  auto& values = values_by_round_[round];
+  if (values.empty()) values.resize(processes_.size());
+  // The rushing adversary fixes its round values only now, after every
+  // honest node committed its broadcast; `values` still holds nullopt at
+  // Byzantine slots during the calls, matching the omniscient-adversary
+  // convention of the synchronous engine.
+  const double fix_time = round_max_entry_[round];
+  std::vector<std::pair<std::size_t, Vector>> fixed;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] != nullptr) continue;
+    auto value = adversary_.byzantine_value(i, round, values);
+    if (!value) {
+      ++stats_.broadcasts_skipped;
+      continue;
+    }
+    fixed.emplace_back(i, std::move(*value));
+  }
+  const bool adversarial_scheduling = config_.adversary_delay_bound > 0.0;
+  for (auto& [sender, value] : fixed) {
+    values[sender] = std::move(value);
+    for (std::size_t receiver = 0; receiver < processes_.size(); ++receiver) {
+      if (processes_[receiver] == nullptr) continue;
+      if (!adversary_.delivers(sender, receiver, round)) {
+        ++stats_.messages_omitted;
+        continue;
+      }
+      // Rushing by default: the Byzantine message leaves the instant the
+      // value is fixed; targeted extra delay stays inside the
+      // partial-synchrony bound.
+      double latency = 0.0;
+      if (adversarial_scheduling) {
+        latency = clamp_extra_delay(
+            adversary_.scheduling_delay(sender, receiver, round),
+            config_.adversary_delay_bound);
+      }
+      schedule(Event{fix_time + latency, 0, EventKind::Delivery, receiver,
+                     round, sender});
+    }
+  }
+}
+
+void EventNetwork::process_event(const Event& event) {
+  NodeState& st = nodes_[event.receiver];
+  if (event.kind == EventKind::Timeout) {
+    if (!st.done && st.round == event.round) st.timed_out = true;
+    return;
+  }
+  const bool past = st.done ? event.round <= st.round : event.round < st.round;
+  if (past) {
+    ++stats_.messages_late;
+    return;
+  }
+  const auto& values = values_by_round_[event.round];
+  Message message{event.sender, *values[event.sender]};
+  if (!st.done && event.round == st.round) {
+    st.inbox.push_back(std::move(message));
+  } else {
+    // The sender ran ahead of this receiver inside a multi-round window.
+    st.future[event.round].push_back(std::move(message));
+  }
+}
+
+bool EventNetwork::node_ready(const NodeState& node) const {
+  if (node.done) return false;
+  if (node.timed_out) return true;
+  return config_.quorum != kNoQuorum && node.inbox.size() >= config_.quorum;
+}
+
+void EventNetwork::drain_next_batch() {
+  if (queue_.empty()) {
+    // Stalled below quorum with no timeout configured (loss without
+    // partial synchrony): force the stuck rounds open so the run always
+    // terminates, and account them as timeouts.
+    batch_time_ = now_;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (processes_[i] != nullptr && !nodes_[i].done) {
+        nodes_[i].timed_out = true;
+      }
+    }
+    return;
+  }
+  batch_time_ = queue_.top().time;
+  now_ = std::max(now_, batch_time_);
+  while (!queue_.empty() && queue_.top().time == batch_time_) {
+    const Event event = queue_.top();
+    queue_.pop();
+    process_event(event);
+  }
+}
+
+void EventNetwork::advance_ready_nodes() {
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] != nullptr && node_ready(nodes_[i])) ready.push_back(i);
+  }
+  if (ready.empty()) return;
+
+  // Build the final inboxes on the driving thread: sender order, then the
+  // honored-delay floor ("receive up to n messages": adversarial requests
+  // to withhold honest messages are honored only while the inbox stays at
+  // or above the quorum).
+  for (const std::size_t i : ready) {
+    NodeState& st = nodes_[i];
+    std::sort(st.inbox.begin(), st.inbox.end(),
+              [](const Message& a, const Message& b) {
+                return a.sender < b.sender;
+              });
+    if (config_.quorum != kNoQuorum && st.inbox.size() > config_.quorum) {
+      std::size_t droppable = st.inbox.size() - config_.quorum;
+      std::vector<Message> kept;
+      kept.reserve(st.inbox.size());
+      for (auto& message : st.inbox) {
+        if (droppable > 0 && processes_[message.sender] != nullptr &&
+            adversary_.delays_honest(message.sender, i, st.round)) {
+          --droppable;
+          ++stats_.messages_delayed;
+          continue;
+        }
+        kept.push_back(std::move(message));
+      }
+      st.inbox = std::move(kept);
+    }
+    stats_.messages_delivered += st.inbox.size();
+    if (st.timed_out && config_.timeout != 0.0 &&
+        (config_.quorum == kNoQuorum || st.inbox.size() < config_.quorum)) {
+      ++stats_.timeouts_fired;
+    }
+  }
+
+  // Deliver in parallel: each process mutates only its own state.
+  auto deliver = [&](std::size_t k) {
+    const std::size_t i = ready[k];
+    processes_[i]->receive(nodes_[i].round, nodes_[i].inbox);
+  };
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, ready.size(), deliver);
+  } else {
+    for (std::size_t k = 0; k < ready.size(); ++k) deliver(k);
+  }
+
+  // Complete the rounds, seal any round now finished by all honest nodes
+  // (in order — a node finishes r before r+1, so the frontier walks
+  // forward), then enter next rounds in id order so every round-(r+1)
+  // broadcast precedes the adversary's round-(r+1) value fixing, exactly
+  // as in the synchronous engine.
+  for (const std::size_t i : ready) {
+    NodeState& st = nodes_[i];
+    st.done = true;
+    st.inbox.clear();
+    st.completed = std::max(st.entered, batch_time_);
+    auto& end = round_max_end_[st.round];
+    end = std::max(end, st.completed);
+    ++round_done_counts_[st.round];
+  }
+  while (true) {
+    const auto done = round_done_counts_.find(completed_rounds_);
+    if (done == round_done_counts_.end() || done->second != honest_count_) {
+      break;
+    }
+    const double prev_end =
+        round_end_times_.empty() ? 0.0 : round_end_times_.back();
+    round_end_times_.push_back(
+        std::max(prev_end, round_max_end_[completed_rounds_]));
+    now_ = std::max(now_, round_end_times_.back());
+    values_by_round_.erase(completed_rounds_);
+    honest_entered_.erase(completed_rounds_);
+    round_done_counts_.erase(completed_rounds_);
+    round_max_end_.erase(completed_rounds_);
+    round_max_entry_.erase(completed_rounds_);
+    ++completed_rounds_;
+    stats_.rounds = completed_rounds_;
+  }
+  for (const std::size_t i : ready) {
+    const std::size_t next = nodes_[i].round + 1;
+    if (next < target_rounds_) enter_round(i, next);
+  }
+}
+
+void EventNetwork::run_round() { run(1); }
+
+void EventNetwork::run(std::size_t rounds) {
+  if (rounds == 0) return;
+  target_rounds_ = completed_rounds_ + rounds;
+  if (!started_) {
+    started_ = true;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (processes_[i] != nullptr) enter_round(i, 0);
+    }
+  } else {
+    // Release nodes holding at the barrier of the previous run() call.
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (processes_[i] != nullptr && nodes_[i].done &&
+          nodes_[i].round + 1 < target_rounds_) {
+        enter_round(i, nodes_[i].round + 1);
+      }
+    }
+  }
+  while (completed_rounds_ < target_rounds_) {
+    drain_next_batch();
+    advance_ready_nodes();
+  }
+}
+
+double EventNetwork::last_round_latency() const {
+  if (round_end_times_.empty()) return 0.0;
+  if (round_end_times_.size() == 1) return round_end_times_.front();
+  return round_end_times_.back() -
+         round_end_times_[round_end_times_.size() - 2];
+}
+
+}  // namespace bcl

@@ -1,0 +1,212 @@
+#pragma once
+// Discrete-event network engine.
+//
+// Generalizes the lockstep synchronous round model to partial synchrony: a
+// priority-queue simulator in which every broadcast message receives a
+// delivery time from a pluggable DelayModel (plus independent loss and a
+// bounded adversarial scheduling delay), and an honest node finishes a
+// round once it holds at least `quorum` messages for it or the round
+// timeout Delta fires.  Rounds stay logically aligned (a node enters round
+// r + 1 only after completing round r; run_round() is a global barrier, so
+// round-based protocols keep exact per-round traces), but *within* a round
+// arrivals are genuinely asynchronous: stragglers determine quorum waits,
+// bursty links trigger timeouts, and dropped or late messages simply never
+// reach the inbox.
+//
+// The adversary keeps all of its synchronous powers (omniscient value
+// choice after seeing the honest round values, selective omission, honest
+// delay requests honored down to the quorum floor) and gains scheduling
+// power: its own messages are fixed only once the last honest node entered
+// the round (rushing — it sends after seeing everything) and it may add a
+// targeted extra delay to any message, clamped to the partial-synchrony
+// bound `adversary_delay_bound`.
+//
+// With a zero-delay model and timeout 0, every delivery and timeout of a
+// round lands on one simulated instant; the engine drains simultaneous
+// events before advancing anyone, so it reproduces the synchronous
+// SyncNetwork semantics bitwise (SyncNetwork is now a thin adapter over
+// this engine).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "network/adversary.hpp"
+#include "network/delay_model.hpp"
+#include "network/message.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+/// Behaviour of one honest protocol participant (unchanged from the
+/// synchronous engine: broadcast one vector per round, receive the round's
+/// inbox sorted by sender id, touch only your own state).
+class HonestProcess {
+ public:
+  virtual ~HonestProcess() = default;
+
+  /// The vector this node reliably broadcasts in `round`.
+  virtual Vector outgoing(std::size_t round) const = 0;
+
+  /// Delivers the round's inbox (sorted by sender id).  The process updates
+  /// its own state only.
+  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
+};
+
+/// Per-run delivery statistics.  The invariant over honest-to-honest
+/// traffic: every sent message is exactly one of delivered, dropped
+/// (network loss), late (arrived after the receiver finished the round) or
+/// delayed (adversarial request honored at the quorum floor); Byzantine
+/// messages are delivered, omitted, or late (a receiver can resolve its
+/// round from honest arrivals alone before the rushing adversary fixes its
+/// values), and a silent Byzantine round counts one broadcast_skipped
+/// instead.
+struct NetworkStats {
+  std::size_t rounds = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_omitted = 0;  // Byzantine selective omissions
+  std::size_t broadcasts_skipped = 0;  // crashed/silent Byzantine rounds
+  std::size_t messages_delayed = 0;  // honored honest-message delays
+  std::size_t messages_dropped = 0;  // network loss (drop prob / partition)
+  std::size_t messages_late = 0;     // arrived after the round completed
+  std::size_t timeouts_fired = 0;    // rounds finished by Delta, not quorum
+};
+
+/// Engine knobs.  The defaults reproduce full synchrony: zero delays,
+/// timeout 0 (a node's round resolves at the instant it started) and an
+/// infinite quorum (never honor adversarial delay requests).
+struct EventNetworkConfig {
+  /// Delivery floor per round: a node may finish a round once it holds
+  /// this many messages (and adversarial delay requests are honored only
+  /// down to it).  SIZE_MAX = wait for the timeout alone.  Protocols pass
+  /// n - t.
+  std::size_t quorum = static_cast<std::size_t>(-1);
+  /// Round timeout Delta: a node finishes the round at entry + Delta even
+  /// below quorum.  0 = resolve at the entry instant (synchronous rounds);
+  /// negative = no timeout (wait for quorum; a drained event queue then
+  /// forces the stall open and counts a timeout).
+  double timeout = 0.0;
+  /// Clamp on Adversary::scheduling_delay (the partial-synchrony bound on
+  /// targeted delays).  0 = the adversary gets no scheduling power and the
+  /// hook is never consulted.
+  double adversary_delay_bound = 0.0;
+  /// Independent loss probability per honest-link message.
+  double drop_probability = 0.0;
+  /// Seed of the delay/drop randomness (message_stream keys off it).
+  std::uint64_t seed = 0;
+  /// Link latency model; nullptr = zero delay.  Not owned.
+  DelayModel* delay = nullptr;
+  /// Optional pool: nodes that become ready at the same simulated instant
+  /// run their receive callbacks in parallel.  Not owned.
+  ThreadPool* pool = nullptr;
+};
+
+/// The discrete-event engine (see file comment).  Node ids are [0, n);
+/// honest ids own a HonestProcess, Byzantine ids are driven by the
+/// adversary.  Not thread-safe: one engine, one driving thread (worker
+/// parallelism lives inside the receive fan-out).
+class EventNetwork {
+ public:
+  /// `processes[i]` must be non-null exactly for honest ids i.  The engine
+  /// does not take ownership of the processes, adversary, model or pool.
+  EventNetwork(std::vector<HonestProcess*> processes, Adversary& adversary,
+               EventNetworkConfig config = {});
+
+  std::size_t num_nodes() const { return processes_.size(); }
+
+  /// Advances the simulation until every honest node has completed one
+  /// more round (a global round barrier, so callers can read a consistent
+  /// cross-node state between calls).
+  void run_round();
+
+  /// Runs `rounds` consecutive barrier rounds.
+  void run(std::size_t rounds);
+
+  /// Rounds completed by all honest nodes.
+  std::size_t current_round() const { return completed_rounds_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Current simulated time (the completion instant of the last round).
+  double now() const { return now_; }
+  /// Simulated completion time of each finished round (monotone; index r =
+  /// the instant the slowest honest node finished round r).
+  const std::vector<double>& round_end_times() const {
+    return round_end_times_;
+  }
+  /// Simulated duration of the last completed round.
+  double last_round_latency() const;
+
+ private:
+  enum class EventKind : std::uint8_t { Delivery, Timeout };
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // deterministic FIFO order among equal times
+    EventKind kind = EventKind::Delivery;
+    std::size_t receiver = 0;
+    std::size_t round = 0;
+    std::size_t sender = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  /// Per-node progress.
+  struct NodeState {
+    std::size_t round = 0;       // round the node is currently collecting
+    double entered = 0.0;        // simulated entry time of that round
+    double completed = 0.0;      // completion time of the last round
+    bool done = false;           // finished `round`, holding at the barrier
+    bool timed_out = false;      // Delta fired for the current round
+    std::vector<Message> inbox;  // buffered arrivals for the current round
+    // Arrivals for rounds the node has not reached yet (sender ran ahead
+    // inside a multi-round run() window).
+    std::map<std::size_t, std::vector<Message>> future;
+  };
+
+  void schedule(Event event);
+  void enter_round(std::size_t node, std::size_t round);
+  void fix_byzantine_values(std::size_t round);
+  void process_event(const Event& event);
+  bool node_ready(const NodeState& node) const;
+  /// Pops every event sharing the earliest timestamp (one simulated
+  /// instant) into the per-node buffers; an empty queue forces stalled
+  /// rounds open instead.
+  void drain_next_batch();
+  /// Finishes every node whose quorum/timeout condition holds: honored
+  /// delay floor, sorted inbox, parallel receive, round sealing, next-round
+  /// entry.  Runs on the single driving thread; only receive() fans out.
+  void advance_ready_nodes();
+
+  std::vector<HonestProcess*> processes_;
+  Adversary& adversary_;
+  EventNetworkConfig config_;
+  std::size_t honest_count_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<NodeState> nodes_;
+  // Broadcast values of in-flight rounds (GC'd once the round completes
+  // globally): value_by_round_[r][i] is node i's round-r vector, honest and
+  // Byzantine alike; nullopt = silent.
+  std::map<std::size_t, std::vector<std::optional<Vector>>> values_by_round_;
+  std::map<std::size_t, std::size_t> honest_entered_;     // round -> count
+  std::map<std::size_t, std::size_t> round_done_counts_;  // round -> count
+  std::map<std::size_t, double> round_max_entry_;  // adversary fix instant
+  std::map<std::size_t, double> round_max_end_;    // slowest completion
+
+  double now_ = 0.0;
+  double batch_time_ = 0.0;
+  std::size_t completed_rounds_ = 0;
+  std::size_t target_rounds_ = 0;  // nodes never enter rounds >= target
+  bool started_ = false;
+  std::vector<double> round_end_times_;
+  NetworkStats stats_;
+};
+
+}  // namespace bcl

@@ -1,115 +1,23 @@
 #include "network/sync_network.hpp"
 
-#include <stdexcept>
-
-#include "util/thread_pool.hpp"
-
 namespace bcl {
+
+EventNetworkConfig SyncNetwork::sync_config(ThreadPool* pool,
+                                            std::size_t min_inbox) {
+  EventNetworkConfig config;
+  // Zero delays (no model), timeout 0: a round resolves at the instant it
+  // starts, with the full inbox — lockstep synchrony.  The quorum is only
+  // the honored-delay floor here, never an early-advance trigger, because
+  // nothing arrives later than the round's own instant.
+  config.quorum = min_inbox;
+  config.timeout = 0.0;
+  config.pool = pool;
+  return config;
+}
 
 SyncNetwork::SyncNetwork(std::vector<HonestProcess*> processes,
                          Adversary& adversary, ThreadPool* pool,
                          std::size_t min_inbox)
-    : processes_(std::move(processes)),
-      adversary_(adversary),
-      pool_(pool),
-      min_inbox_(min_inbox) {
-  for (std::size_t i = 0; i < processes_.size(); ++i) {
-    const bool byz = adversary_.is_byzantine(i);
-    if (byz && processes_[i] != nullptr) {
-      throw std::invalid_argument(
-          "SyncNetwork: Byzantine id must not own an honest process");
-    }
-    if (!byz && processes_[i] == nullptr) {
-      throw std::invalid_argument(
-          "SyncNetwork: honest id requires a process");
-    }
-  }
-}
-
-void SyncNetwork::run_round() {
-  const std::size_t n = processes_.size();
-
-  // Phase 1: honest nodes fix their broadcast values.
-  std::vector<std::optional<Vector>> outgoing(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (processes_[i] != nullptr) outgoing[i] = processes_[i]->outgoing(round_);
-  }
-
-  // Phase 2: the (omniscient) adversary fixes one value per Byzantine node.
-  // Reliable broadcast is enforced structurally: this is the only value id
-  // `i` can show anyone this round.
-  std::vector<std::optional<Vector>> byzantine(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (processes_[i] == nullptr) {
-      byzantine[i] = adversary_.byzantine_value(i, round_, outgoing);
-      if (!byzantine[i]) ++stats_.broadcasts_skipped;
-    }
-  }
-
-  // Phase 3: build every honest inbox.  Honest-to-honest links are
-  // reliable, but the adversary may request delays of honest messages
-  // ("receive up to n messages"); requests are honored only while the
-  // receiver's inbox stays at or above min_inbox_.  Byzantine senders may
-  // selectively omit without any floor.
-  std::vector<std::vector<Message>> inboxes(n);
-  for (std::size_t receiver = 0; receiver < n; ++receiver) {
-    if (processes_[receiver] == nullptr) continue;
-    // Number of messages that would arrive with no honest delays.
-    std::size_t candidates = 0;
-    for (std::size_t sender = 0; sender < n; ++sender) {
-      if (processes_[sender] != nullptr) {
-        ++candidates;
-      } else if (byzantine[sender] &&
-                 adversary_.delivers(sender, receiver, round_)) {
-        ++candidates;
-      }
-    }
-    std::size_t droppable =
-        (min_inbox_ != static_cast<std::size_t>(-1) &&
-         candidates > min_inbox_)
-            ? candidates - min_inbox_
-            : 0;
-    auto& inbox = inboxes[receiver];
-    inbox.reserve(candidates);
-    for (std::size_t sender = 0; sender < n; ++sender) {
-      if (processes_[sender] != nullptr) {
-        if (droppable > 0 &&
-            adversary_.delays_honest(sender, receiver, round_)) {
-          --droppable;
-          ++stats_.messages_delayed;
-          continue;
-        }
-        inbox.push_back(Message{sender, *outgoing[sender]});
-        ++stats_.messages_delivered;
-      } else if (byzantine[sender]) {
-        if (adversary_.delivers(sender, receiver, round_)) {
-          inbox.push_back(Message{sender, *byzantine[sender]});
-          ++stats_.messages_delivered;
-        } else {
-          ++stats_.messages_omitted;
-        }
-      }
-    }
-  }
-
-  // Phase 4: parallel delivery; each process mutates only its own state.
-  auto deliver = [&](std::size_t i) {
-    if (processes_[i] != nullptr) {
-      processes_[i]->receive(round_, inboxes[i]);
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(0, n, deliver);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) deliver(i);
-  }
-
-  ++round_;
-  ++stats_.rounds;
-}
-
-void SyncNetwork::run(std::size_t rounds) {
-  for (std::size_t r = 0; r < rounds; ++r) run_round();
-}
+    : engine_(std::move(processes), adversary, sync_config(pool, min_inbox)) {}
 
 }  // namespace bcl

@@ -1,48 +1,32 @@
 #pragma once
-// Synchronous round engine.
-//
-// Executes the communication pattern of Section 2.3: in every round each
+// Synchronous round engine — now a thin adapter over the discrete-event
+// core (network/event_network.hpp) with a zero-delay model and timeout 0:
+// every delivery and timeout of a round lands on one simulated instant, the
+// event engine drains simultaneous events before advancing anyone, and the
+// lockstep semantics of Section 2.3 fall out bitwise — in every round each
 // node reliably broadcasts one vector, the adversary fixes the Byzantine
-// values (after seeing the honest ones) and its selective-delivery choices,
-// and every honest node then receives its inbox sorted by sender id.
+// values (after seeing the honest ones) and its selective-delivery
+// choices, and every honest node receives its inbox sorted by sender id.
 // Honest receive callbacks run in parallel on a thread pool — they only
 // touch their own node's state, mirroring the distributed-memory model of
 // the MPI discipline.
+//
+// HonestProcess and NetworkStats live in event_network.hpp and are
+// re-exported here for the existing call sites.
 
 #include <cstddef>
 #include <vector>
 
 #include "network/adversary.hpp"
+#include "network/event_network.hpp"
 #include "network/message.hpp"
 
 namespace bcl {
 
 class ThreadPool;
 
-/// Behaviour of one honest protocol participant.
-class HonestProcess {
- public:
-  virtual ~HonestProcess() = default;
-
-  /// The vector this node reliably broadcasts in `round`.
-  virtual Vector outgoing(std::size_t round) const = 0;
-
-  /// Delivers the round's inbox (sorted by sender id).  The process updates
-  /// its own state only.
-  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
-};
-
-/// Per-run delivery statistics.
-struct NetworkStats {
-  std::size_t rounds = 0;
-  std::size_t messages_delivered = 0;
-  std::size_t messages_omitted = 0;  // Byzantine selective omissions
-  std::size_t broadcasts_skipped = 0;  // crashed/silent Byzantine rounds
-  std::size_t messages_delayed = 0;  // honored honest-message delays
-};
-
-/// The engine.  Node ids are [0, n); honest ids own a HonestProcess,
-/// Byzantine ids are driven by the adversary.
+/// The synchronous engine.  Node ids are [0, n); honest ids own a
+/// HonestProcess, Byzantine ids are driven by the adversary.
 class SyncNetwork {
  public:
   /// `processes[i]` must be non-null exactly for honest ids i.  The network
@@ -57,24 +41,21 @@ class SyncNetwork {
               ThreadPool* pool = nullptr,
               std::size_t min_inbox = static_cast<std::size_t>(-1));
 
-  std::size_t num_nodes() const { return processes_.size(); }
+  std::size_t num_nodes() const { return engine_.num_nodes(); }
 
   /// Runs one synchronous round.
-  void run_round();
+  void run_round() { engine_.run_round(); }
 
   /// Runs `rounds` consecutive rounds.
-  void run(std::size_t rounds);
+  void run(std::size_t rounds) { engine_.run(rounds); }
 
-  std::size_t current_round() const { return round_; }
-  const NetworkStats& stats() const { return stats_; }
+  std::size_t current_round() const { return engine_.current_round(); }
+  const NetworkStats& stats() const { return engine_.stats(); }
 
  private:
-  std::vector<HonestProcess*> processes_;
-  Adversary& adversary_;
-  ThreadPool* pool_;
-  std::size_t min_inbox_;
-  std::size_t round_ = 0;
-  NetworkStats stats_;
+  static EventNetworkConfig sync_config(ThreadPool* pool,
+                                        std::size_t min_inbox);
+  EventNetwork engine_;
 };
 
 }  // namespace bcl

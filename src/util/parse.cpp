@@ -1,5 +1,6 @@
 #include "util/parse.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace bcl {
@@ -40,6 +41,12 @@ std::string join_names(const std::vector<std::string>& names) {
     out += names[i];
   }
   return out;
+}
+
+std::string format_double_g(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
 }
 
 }  // namespace bcl

@@ -25,4 +25,9 @@ double parse_strict_double(const std::string& text,
 /// Comma-joins names for the registries' "valid: ..." error menus.
 std::string join_names(const std::vector<std::string>& names);
 
+/// The inverse policy of parse_strict_double for the textual grammars:
+/// %.12g round-trips every value the harnesses use and keeps common
+/// decimals short ("0.25", not "0.250000000000").
+std::string format_double_g(double value);
+
 }  // namespace bcl

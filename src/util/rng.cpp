@@ -16,6 +16,8 @@ std::uint64_t mix(std::uint64_t z) {
 constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t state) { return mix(state + kGolden); }
+
 std::uint64_t Rng::next_u64() {
   state_ += kGolden;
   return mix(state_);

@@ -13,6 +13,12 @@
 
 namespace bcl {
 
+/// One SplitMix64 step: advances `state` by the golden-ratio increment and
+/// applies the bijective finalizer.  The shared building block for
+/// hash-derived seed streams (Rng::split, the network's message_stream):
+/// chain it over the key components to get an independent stream seed.
+std::uint64_t splitmix64(std::uint64_t state);
+
 /// Counter-based deterministic PRNG (SplitMix64 core, xorshift-style
 /// finalizer).  Satisfies the needs of simulation workloads: fast, good
 /// statistical quality, trivially splittable, no global state.

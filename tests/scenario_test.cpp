@@ -92,6 +92,21 @@ TEST(ScenarioSpec, DerivedNameReflectsFields) {
   EXPECT_EQ(ScenarioSpec::parse("label=x rule=KRUM").name(), "x");
 }
 
+TEST(ScenarioSpec, NetKeyRoundTripsAndValidatesEagerly) {
+  const auto spec =
+      ScenarioSpec::parse("rule=KRUM net=async:delay=exp,mean=5,drop=0.01");
+  EXPECT_EQ(spec.net, "async:delay=exp,mean=5,drop=0.01");
+  EXPECT_EQ(spec, ScenarioSpec::parse(spec.to_string()));
+  // The derived name carries the non-default network model so sweep cells
+  // stay distinguishable in tables and artifacts.
+  EXPECT_NE(spec.name().find("async:delay=exp"), std::string::npos);
+  EXPECT_EQ(ScenarioSpec{}.net, "sync");
+  // Malformed NetConfig grammar is rejected at set() time, not at run time.
+  EXPECT_THROW(ScenarioSpec::parse("net=async:delay=gamma"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("net=lossy"), std::invalid_argument);
+}
+
 // --- registry error contracts ----------------------------------------------
 
 TEST(Registries, UnknownRuleListsValidNames) {
@@ -356,6 +371,58 @@ TEST(ScenarioRunner, LabelFlipScenarioRuns) {
   const auto summary = runner.run(ScenarioSpec::parse(
       "rule=CW-MEDIAN attack=label-flip n=4 f=1 rounds=2 eval-max=40"));
   EXPECT_EQ(summary.result.history.size(), 2u);
+}
+
+TEST(ScenarioRunner, ParallelJobsMatchSerialBitwiseInOrder) {
+  // Same sweep serial and with jobs=3: every cell is deterministic from
+  // its seed and emitter replay is in spec order, so histories and the
+  // emitted artifact rows must agree exactly.
+  const std::vector<ScenarioSpec> specs = {
+      ScenarioSpec::parse("rule=MEAN attack=none n=4 f=1 rounds=2 "
+                          "eval-max=40"),
+      ScenarioSpec::parse("rule=KRUM attack=sign-flip n=4 f=1 rounds=2 "
+                          "eval-max=40"),
+      ScenarioSpec::parse("topology=decentralized rule=BOX-GEOM "
+                          "attack=sign-flip n=4 f=1 rounds=2 eval-max=40"),
+      ScenarioSpec::parse("rule=CW-MEDIAN attack=zero n=4 f=1 rounds=2 "
+                          "eval-max=40")};
+  experiments::ScenarioRunner serial_runner;
+  const auto serial = serial_runner.run_all(specs);
+  experiments::ScenarioRunner parallel_runner;
+  experiments::JsonEmitter json("scenario_test_parallel.json");
+  const auto parallel = parallel_runner.run_all(specs, {&json}, /*jobs=*/3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].spec, parallel[i].spec);  // order preserved
+    ASSERT_EQ(serial[i].result.history.size(),
+              parallel[i].result.history.size());
+    for (std::size_t r = 0; r < serial[i].result.history.size(); ++r) {
+      EXPECT_EQ(serial[i].result.history[r].accuracy,
+                parallel[i].result.history[r].accuracy);
+      EXPECT_EQ(serial[i].result.history[r].mean_honest_loss,
+                parallel[i].result.history[r].mean_honest_loss);
+    }
+  }
+  // The artifact holds all cells in spec order.
+  std::ifstream in("scenario_test_parallel.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  expect_parses_as_json_array(buffer.str(), specs.size());
+  EXPECT_LT(buffer.str().find("MEAN"), buffer.str().find("KRUM"));
+  std::remove("scenario_test_parallel.json");
+}
+
+TEST(ScenarioRunner, AsyncNetScenarioReportsSimulatedSeconds) {
+  experiments::ScenarioRunner runner;
+  const auto summary = runner.run(ScenarioSpec::parse(
+      "rule=CW-MEDIAN attack=none n=4 f=1 rounds=2 eval-max=40 "
+      "net=async:delay=const,mean=3"));
+  ASSERT_TRUE(summary.error.empty()) << summary.error;
+  ASSERT_EQ(summary.result.history.size(), 2u);
+  for (const auto& metrics : summary.result.history) {
+    EXPECT_GT(metrics.sim_seconds, 0.0);
+  }
 }
 
 TEST(ScenarioRunner, FixedSubroundsHonoured) {
