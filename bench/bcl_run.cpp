@@ -1,6 +1,7 @@
 // bcl_run: the scenario CLI.  Executes any single scenario or a
-// cross-product sweep over rules x attacks x f x heterogeneity x topology,
-// streaming metrics to the console and optional CSV/JSON artifacts.
+// cross-product sweep over rules x attacks x f x heterogeneity x topology
+// x network x codec, streaming metrics to the console and optional
+// CSV/JSON artifacts.
 //
 //   # registries
 //   ./bcl_run --list
@@ -18,12 +19,22 @@
 //   ./bcl_run --rules BOX-GEOM --jobs 4 \
 //       --nets "sync;async:delay=exp,mean=5,drop=0.05,timeout=50"
 //
-// Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets.
-// Shared scalar overrides: --n, --t, --model, --full, --rounds, --batch,
-// --lr, --subrounds, --delay, --net, --seed, --eval-max.  Artifacts:
-// --csv <base>, --json <file>.  --threads attaches a worker pool; --jobs N
-// runs independent sweep cells concurrently (artifact row order stays
-// deterministic — cells are replayed through the emitters in spec order).
+//   # compression sweep under a bandwidth cap (--comps is ';'-separated
+//   # like --nets, since codec grammar values may contain commas)
+//   ./bcl_run --rules BOX-GEOM --comps "identity;topk:frac=0.01" \
+//       --net "async:delay=const,mean=1,bw=1e6"
+//
+//   # print the expanded grid (one spec per line) without running a cell
+//   ./bcl_run --rules KRUM,BOX-GEOM --fs 1,2 --dry-run
+//
+// Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets,
+// --comps.  Shared scalar overrides: --n, --t, --model, --full, --rounds,
+// --batch, --lr, --subrounds, --delay, --net, --comp, --seed, --eval-max.
+// Artifacts: --csv <base>, --json <file>.  --threads attaches a worker
+// pool; --jobs N runs independent sweep cells concurrently (artifact row
+// order stays deterministic — cells are replayed through the emitters in
+// spec order); --dry-run prints the grid in exactly the order the cells
+// would execute.
 
 #include <algorithm>
 #include <iostream>
@@ -63,6 +74,13 @@ void print_registries() {
       std::cout << (i == 0 ? ":" : ",") << params[i] << "=<v>";
     }
   }
+  std::cout << "\n\ncodecs (make_codec, grammar name[:key=value,...]):\n ";
+  for (const auto& [family, params] : bcl::codec_parameter_table()) {
+    std::cout << " " << family;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::cout << (i == 0 ? ":" : ",") << params[i] << "=<v>";
+    }
+  }
   std::cout << "\n\nscenario keys (--scenario \"key=value ...\"):\n ";
   for (const auto& key : bcl::experiments::scenario_keys()) {
     std::cout << " " << key;
@@ -83,9 +101,10 @@ int main(int argc, char** argv) {
   using experiments::ScenarioSpec;
   const CliArgs args(argc, argv,
                      {"list", "scenario", "rules", "attacks", "topologies",
-                      "hets", "fs", "nets", "n", "t", "model", "full",
-                      "rounds", "batch", "lr", "subrounds", "delay", "net",
-                      "seed", "eval-max", "csv", "json", "threads", "jobs"});
+                      "hets", "fs", "nets", "comps", "n", "t", "model",
+                      "full", "rounds", "batch", "lr", "subrounds", "delay",
+                      "net", "comp", "seed", "eval-max", "csv", "json",
+                      "threads", "jobs", "dry-run"});
   if (args.get_bool("list", false)) {
     print_registries();
     return 0;
@@ -95,7 +114,7 @@ int main(int argc, char** argv) {
   // the spec grammar's own strict validation (flag name == spec key).
   const std::vector<std::string> scalar_keys = {
       "n",  "t",     "model",     "rounds", "batch",    "lr",
-      "subrounds", "delay", "net", "seed",   "eval-max"};
+      "subrounds", "delay", "net", "comp", "seed",   "eval-max"};
 
   std::vector<ScenarioSpec> specs;
   try {
@@ -104,7 +123,8 @@ int main(int argc, char** argv) {
       // mutually exclusive: dropping user-provided axes silently would
       // contradict the CLI's fail-loudly design.
       for (const char* axis :
-           {"rules", "attacks", "topologies", "hets", "fs", "nets"}) {
+           {"rules", "attacks", "topologies", "hets", "fs", "nets",
+            "comps"}) {
         if (args.has(axis)) {
           throw std::invalid_argument(
               std::string("--scenario cannot be combined with the sweep "
@@ -119,51 +139,49 @@ int main(int argc, char** argv) {
       bench::apply_scalar_flags(args, scalar_keys, spec);
       specs.push_back(spec);
     } else {
-      const auto rules = split_list(args.get_string("rules", "BOX-GEOM"));
-      const auto attacks =
-          split_list(args.get_string("attacks", "sign-flip"));
-      const auto topologies =
+      experiments::SweepAxes axes;
+      axes.rules = split_list(args.get_string("rules", "BOX-GEOM"));
+      axes.attacks = split_list(args.get_string("attacks", "sign-flip"));
+      axes.topologies =
           split_list(args.get_string("topologies", "centralized"));
-      const auto hets = split_list(args.get_string("hets", "mild"));
-      const auto fs = split_list(args.get_string("fs", "1"));
-      // NetConfig values embed commas ("async:delay=exp,mean=5"), so this
-      // axis is ';'-separated.  The scalar --net override is applied after
-      // the axis values and would silently collapse the sweep — fail
-      // loudly instead, like --scenario with any axis.
+      axes.hets = split_list(args.get_string("hets", "mild"));
+      axes.fs = split_list(args.get_string("fs", "1"));
+      // NetConfig and codec values embed commas ("async:delay=exp,mean=5"),
+      // so those axes are ';'-separated.  A scalar override (--net/--comp)
+      // is applied after the axis values and would silently collapse its
+      // sweep axis — fail loudly instead, like --scenario with any axis.
       if (args.has("nets") && args.has("net")) {
         throw std::invalid_argument(
             "--nets cannot be combined with the scalar override --net "
             "(every cell would end up with the --net value)");
       }
-      const auto nets = split_list(args.get_string("nets", "sync"), ';');
-      for (const auto& topology : topologies) {
-        for (const auto& het : hets) {
-          for (const auto& f : fs) {
-            for (const auto& net : nets) {
-              for (const auto& rule : rules) {
-                for (const auto& attack : attacks) {
-                  ScenarioSpec spec;
-                  spec.set("topology", topology);
-                  spec.set("het", het);
-                  spec.set("f", f);
-                  spec.set("net", net);
-                  spec.set("rule", rule);
-                  spec.set("attack", attack);
-                  bench::apply_scalar_flags(args, scalar_keys, spec);
-                  specs.push_back(spec);
-                }
-              }
-            }
-          }
-        }
+      if (args.has("comps") && args.has("comp")) {
+        throw std::invalid_argument(
+            "--comps cannot be combined with the scalar override --comp "
+            "(every cell would end up with the --comp value)");
       }
+      axes.nets = split_list(args.get_string("nets", "sync"), ';');
+      axes.comps = split_list(args.get_string("comps", "identity"), ';');
+      specs = experiments::expand_sweep(axes, [&](ScenarioSpec& spec) {
+        bench::apply_scalar_flags(args, scalar_keys, spec);
+      });
     }
 
     // Fail fast on unknown rule/attack names (with the registry menus in
-    // the message) before any dataset is generated.
+    // the message) before any dataset is generated — and before a
+    // --dry-run preview, so the printed grid is one that can actually
+    // execute (net=/comp= already validated eagerly in set()).
     for (const auto& spec : specs) {
       make_rule(spec.rule);
       make_attack(spec.attack);
+    }
+
+    // The expanded grid, one canonical spec string per line, in exactly
+    // the order the cells would execute (expand_sweep order == run_all
+    // order) — then stop before any dataset is generated.
+    if (args.get_bool("dry-run", false)) {
+      for (const auto& spec : specs) std::cout << spec.to_string() << "\n";
+      return 0;
     }
 
     std::cout << "=== bcl_run: " << specs.size()

@@ -23,7 +23,7 @@ namespace bcl::bench {
 inline const std::vector<std::string>& scenario_flags() {
   static const std::vector<std::string> flags = {
       "full",  "rounds",    "seed", "csv",     "json",
-      "threads", "delay", "subrounds", "net", "eval-max"};
+      "threads", "delay", "subrounds", "net", "comp", "eval-max"};
   return flags;
 }
 
@@ -92,7 +92,7 @@ inline std::vector<experiments::ScenarioSummary> run_scenarios(
   const CliArgs args(argc, argv, scenario_flags());
   for (auto& spec : specs) {
     apply_scalar_flags(args, {"rounds", "seed", "delay", "subrounds", "net",
-                              "eval-max"},
+                              "comp", "eval-max"},
                        spec);
   }
 

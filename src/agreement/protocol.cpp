@@ -12,19 +12,47 @@ namespace bcl {
 
 namespace {
 
-/// Honest participant: holds its current vector, broadcasts it, applies the
-/// round function to each inbox.
+/// Honest participant: holds its current vector, broadcasts it (through
+/// the codec when one is configured), applies the round function to each
+/// inbox.
 class AgreementNode final : public HonestProcess {
  public:
-  AgreementNode(Vector input, RoundFunctionPtr round_function,
-                AggregationContext ctx)
-      : current_(std::move(input)),
+  AgreementNode(std::size_t id, Vector input, RoundFunctionPtr round_function,
+                AggregationContext ctx, const Codec* codec,
+                std::uint64_t codec_seed, std::size_t input_wire)
+      : id_(id),
+        current_(std::move(input)),
         round_function_(std::move(round_function)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        codec_(codec != nullptr && !codec->identity() ? codec : nullptr),
+        codec_seed_(codec_seed),
+        input_wire_(input_wire) {}
 
-  Vector outgoing(std::size_t /*round*/) const override { return current_; }
+  Vector outgoing(std::size_t round) const override {
+    // Sub-round 0 ships the input as the trainer encoded it (see
+    // AgreementConfig::codec): no re-encode, priced at input_wire_.
+    if (codec_ == nullptr || round == 0) return current_;
+    // Later sub-rounds encode the mixed vector: what leaves the node is
+    // the lossy decode and what the engine prices is the encoded size.
+    // The encode is deterministic per (codec_seed, id, round), so replays
+    // agree.
+    const CompressedGradient encoded = codec_->encode(
+        current_.data(), current_.size(), codec_seed_, id_, round);
+    wire_round_ = round;
+    wire_bytes_ = encoded.wire_bytes();
+    return encoded.decode();
+  }
 
-  void receive(std::size_t /*round*/, const std::vector<Message>& inbox) override {
+  std::size_t outgoing_wire_bytes(std::size_t round) const override {
+    if (codec_ == nullptr) return kDenseWire;
+    if (round == 0) return input_wire_;
+    // The engine asks immediately after outgoing(round); a mismatched
+    // round means no encode happened — price dense.
+    if (wire_round_ != round) return kDenseWire;
+    return wire_bytes_;
+  }
+
+  void receive(std::size_t /*round*/, std::vector<Message>&& inbox) override {
     // Under partial synchrony a timeout (or a dropped neighborhood) can
     // resolve a round below the n - t quorum.  The t-resilient round
     // functions are only sound on >= n - t inputs, so the node skips its
@@ -34,7 +62,7 @@ class AgreementNode final : public HonestProcess {
     // inside the round function (Krum scores, medoid, minimum-diameter
     // search, tie enumeration) shares a single Gram-trick pairwise matrix
     // for this sub-round, and batch-native rules run on the flat layout.
-    const GradientBatch received = payload_batch(inbox);
+    const GradientBatch received = payload_batch(std::move(inbox));
     AggregationWorkspace workspace(received, ctx_.pool);
     current_ = round_function_->step(received, workspace, current_, ctx_);
   }
@@ -42,9 +70,18 @@ class AgreementNode final : public HonestProcess {
   const Vector& current() const { return current_; }
 
  private:
+  std::size_t id_;
   Vector current_;
   RoundFunctionPtr round_function_;
   AggregationContext ctx_;
+  const Codec* codec_;
+  std::uint64_t codec_seed_;
+  std::size_t input_wire_;
+  // outgoing() is const in the HonestProcess contract but the wire size of
+  // the encode it just performed must reach outgoing_wire_bytes(); cached
+  // per round (the engine is single-threaded across these two calls).
+  mutable std::size_t wire_round_ = static_cast<std::size_t>(-1);
+  mutable std::size_t wire_bytes_ = 0;
 };
 
 VectorList honest_vectors(const std::vector<std::unique_ptr<AgreementNode>>& nodes) {
@@ -80,8 +117,14 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   std::vector<HonestProcess*> processes(config.n, nullptr);
   for (std::size_t i = 0; i < config.n; ++i) {
     if (!adversary.is_byzantine(i)) {
-      nodes[i] = std::make_unique<AgreementNode>(inputs[i],
-                                                 config.round_function, ctx);
+      const std::size_t input_wire = i < config.input_wire_bytes.size()
+                                         ? config.input_wire_bytes[i]
+                                         : HonestProcess::kDenseWire;
+      nodes[i] = std::make_unique<AgreementNode>(i, inputs[i],
+                                                 config.round_function, ctx,
+                                                 config.codec,
+                                                 config.codec_seed,
+                                                 input_wire);
       processes[i] = nodes[i].get();
     }
   }
@@ -96,11 +139,16 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   EventNetworkConfig net_config;
   net_config.quorum = config.n - config.t;
   net_config.pool = config.pool;
+  if (config.codec != nullptr && !config.codec->identity()) {
+    net_config.codec = config.codec;
+    net_config.codec_seed = config.codec_seed;
+  }
   if (config.net.async) {
     delay_model = make_delay_model(config.net, config.n);
     net_config.delay = delay_model.get();
     net_config.timeout = config.net.timeout > 0.0 ? config.net.timeout : -1.0;
     net_config.drop_probability = config.net.drop;
+    net_config.bandwidth = config.net.bw;
     net_config.adversary_delay_bound = config.net.adv;
     net_config.seed = config.net.seed;
   }

@@ -9,10 +9,12 @@
 // MD-GEOM it is Algorithm 1, which Lemma 4.2 shows need not converge.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "agreement/round_function.hpp"
+#include "compression/codec.hpp"
 #include "network/adversary.hpp"
 #include "network/delay_model.hpp"
 #include "network/event_network.hpp"
@@ -39,6 +41,24 @@ struct AgreementConfig {
   /// discrete-event engine with that delay/drop/timeout configuration
   /// (net.seed drives the sampled latencies).
   NetConfig net;
+  /// Optional gradient codec (not owned; must outlive the run).
+  /// Sub-round 0 broadcasts each node's input *untransformed* — the
+  /// trainers already routed the inputs through the codec (their loss
+  /// lives in the error-feedback residuals), and re-encoding a stochastic
+  /// codec under a fresh stream would re-sparsify onto a different
+  /// support, silently destroying the gradient outside EF's view.  From
+  /// sub-round 1 on, the mixed vectors are encoded through the codec: the
+  /// payload delivered is the lossy decode and the wire size priced by
+  /// the engine is the encoded size.  nullptr or an identity codec =
+  /// dense broadcasts, bitwise the uncompressed protocol.
+  const Codec* codec = nullptr;
+  /// Seed of the codec's per-(sender, round) randomness (the trainers mix
+  /// it per learning round, like net.seed).
+  std::uint64_t codec_seed = 0;
+  /// Wire sizes of the round-0 inputs, indexed by node id (the encoded
+  /// sizes the trainer produced).  Empty, or HonestProcess::kDenseWire at
+  /// an entry = price that input dense.  Ignored without a codec.
+  std::vector<std::size_t> input_wire_bytes;
 };
 
 /// Per-round convergence trace.

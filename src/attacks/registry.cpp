@@ -1,7 +1,5 @@
 #include "attacks/registry.hpp"
 
-#include <map>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/parse.hpp"
@@ -9,65 +7,20 @@
 namespace bcl {
 namespace {
 
-using Params = std::map<std::string, std::string>;
+// The shared spec grammar lives in util/parse (split_spec_grammar,
+// spec_param_*, reject_unknown_spec_params) and is also what the codec
+// registry validates against — a grammar fix lands in both at once.
+const std::string kContext = "make_attack";
 
-// Splits "family:key=val,key=val" into the family name and a key->value
-// map.  Malformed parameter tokens (no '=') throw immediately.
-void split_spec(const std::string& spec, std::string& family, Params& params) {
-  const std::size_t colon = spec.find(':');
-  family = spec.substr(0, colon);
-  if (colon == std::string::npos) return;
-  std::stringstream rest(spec.substr(colon + 1));
-  std::string token;
-  while (std::getline(rest, token, ',')) {
-    if (token.empty()) continue;
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
-      throw std::invalid_argument("make_attack: malformed parameter '" +
-                                  token + "' in '" + spec +
-                                  "' (expected key=value)");
-    }
-    params[token.substr(0, eq)] = token.substr(eq + 1);
-  }
-}
-
-// Typed parameter lookup; strict parsing so "target=1.9" fails instead of
-// truncating.  Key validation happens centrally in make_attack via
-// reject_unknown against the family's attack_parameter_table() row — new
-// families only add a table row and a constructor branch.
-double get_double(const Params& params, const std::string& key,
+double get_double(const SpecParams& params, const std::string& key,
                   double fallback) {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
-  return parse_strict_double(it->second,
-                             "make_attack: parameter '" + key + "'");
+  return spec_param_double(params, key, fallback, kContext);
 }
 
-std::size_t get_size(const Params& params, const std::string& key,
+std::size_t get_size(const SpecParams& params, const std::string& key,
                      std::size_t fallback) {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
   return static_cast<std::size_t>(
-      parse_strict_u64(it->second, "make_attack: parameter '" + key + "'"));
-}
-
-// Validates every supplied key against the family's row of
-// attack_parameter_table() so a typo ("sigma" vs "scale") fails with the
-// valid keys listed.
-void reject_unknown(const std::string& family, const Params& params,
-                    const std::vector<std::string>& allowed) {
-  for (const auto& [key, value] : params) {
-    (void)value;
-    bool ok = false;
-    for (const auto& a : allowed) ok = ok || a == key;
-    if (!ok) {
-      throw std::invalid_argument(
-          "make_attack: unknown parameter '" + key + "' for attack '" +
-          family + "'" +
-          (allowed.empty() ? std::string(" (takes no parameters)")
-                           : " (valid: " + join_names(allowed) + ")"));
-    }
-  }
+      spec_param_u64(params, key, fallback, kContext));
 }
 
 }  // namespace
@@ -93,8 +46,8 @@ attack_parameter_table() {
 
 GradientAttackPtr make_attack(const std::string& name) {
   std::string family;
-  Params params;
-  split_spec(name, family, params);
+  SpecParams params;
+  split_spec_grammar(name, kContext, family, params);
 
   // One lookup against the registry table covers both the unknown-family
   // error (with the full menu) and the family's parameter allowlist.
@@ -110,7 +63,7 @@ GradientAttackPtr make_attack(const std::string& name) {
                                 "' (valid: " + join_names(all_attack_names()) +
                                 ")");
   }
-  reject_unknown(family, params, *allowed);
+  reject_unknown_spec_params(family, params, *allowed, kContext);
 
   if (family == "none") return std::make_shared<NoAttack>();
   if (family == "sign-flip") {

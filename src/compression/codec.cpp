@@ -1,0 +1,256 @@
+#include "compression/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+
+namespace {
+
+std::size_t k_from_frac(double frac, std::size_t dim) {
+  if (dim == 0) return 0;
+  const std::size_t k =
+      static_cast<std::size_t>(std::ceil(frac * static_cast<double>(dim)));
+  return std::min(dim, std::max<std::size_t>(1, k));
+}
+
+void check_frac(double frac, const char* family) {
+  if (!(frac > 0.0) || frac > 1.0) {
+    throw std::invalid_argument(std::string(family) +
+                                ": frac must be in (0, 1], got " +
+                                format_double_g(frac));
+  }
+}
+
+}  // namespace
+
+// --- CompressedGradient ----------------------------------------------------
+
+void CompressedGradient::decode_into(double* out) const {
+  if (!sparse()) {
+    std::memcpy(out, values.data(), dim * sizeof(double));
+    return;
+  }
+  std::fill(out, out + dim, 0.0);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[indices[i]] = values[i];
+  }
+}
+
+Vector CompressedGradient::decode() const {
+  Vector out(dim, 0.0);
+  decode_into(out.data());
+  return out;
+}
+
+void CompressedGradient::append_row_to(SparseRows& rows) const {
+  if (!sparse()) {
+    rows.push_dense_row(values.data(), dim);
+    return;
+  }
+  rows.push_row(indices.data(), values.data(), nnz());
+}
+
+Rng codec_stream(std::uint64_t seed, std::size_t sender, std::size_t round) {
+  std::uint64_t state = splitmix64(seed ^ 0xC0DEC0DEC0DEC0DEull);
+  state = splitmix64(state ^ static_cast<std::uint64_t>(sender));
+  state = splitmix64(state ^ static_cast<std::uint64_t>(round));
+  return Rng(state);
+}
+
+// --- identity --------------------------------------------------------------
+
+CompressedGradient IdentityCodec::encode(const double* v, std::size_t dim,
+                                         std::uint64_t, std::size_t,
+                                         std::size_t) const {
+  CompressedGradient out;
+  out.dim = dim;
+  out.values.assign(v, v + dim);
+  return out;
+}
+
+// --- top-k -----------------------------------------------------------------
+
+TopKCodec::TopKCodec(double frac) : frac_(frac) {
+  check_frac(frac, "TopKCodec");
+}
+
+std::string TopKCodec::name() const {
+  return "topk:frac=" + format_double_g(frac_);
+}
+
+std::size_t TopKCodec::k_for(std::size_t dim) const {
+  return k_from_frac(frac_, dim);
+}
+
+CompressedGradient TopKCodec::encode(const double* v, std::size_t dim,
+                                     std::uint64_t, std::size_t,
+                                     std::size_t) const {
+  if (dim == 0) {
+    CompressedGradient empty;
+    return empty;
+  }
+  const std::size_t k = k_for(dim);
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0u);
+  // Largest |v_i| first, ties toward the lower index: the selection is a
+  // pure function of the values, independent of any partial-sort internals.
+  const auto larger = [v](std::uint32_t a, std::uint32_t b) {
+    const double fa = std::fabs(v[a]);
+    const double fb = std::fabs(v[b]);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   larger);
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  CompressedGradient out;
+  out.dim = dim;
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (const std::uint32_t i : out.indices) out.values.push_back(v[i]);
+  return out;
+}
+
+// --- rand-k ----------------------------------------------------------------
+
+RandKCodec::RandKCodec(double frac) : frac_(frac) {
+  check_frac(frac, "RandKCodec");
+}
+
+std::string RandKCodec::name() const {
+  return "randk:frac=" + format_double_g(frac_);
+}
+
+std::size_t RandKCodec::k_for(std::size_t dim) const {
+  return k_from_frac(frac_, dim);
+}
+
+CompressedGradient RandKCodec::encode(const double* v, std::size_t dim,
+                                      std::uint64_t seed, std::size_t sender,
+                                      std::size_t round) const {
+  const std::size_t k = k_for(dim);
+  // Partial Fisher-Yates over the full index range: the first k entries
+  // are a uniform sample without replacement, deterministic per
+  // (seed, sender, round).
+  Rng rng = codec_stream(seed, sender, round);
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_u64(dim - i));
+    std::swap(order[i], order[j]);
+  }
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  CompressedGradient out;
+  out.dim = dim;
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (const std::uint32_t i : out.indices) out.values.push_back(v[i]);
+  return out;
+}
+
+// --- QSGD ------------------------------------------------------------------
+
+QsgdCodec::QsgdCodec(std::size_t levels) : levels_(levels) {
+  if (levels == 0) {
+    throw std::invalid_argument("QsgdCodec: levels must be >= 1");
+  }
+}
+
+std::string QsgdCodec::name() const {
+  return "qsgd:levels=" + std::to_string(levels_);
+}
+
+std::size_t QsgdCodec::bits_per_coordinate() const {
+  // Sign and level in one symbol: 2 * levels + 1 possible values.
+  std::size_t symbols = 2 * levels_ + 1;
+  std::size_t bits = 0;
+  while ((1ull << bits) < symbols) ++bits;
+  return bits;
+}
+
+CompressedGradient QsgdCodec::encode(const double* v, std::size_t dim,
+                                     std::uint64_t seed, std::size_t sender,
+                                     std::size_t round) const {
+  CompressedGradient out;
+  out.dim = dim;
+  out.values.resize(dim);
+  out.wire_override =
+      sizeof(double) + (dim * bits_per_coordinate() + 7) / 8;
+
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) norm2 += v[i] * v[i];
+  const double norm = std::sqrt(norm2);
+  if (norm == 0.0) {
+    std::fill(out.values.begin(), out.values.end(), 0.0);
+    return out;
+  }
+
+  Rng rng = codec_stream(seed, sender, round);
+  const double s = static_cast<double>(levels_);
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Stochastic rounding of |v_i| / norm onto the level grid {0..s}/s:
+    // E[level/s] = |v_i| / norm, so the quantizer is unbiased.
+    const double scaled = std::fabs(v[i]) / norm * s;
+    double level = std::floor(scaled);
+    if (rng.uniform() < scaled - level) level += 1.0;
+    const double q = norm * level / s;
+    out.values[i] = v[i] < 0.0 ? -q : q;
+  }
+  return out;
+}
+
+// --- error feedback --------------------------------------------------------
+
+ErrorFeedback::ErrorFeedback(std::size_t clients) : residuals_(clients) {}
+
+CompressedGradient ErrorFeedback::compress(const Codec& codec,
+                                           std::uint64_t seed,
+                                           std::size_t client,
+                                           std::size_t round,
+                                           const double* grad,
+                                           std::size_t dim) {
+  if (client >= residuals_.size()) {
+    throw std::invalid_argument("ErrorFeedback: client id out of range");
+  }
+  if (codec.identity()) {
+    // Bitwise passthrough: no residual arithmetic, so uncompressed runs
+    // match the pre-codec code path exactly.
+    return codec.encode(grad, dim, seed, client, round);
+  }
+  Vector& residual = residuals_[client];
+  if (residual.empty()) residual.assign(dim, 0.0);
+  if (residual.size() != dim) {
+    throw std::invalid_argument("ErrorFeedback: gradient dimension changed");
+  }
+  buffer_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) buffer_[i] = grad[i] + residual[i];
+
+  CompressedGradient encoded =
+      codec.encode(buffer_.data(), dim, seed, client, round);
+
+  // residual = (grad + residual) - decode(encoded).  Sparse codecs keep
+  // their selected coordinates bitwise, so the subtraction there is exactly
+  // zero and the residual is exactly the dropped mass.
+  residual = buffer_;
+  if (encoded.sparse()) {
+    for (std::size_t i = 0; i < encoded.indices.size(); ++i) {
+      residual[encoded.indices[i]] -= encoded.values[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < dim; ++i) residual[i] -= encoded.values[i];
+  }
+  return encoded;
+}
+
+}  // namespace bcl

@@ -1,0 +1,211 @@
+#pragma once
+// Gradient compression codecs with wire-cost accounting.
+//
+// Every message in the simulator used to carry a full dense Vector with no
+// notion of wire size, so communication cost — the axis that dominates real
+// collaborative-learning deployments — was invisible.  A Codec maps a dense
+// gradient to a CompressedGradient that knows its wire_bytes(); the network
+// layers price delivery as propagation + wire_bytes / bandwidth (NetConfig
+// `bw=`), and NetworkStats totals bytes sent/delivered, so compression now
+// measurably changes simulated time, not just payload values.
+//
+// Codecs are stateless and shareable: the stochastic families (rand-k
+// index selection, QSGD's stochastic rounding) draw from a stream keyed by
+// (seed, sender, round) — the same splittable-PRNG discipline as the
+// network's message_stream — so a given message compresses identically no
+// matter which thread or in which order the encode happens.
+//
+// Families (the `comp=` scenario dimension; grammar in registry.hpp):
+//
+//   identity         dense passthrough (wire = d * sizeof(double))
+//   topk:frac=F      keep the ceil(F * d) largest-|v| coordinates
+//   randk:frac=F     keep ceil(F * d) uniformly sampled coordinates
+//   qsgd:levels=L    stochastic uniform quantization to L levels per sign
+//                    (norm + ceil(d * bits(L)) / 8 wire bytes; payload
+//                    carries the dequantized values)
+//
+// Sparsification alone stalls training (the dropped mass never reaches the
+// server); ErrorFeedback keeps a per-client residual of everything a codec
+// discarded and folds it into the next round's gradient, the standard
+// EF-SGD construction under which top-k/rand-k training still converges.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_rows.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace bcl {
+
+/// Dense wire size of a d-dimensional gradient: the baseline every
+/// compression ratio is quoted against.
+inline std::size_t dense_wire_bytes(std::size_t dim) {
+  return dim * sizeof(double);
+}
+
+/// One encoded gradient.  Two layouts share the struct:
+///  - dense: `indices` empty, `values` holds all `dim` coordinates;
+///  - sparse: `indices`/`values` hold the kept coordinates (indices
+///    strictly increasing), everything else decodes to zero.
+/// `wire_override` models codecs whose on-the-wire form is smaller than
+/// the payload this struct materializes (QSGD ships quantization levels,
+/// not doubles): non-zero, it replaces the layout-derived wire size.
+struct CompressedGradient {
+  std::size_t dim = 0;
+  std::vector<std::uint32_t> indices;
+  std::vector<double> values;
+  std::size_t wire_override = 0;
+
+  bool sparse() const { return values.size() != dim; }
+  std::size_t nnz() const { return values.size(); }
+
+  /// Modeled size on the wire: the override when set, else
+  /// values + 4-byte indices for sparse layouts and plain doubles for
+  /// dense ones (payload only; framing headers are not modeled).
+  std::size_t wire_bytes() const {
+    if (wire_override > 0) return wire_override;
+    if (!sparse()) return dense_wire_bytes(dim);
+    return nnz() * (sizeof(double) + sizeof(std::uint32_t));
+  }
+
+  /// Writes the decoded gradient into out[0..dim); sparse layouts zero the
+  /// untouched coordinates first.
+  void decode_into(double* out) const;
+
+  /// Decoded gradient as a standalone Vector.
+  Vector decode() const;
+
+  /// Appends this gradient to a CSR batch: the sparse layout verbatim, or
+  /// a nonzero gather of a dense one.  Dimension-checked by the batch.
+  void append_row_to(SparseRows& rows) const;
+};
+
+/// Deterministic per-message stream for the stochastic codecs, keyed like
+/// the network's message_stream so encode order never matters.
+Rng codec_stream(std::uint64_t seed, std::size_t sender, std::size_t round);
+
+/// One compression scheme (see file comment).  Instances are immutable and
+/// safe to share across clients, rounds and threads.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Canonical spec string ("topk:frac=0.01"); parseable by make_codec.
+  virtual std::string name() const = 0;
+
+  /// True for the dense passthrough: callers may skip the encode/decode
+  /// arithmetic entirely (the trainers use this to keep uncompressed runs
+  /// bitwise identical to the pre-codec code path).
+  virtual bool identity() const { return false; }
+
+  /// Encodes v[0..dim).  `seed`/`sender`/`round` key the stochastic
+  /// families' randomness; deterministic codecs ignore them.
+  virtual CompressedGradient encode(const double* v, std::size_t dim,
+                                    std::uint64_t seed, std::size_t sender,
+                                    std::size_t round) const = 0;
+
+  /// Convenience overload.
+  CompressedGradient encode(const Vector& v, std::uint64_t seed,
+                            std::size_t sender, std::size_t round) const {
+    return encode(v.data(), v.size(), seed, sender, round);
+  }
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+/// Dense passthrough; decode(encode(v)) is bitwise v.
+class IdentityCodec final : public Codec {
+ public:
+  using Codec::encode;
+  std::string name() const override { return "identity"; }
+  bool identity() const override { return true; }
+  CompressedGradient encode(const double* v, std::size_t dim, std::uint64_t,
+                            std::size_t, std::size_t) const override;
+};
+
+/// Keeps the k = max(1, ceil(frac * d)) coordinates of largest magnitude
+/// (ties broken toward the lower index, so selection is deterministic).
+/// Kept coordinates decode bitwise, so with error feedback the residual is
+/// exactly the dropped mass.
+class TopKCodec final : public Codec {
+ public:
+  using Codec::encode;
+  explicit TopKCodec(double frac);
+  std::string name() const override;
+  CompressedGradient encode(const double* v, std::size_t dim, std::uint64_t,
+                            std::size_t, std::size_t) const override;
+  std::size_t k_for(std::size_t dim) const;
+
+ private:
+  double frac_;
+};
+
+/// Keeps k = max(1, ceil(frac * d)) uniformly sampled coordinates; the
+/// sample is a pure function of (seed, sender, round) via codec_stream, so
+/// a message's support never depends on encode order.  Unscaled (biased on
+/// its own); pair with error feedback, which restores the dropped mass.
+class RandKCodec final : public Codec {
+ public:
+  using Codec::encode;
+  explicit RandKCodec(double frac);
+  std::string name() const override;
+  CompressedGradient encode(const double* v, std::size_t dim,
+                            std::uint64_t seed, std::size_t sender,
+                            std::size_t round) const override;
+  std::size_t k_for(std::size_t dim) const;
+
+ private:
+  double frac_;
+};
+
+/// QSGD stochastic uniform quantization (Alistarh et al.): each coordinate
+/// is rounded to one of `levels` buckets of |v_i| / ||v||_2 with
+/// probability preserving the mean, then shipped as (norm, sign, level).
+/// The payload materializes the dequantized doubles; wire_bytes models the
+/// packed form: 8 bytes of norm + ceil(d * bits) / 8 where
+/// bits = ceil(log2(2 * levels + 1)) covers sign and level.
+class QsgdCodec final : public Codec {
+ public:
+  using Codec::encode;
+  explicit QsgdCodec(std::size_t levels);
+  std::string name() const override;
+  CompressedGradient encode(const double* v, std::size_t dim,
+                            std::uint64_t seed, std::size_t sender,
+                            std::size_t round) const override;
+  std::size_t bits_per_coordinate() const;
+
+ private:
+  std::size_t levels_;
+};
+
+/// Per-client error-feedback residuals (EF-SGD): compress() folds the
+/// client's accumulated residual into the incoming gradient, encodes the
+/// sum, and keeps what the codec dropped for the next round.  With the
+/// identity codec the residual arithmetic is skipped entirely, so the
+/// encode is a bitwise passthrough.  Residual buffers are lazily sized on
+/// first use; one instance serves all rounds of one trainer run (not
+/// thread-safe across clients — the trainers drive it from the round loop).
+class ErrorFeedback {
+ public:
+  explicit ErrorFeedback(std::size_t clients);
+
+  /// EF-compresses grad[0..dim) for `client` at `round`.
+  CompressedGradient compress(const Codec& codec, std::uint64_t seed,
+                              std::size_t client, std::size_t round,
+                              const double* grad, std::size_t dim);
+
+  /// The client's current residual (empty before its first compress).
+  const Vector& residual(std::size_t client) const {
+    return residuals_[client];
+  }
+
+ private:
+  std::vector<Vector> residuals_;
+  Vector buffer_;  // grad + residual staging, reused across calls
+};
+
+}  // namespace bcl

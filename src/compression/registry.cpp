@@ -1,0 +1,72 @@
+#include "compression/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+codec_parameter_table() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      table = {{"identity", {}},
+               {"topk", {"frac"}},
+               {"randk", {"frac"}},
+               {"qsgd", {"levels"}}};
+  return table;
+}
+
+CodecPtr make_codec(const std::string& name) {
+  // The shared spec grammar (util/parse): "family:key=val,...", strict
+  // parameter parsing, allowlist validation with the menu attached.
+  static const std::string kContext = "make_codec";
+  std::string family;
+  SpecParams params;
+  split_spec_grammar(name, kContext, family, params);
+
+  // One lookup against the registry table covers both the unknown-family
+  // error (with the full menu) and the family's parameter allowlist.
+  const std::vector<std::string>* allowed = nullptr;
+  for (const auto& [known, keys] : codec_parameter_table()) {
+    if (known == family) {
+      allowed = &keys;
+      break;
+    }
+  }
+  if (allowed == nullptr) {
+    throw std::invalid_argument("make_codec: unknown codec '" + family +
+                                "' (valid: " + join_names(all_codec_names()) +
+                                ")");
+  }
+  reject_unknown_spec_params(family, params, *allowed, kContext);
+
+  if (family == "identity") return std::make_shared<IdentityCodec>();
+  if (family == "topk") {
+    return std::make_shared<TopKCodec>(
+        spec_param_double(params, "frac", 0.01, kContext));
+  }
+  if (family == "randk") {
+    return std::make_shared<RandKCodec>(
+        spec_param_double(params, "frac", 0.01, kContext));
+  }
+  if (family == "qsgd") {
+    return std::make_shared<QsgdCodec>(static_cast<std::size_t>(
+        spec_param_u64(params, "levels", 8, kContext)));
+  }
+  // A table row without a matching branch is a registry bug, not user
+  // input: fail loudly instead of silently constructing the wrong codec.
+  throw std::logic_error("make_codec: family '" + family +
+                         "' is registered but has no constructor branch");
+}
+
+std::vector<std::string> all_codec_names() {
+  std::vector<std::string> names;
+  names.reserve(codec_parameter_table().size());
+  for (const auto& [family, keys] : codec_parameter_table()) {
+    (void)keys;
+    names.push_back(family);
+  }
+  return names;
+}
+
+}  // namespace bcl

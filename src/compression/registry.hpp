@@ -1,0 +1,50 @@
+#pragma once
+// Name-based factory for gradient codecs, mirroring the aggregation-rule
+// and attack registries: scenario specs (`comp=`), bcl_run sweeps
+// (`--comps`) and the bench harnesses select codecs with the same string
+// grammar that make_rule / make_attack use.
+//
+// Name grammar:
+//
+//   <family>[:<key>=<value>[,<key>=<value>]...]
+//
+// Families and their accepted parameters:
+//
+//   identity             dense passthrough (the default; wire = 8d bytes)
+//   topk[:frac=F]        keep the ceil(F * d) largest-|v| coords (default
+//                        F=0.01)
+//   randk[:frac=F]       keep ceil(F * d) uniformly sampled coords,
+//                        deterministic per (sender, round) (default 0.01)
+//   qsgd[:levels=L]      stochastic quantization to L levels (default 8)
+//
+// Unknown families and unknown parameter keys both throw
+// std::invalid_argument whose message lists the valid alternatives, so a
+// typo in a sweep spec fails loudly with the menu attached.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compression/codec.hpp"
+
+namespace bcl {
+
+/// Creates a codec from a grammar string (see file comment).  The returned
+/// object is immutable and safe to share across all clients of a run.
+/// Throws std::invalid_argument on unknown family names (message lists all
+/// families) or unknown parameter keys (message lists the family's
+/// parameters).
+CodecPtr make_codec(const std::string& name);
+
+/// All family names accepted by make_codec, in registry order.  Every
+/// entry constructs without parameters: make_codec(n) succeeds for each n
+/// returned.
+std::vector<std::string> all_codec_names();
+
+/// family -> accepted parameter keys, in registry order (empty vector =
+/// takes no parameters).  This is the same table make_codec validates
+/// against, so menus rendered from it (bcl_run --list) cannot go stale.
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+codec_parameter_table();
+
+}  // namespace bcl

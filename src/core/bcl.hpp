@@ -8,13 +8,17 @@
 //   geometry    - Weiszfeld, medoid, enclosing balls, min-diameter subsets,
 //                 planar safe areas
 //   aggregation - all aggregation rules + the approximation measure
+//   compression - gradient codecs (top-k / rand-k / QSGD) with wire-cost
+//                 accounting, error feedback + name registry
 //   network     - discrete-event P2P simulator (delay models, partial
-//                 synchrony) with Byzantine adversaries; sync adapter
+//                 synchrony, bandwidth-priced delivery) with Byzantine
+//                 adversaries; sync adapter
 //   agreement   - multidimensional approximate-agreement protocols
 //   ml          - tensors, layers, models, synthetic datasets, partitions
 //   attacks     - Byzantine client behaviours + name registry
 //   learning    - centralized / decentralized collaborative training
-//   experiments - declarative scenario specs, runner, metric emitters
+//   experiments - declarative scenario specs, runner, metric emitters,
+//                 sweep expansion
 
 #include "aggregation/approximation.hpp"
 #include "aggregation/hyperbox_rules.hpp"
@@ -27,9 +31,12 @@
 #include "agreement/round_function.hpp"
 #include "attacks/attack.hpp"
 #include "attacks/registry.hpp"
+#include "compression/codec.hpp"
+#include "compression/registry.hpp"
 #include "experiments/emitters.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
 #include "geometry/convex2d.hpp"
 #include "geometry/enclosing_ball.hpp"
 #include "geometry/medoid.hpp"
@@ -45,6 +52,7 @@
 #include "linalg/gradient_batch.hpp"
 #include "linalg/hyperbox.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/sparse_rows.hpp"
 #include "linalg/stats.hpp"
 #include "linalg/vector_ops.hpp"
 #include "linalg/workspace.hpp"

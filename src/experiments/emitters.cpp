@@ -21,7 +21,7 @@ ConsoleEmitter::ConsoleEmitter(std::ostream& os, std::size_t series_samples)
     : os_(os),
       series_samples_(std::max<std::size_t>(1, series_samples)),
       summary_({"scenario", "rule", "attack", "best acc", "final acc",
-                "rounds", "seconds"}) {}
+                "rounds", "seconds", "MB", "comp x"}) {}
 
 void ConsoleEmitter::begin_scenario(const ScenarioSpec& spec) {
   series_.emplace_back(spec.name(), std::vector<RoundMetrics>{});
@@ -42,7 +42,9 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
         .add("FAILED")
         .add("FAILED")
         .add_int(static_cast<long long>(result.history.size()))
-        .add_num(summary.seconds, 2);
+        .add_num(summary.seconds, 2)
+        .add("-")
+        .add("-");
     os_ << "[" << summary.spec.name() << "] FAILED: " << summary.error
         << "\n";
     return;
@@ -54,7 +56,9 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
       .add_num(result.best_accuracy(), 4)
       .add_num(result.final_accuracy, 4)
       .add_int(static_cast<long long>(result.history.size()))
-      .add_num(summary.seconds, 2);
+      .add_num(summary.seconds, 2)
+      .add_num(result.bytes_total() / 1e6, 2)
+      .add_num(result.compression_ratio(), 1);
   os_ << "[" << summary.spec.name()
       << "] best=" << format_double(result.best_accuracy(), 4)
       << " final=" << format_double(result.final_accuracy, 4) << " ("
@@ -91,13 +95,17 @@ CsvEmitter::CsvEmitter(std::string base_path)
     : base_path_(std::move(base_path)),
       series_({"scenario", "round", "accuracy", "accuracy_min",
                "accuracy_max", "loss", "lr", "disagreement",
-               "gradient_diameter", "seconds", "sim_seconds"}),
+               "gradient_diameter", "seconds", "sim_seconds", "bytes",
+               "compression_ratio"}),
       summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
-                "f", "net", "best_accuracy", "final_accuracy", "seconds",
-                "sim_seconds", "error"}) {}
+                "f", "net", "comp", "best_accuracy", "final_accuracy",
+                "seconds", "sim_seconds", "bytes", "compression_ratio",
+                "error"}) {}
 
 void CsvEmitter::emit_round(const ScenarioSpec& spec,
                             const RoundMetrics& m) {
+  const double ratio =
+      m.bytes_delivered > 0.0 ? m.bytes_dense / m.bytes_delivered : 1.0;
   series_.new_row()
       .add(spec.name())
       .add_int(static_cast<long long>(m.round))
@@ -109,7 +117,9 @@ void CsvEmitter::emit_round(const ScenarioSpec& spec,
       .add_num(m.disagreement, 6)
       .add_num(m.gradient_diameter, 6)
       .add_num(m.seconds, 4)
-      .add_num(m.sim_seconds, 4);
+      .add_num(m.sim_seconds, 4)
+      .add_num(m.bytes_delivered, 0)
+      .add_num(ratio, 2);
 }
 
 void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
@@ -122,10 +132,13 @@ void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
       .add(ml::heterogeneity_name(summary.spec.heterogeneity))
       .add_int(static_cast<long long>(summary.spec.byzantine))
       .add(summary.spec.net)
+      .add(summary.spec.comp)
       .add_num(summary.result.best_accuracy(), 6)
       .add_num(summary.result.final_accuracy, 6)
       .add_num(summary.seconds, 2)
       .add_num(sim_total, 3)
+      .add_num(summary.result.bytes_total(), 0)
+      .add_num(summary.result.compression_ratio(), 2)
       .add(summary.error);
 }
 
@@ -154,6 +167,8 @@ void JsonEmitter::end_scenario(const ScenarioSummary& summary) {
   entry.final_accuracy = summary.result.final_accuracy;
   entry.seconds = summary.seconds;
   entry.sim_seconds = summary.result.sim_seconds_total();
+  entry.bytes = summary.result.bytes_total();
+  entry.compression_ratio = summary.result.compression_ratio();
   entry.error = summary.error;
 }
 
@@ -197,15 +212,18 @@ void JsonEmitter::finish() {
                  escape_json(e.spec.attack).c_str());
     std::fprintf(f,
                  "   \"topology\": \"%s\", \"heterogeneity\": \"%s\", "
-                 "\"f\": %zu, \"net\": \"%s\",\n",
+                 "\"f\": %zu, \"net\": \"%s\", \"comp\": \"%s\",\n",
                  topology_name(e.spec.topology),
                  ml::heterogeneity_name(e.spec.heterogeneity),
-                 e.spec.byzantine, escape_json(e.spec.net).c_str());
+                 e.spec.byzantine, escape_json(e.spec.net).c_str(),
+                 escape_json(e.spec.comp).c_str());
     std::fprintf(f,
                  "   \"best_accuracy\": %.6f, \"final_accuracy\": %.6f, "
                  "\"seconds\": %.3f, \"sim_seconds\": %.4f, "
+                 "\"bytes\": %.0f, \"compression_ratio\": %.3f, "
                  "\"error\": \"%s\",\n",
                  e.best_accuracy, e.final_accuracy, e.seconds, e.sim_seconds,
+                 e.bytes, e.compression_ratio,
                  escape_json(e.error).c_str());
     std::fprintf(f, "   \"rounds\": [\n");
     for (std::size_t r = 0; r < e.rounds.size(); ++r) {
@@ -215,10 +233,11 @@ void JsonEmitter::finish() {
                    "\"loss\": %.6f, \"lr\": %.6f, "
                    "\"disagreement\": %.6g, "
                    "\"gradient_diameter\": %.6g, \"seconds\": %.4f, "
-                   "\"sim_seconds\": %.4f}%s\n",
+                   "\"sim_seconds\": %.4f, \"bytes\": %.0f}%s\n",
                    m.round, m.accuracy, m.mean_honest_loss, m.learning_rate,
                    m.disagreement, m.gradient_diameter, m.seconds,
-                   m.sim_seconds, r + 1 < e.rounds.size() ? "," : "");
+                   m.sim_seconds, m.bytes_delivered,
+                   r + 1 < e.rounds.size() ? "," : "");
     }
     std::fprintf(f, "   ]}%s\n", i + 1 < entries_.size() ? "," : "");
   }

@@ -99,6 +99,8 @@ class JsonEmitter final : public MetricsEmitter {
     double final_accuracy = 0.0;
     double seconds = 0.0;
     double sim_seconds = 0.0;  ///< total simulated network time
+    double bytes = 0.0;        ///< total delivered wire bytes
+    double compression_ratio = 1.0;  ///< dense-equivalent / delivered
     std::string error;
   };
   std::string path_;

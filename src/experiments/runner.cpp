@@ -5,6 +5,7 @@
 
 #include "aggregation/registry.hpp"
 #include "attacks/registry.hpp"
+#include "compression/registry.hpp"
 #include "learning/centralized.hpp"
 #include "learning/decentralized.hpp"
 #include "ml/architectures.hpp"
@@ -121,6 +122,7 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
   cfg.batch_size = scale.batch;
   cfg.rule = make_rule(spec.rule);
   cfg.attack = make_attack(spec.attack);
+  cfg.codec = make_codec(spec.comp);
   cfg.schedule = ml::LearningRateSchedule(
       scale.lr, scale.lr / static_cast<double>(scale.rounds));
   cfg.heterogeneity = spec.heterogeneity;

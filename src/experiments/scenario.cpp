@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "compression/registry.hpp"
 #include "network/delay_model.hpp"
 #include "util/parse.hpp"
 
@@ -52,7 +53,8 @@ const std::vector<std::string>& scenario_keys() {
   static const std::vector<std::string> keys = {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
-      "lr",    "subrounds", "delay", "net",    "seed",   "eval-max"};
+      "lr",    "subrounds", "delay", "net",    "comp",   "seed",
+      "eval-max"};
   return keys;
 }
 
@@ -108,6 +110,11 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     // artifact replays exactly what was written.
     (void)NetConfig::parse(value);
     net = value;
+  } else if (key == "comp") {
+    // Same eager-validation / verbatim-storage policy as `net`: the codec
+    // registry rejects unknown families and keys with the menus attached.
+    (void)make_codec(value);
+    comp = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -156,6 +163,7 @@ std::string ScenarioSpec::to_string() const {
   out += " subrounds=" + std::to_string(subrounds);
   out += " delay=" + format_g(delay);
   out += " net=" + net;
+  out += " comp=" + comp;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -171,6 +179,7 @@ std::string ScenarioSpec::name() const {
   out += "/f" + std::to_string(byzantine);
   if (subrounds > 0) out += "/k" + std::to_string(subrounds);
   if (net != "sync") out += "/" + net;
+  if (comp != "identity") out += "/" + comp;
   return out;
 }
 

@@ -34,9 +34,12 @@
 //   delay     honest-message delay probability           [0]
 //   net       network timing model (NetConfig grammar:
 //             "sync" or "async:delay=exp,mean=5,
-//             drop=0.01,timeout=50,...")                 [sync]
+//             drop=0.01,timeout=50,bw=1e6,...")          [sync]
+//   comp      gradient codec (make_codec grammar:
+//             identity | topk:frac=F | randk:frac=F |
+//             qsgd:levels=L)                             [identity]
 //   seed      root RNG seed (drives data + training +
-//             network delays)                            [11]
+//             network delays + codec randomness)         [11]
 //   eval-max  cap on test examples per evaluation (0 =
 //             all)                                       [0]
 //
@@ -96,6 +99,9 @@ struct ScenarioSpec {
   /// NetConfig grammar string (validated eagerly by set(); stored verbatim
   /// so artifacts replay the exact text the user wrote).
   std::string net = "sync";
+  /// Codec grammar string (make_codec; validated eagerly by set(), stored
+  /// verbatim).  "identity" = dense traffic, bitwise the pre-codec path.
+  std::string comp = "identity";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

@@ -1,0 +1,44 @@
+#pragma once
+// Cross-product sweep expansion shared by the bcl_run CLI and the tests.
+//
+// A sweep is the cross-product of per-dimension value lists (each value a
+// string in that dimension's own grammar).  expand_sweep() materializes
+// the grid in a fixed documented order — the exact order ScenarioRunner
+// executes and the emitters record — so `bcl_run --dry-run` can print the
+// grid without running a cell and a test can assert that what would run
+// matches what does run, cell for cell.
+//
+// Axis nesting, outermost first: topology > het > f > net > comp > rule >
+// attack (the innermost axes vary fastest, so related cells sit next to
+// each other in the artifacts).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace bcl::experiments {
+
+/// The sweep axes (defaults reproduce bcl_run's single-cell defaults).
+/// Values are grammar strings handed to ScenarioSpec::set, so invalid
+/// entries fail with the spec grammar's own messages.
+struct SweepAxes {
+  std::vector<std::string> topologies = {"centralized"};
+  std::vector<std::string> hets = {"mild"};
+  std::vector<std::string> fs = {"1"};
+  std::vector<std::string> nets = {"sync"};
+  std::vector<std::string> comps = {"identity"};
+  std::vector<std::string> rules = {"BOX-GEOM"};
+  std::vector<std::string> attacks = {"sign-flip"};
+};
+
+/// Expands the cross-product in the documented order.  `finalize`, when
+/// set, runs on every spec after the axis values are applied (bcl_run uses
+/// it for the shared scalar flag overrides).  Throws std::invalid_argument
+/// on any malformed axis value, before any cell would run.
+std::vector<ScenarioSpec> expand_sweep(
+    const SweepAxes& axes,
+    const std::function<void(ScenarioSpec&)>& finalize = {});
+
+}  // namespace bcl::experiments

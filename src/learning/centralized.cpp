@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "compression/codec.hpp"
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
+#include "linalg/sparse_rows.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -70,6 +73,17 @@ TrainingResult CentralizedTrainer::run() {
   if (config_.net.async) delay_model = make_delay_model(config_.net, n);
   const std::size_t net_quorum = n - config_.resolved_t();
 
+  // Gradient compression (the `comp=` dimension): honest uploads and the
+  // server's broadcast go through the codec with error feedback, so the
+  // dropped mass re-enters later rounds and sparsified training still
+  // converges.  A null/identity codec takes the exact pre-codec code path
+  // (bitwise-identical results); wire sizes are still accounted, dense.
+  const Codec* codec =
+      config_.codec != nullptr && !config_.codec->identity()
+          ? config_.codec.get()
+          : nullptr;
+  ErrorFeedback error_feedback(n + 1);  // clients 0..n-1, server id n
+
   // All n gradients of a round live in one contiguous batch; clients write
   // their rows in place (parallel; disjoint rows), so gradients never pass
   // through intermediate per-client Vectors.  The honest rows occupy the
@@ -94,10 +108,36 @@ TrainingResult CentralizedTrainer::run() {
     for (std::size_t i = 0; i < n - f; ++i) honest_loss += losses[i];
     honest_loss /= static_cast<double>(n - f);
 
+    // EF-compress the honest uploads in place: the server (and the attack,
+    // which observes wire traffic) sees the lossy decodes, and the encoded
+    // forms keep the wire sizes and the sparse distance path below.
+    std::vector<CompressedGradient> encoded_uploads;
+    bool sparse_uploads = false;
+    if (codec != nullptr) {
+      encoded_uploads.reserve(n - f);
+      sparse_uploads = true;
+      for (std::size_t i = 0; i < n - f; ++i) {
+        encoded_uploads.push_back(error_feedback.compress(
+            *codec, config_.seed, i, round, gradients.row(i), dim));
+        encoded_uploads.back().decode_into(gradients.row(i));
+        sparse_uploads = sparse_uploads && encoded_uploads.back().sparse();
+      }
+    }
+
     // Byzantine submissions (the last f ids).  The attack interface speaks
     // VectorList, so the honest prefix is materialized only when there is a
-    // Byzantine client to corrupt.
+    // Byzantine client to corrupt.  With a codec the adversary speaks the
+    // wire format too: its corruption is serialized through the codec (no
+    // error feedback — it is not trying to converge), because the server
+    // rejects oversized dense uploads in a compressed protocol.
     VectorList corrupted_submissions;
+    std::vector<CompressedGradient> encoded_byz;
+    std::vector<std::size_t> upload_wire(n, dense_wire_bytes(dim));
+    if (codec != nullptr) {
+      for (std::size_t i = 0; i < n - f; ++i) {
+        upload_wire[i] = encoded_uploads[i].wire_bytes();
+      }
+    }
     if (f > 0) {
       VectorList honest;
       honest.reserve(n - f);
@@ -105,9 +145,22 @@ TrainingResult CentralizedTrainer::run() {
         honest.push_back(gradients.row_copy(i));
       }
       for (std::size_t i = n - f; i < n; ++i) {
-        const auto corrupted = config_.attack->corrupt(
-            gradients.row_copy(i), honest, round, attack_rng);
-        if (corrupted) corrupted_submissions.push_back(*corrupted);
+        auto corrupted = config_.attack->corrupt(gradients.row_copy(i),
+                                                 honest, round, attack_rng);
+        if (!corrupted) {  // silent round: nothing on the wire
+          upload_wire[i] = 0;
+          continue;
+        }
+        if (codec != nullptr) {
+          CompressedGradient encoded = codec->encode(
+              corrupted->data(), dim, config_.seed, i, round);
+          upload_wire[i] = encoded.wire_bytes();
+          corrupted_submissions.push_back(encoded.decode());
+          sparse_uploads = sparse_uploads && encoded.sparse();
+          encoded_byz.push_back(std::move(encoded));
+        } else {
+          corrupted_submissions.push_back(std::move(*corrupted));
+        }
       }
     }
 
@@ -127,9 +180,37 @@ TrainingResult CentralizedTrainer::run() {
 
     // Server-side aggregation and SGD step.  The workspace is built once
     // per round over the submitted batch; the rule and the heterogeneity
-    // metric below share its Gram-trick distance matrix.
-    AggregationWorkspace workspace(submitted, ctx.pool);
-    const Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
+    // metric below share its Gram-trick distance matrix.  When every
+    // honest upload arrived top-k/rand-k sparse, the pairwise matrix is
+    // built from the encoded forms through the sparse Gram kernels —
+    // O(pairwise nnz) instead of O(m^2 * d) — and handed to the workspace
+    // prebuilt (Byzantine rows ride along dense).
+    std::optional<AggregationWorkspace> workspace;
+    if (sparse_uploads) {
+      SparseRows sparse(dim);
+      for (const auto& encoded : encoded_uploads) {
+        encoded.append_row_to(sparse);
+      }
+      for (const auto& encoded : encoded_byz) {
+        encoded.append_row_to(sparse);
+      }
+      workspace.emplace(submitted, DistanceMatrix(sparse, ctx.pool),
+                        ctx.pool);
+    } else {
+      workspace.emplace(submitted, ctx.pool);
+    }
+    Vector aggregate = config_.rule->aggregate(submitted, *workspace, ctx);
+
+    // The model update travels back over the same constrained links: the
+    // server EF-compresses its broadcast (id n), and every client applies
+    // the lossy decode — with the identity codec this is a bitwise no-op.
+    std::size_t downlink_wire = dense_wire_bytes(dim);
+    if (codec != nullptr) {
+      const CompressedGradient encoded = error_feedback.compress(
+          *codec, config_.seed, n, round, aggregate.data(), dim);
+      encoded.decode_into(aggregate.data());
+      downlink_wire = encoded.wire_bytes();
+    }
     const double lr = config_.schedule.rate(round);
     ml::sgd_step(global_params_, aggregate, lr);
 
@@ -147,20 +228,48 @@ TrainingResult CentralizedTrainer::run() {
     // subset lookup; for distance-free rules run the Gram kernel over the
     // honest prefix only instead of forcing an O(m^2 * d) build over all
     // submissions.
-    if (workspace.has_distances()) {
+    if (workspace->has_distances()) {
       std::vector<std::size_t> honest_ids(n - f);
       for (std::size_t i = 0; i < n - f; ++i) honest_ids[i] = i;
       metrics.gradient_diameter =
-          workspace.distances().subset_diameter(honest_ids);
+          workspace->distances().subset_diameter(honest_ids);
     } else {
       metrics.gradient_diameter =
           DistanceMatrix(gradients.row(0), n - f, dim, ctx.pool).diameter();
     }
     metrics.seconds = round_watch.seconds();
+
+    // Price the star round and record which messages arrived.
+    StarWire star_wire;
+    star_wire.uplink_bytes = upload_wire;
+    star_wire.downlink_bytes = downlink_wire;
+    StarDelivery delivery;
     if (delay_model != nullptr) {
       metrics.sim_seconds = star_round_latency(*delay_model, config_.net, n,
-                                               f, net_quorum, round);
+                                               f, net_quorum, round,
+                                               star_wire, &delivery);
     }
+
+    // Delivered-byte accounting, consistent with the event engine's
+    // NetworkStats: uploads/downlinks the star model dropped carry no
+    // bytes (under sync nothing drops), and upload_wire[i] == 0 marks a
+    // silent Byzantine round with nothing on the wire at all.
+    const double dense = static_cast<double>(dense_wire_bytes(dim));
+    double bytes = 0.0;
+    double bytes_dense = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (upload_wire[i] == 0) continue;
+      if (!delivery.uplink.empty() && !delivery.uplink[i]) continue;
+      bytes += static_cast<double>(upload_wire[i]);
+      bytes_dense += dense;
+    }
+    for (std::size_t i = 0; i < n - f; ++i) {
+      if (!delivery.downlink.empty() && !delivery.downlink[i]) continue;
+      bytes += static_cast<double>(downlink_wire);
+      bytes_dense += dense;
+    }
+    metrics.bytes_delivered = bytes;
+    metrics.bytes_dense = bytes_dense;
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

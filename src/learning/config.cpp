@@ -17,6 +17,24 @@ double TrainingResult::sim_seconds_total() const {
   return total;
 }
 
+double TrainingResult::bytes_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.bytes_delivered;
+  return total;
+}
+
+double TrainingResult::bytes_dense_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.bytes_dense;
+  return total;
+}
+
+double TrainingResult::compression_ratio() const {
+  const double actual = bytes_total();
+  if (actual <= 0.0) return 1.0;
+  return bytes_dense_total() / actual;
+}
+
 void validate_config(const TrainingConfig& config) {
   if (config.num_clients == 0) {
     throw std::invalid_argument("TrainingConfig: num_clients must be > 0");

@@ -8,6 +8,7 @@
 
 #include "aggregation/rule.hpp"
 #include "attacks/attack.hpp"
+#include "compression/codec.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
 #include "network/delay_model.hpp"
@@ -52,6 +53,16 @@ struct TrainingConfig {
   /// delay model's star topology.  net.seed is mixed per learning round by
   /// the trainers.
   NetConfig net;
+
+  /// Gradient codec of the communication rounds (the scenario `comp=`
+  /// dimension).  null or identity = dense traffic and a code path bitwise
+  /// identical to the pre-compression trainers.  Otherwise the centralized
+  /// trainer EF-compresses every client upload and the server's broadcast,
+  /// and the decentralized trainer EF-compresses the gradients entering
+  /// agreement and routes every agreement sub-round broadcast through the
+  /// codec.  Wire sizes flow into the byte metrics and, with `net.bw` set,
+  /// into sim_seconds.
+  CodecPtr codec;
 
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
@@ -100,6 +111,13 @@ struct RoundMetrics {
   /// or the star-topology upload-quorum + broadcast latency (centralized).
   /// 0 under the sync model.
   double sim_seconds = 0.0;
+  /// Bytes delivered over real links this round (uploads + broadcasts for
+  /// the centralized star, event-engine deliveries for the decentralized
+  /// sub-rounds), and what the same messages would have cost uncompressed.
+  /// bytes_dense / bytes_delivered is the round's compression ratio (1
+  /// under the identity codec).
+  double bytes_delivered = 0.0;
+  double bytes_dense = 0.0;
 };
 
 struct TrainingResult {
@@ -113,6 +131,15 @@ struct TrainingResult {
   /// sim_seconds; 0 under the sync model).  The artifact emitters quote
   /// this as the scenario-level sim_seconds.
   double sim_seconds_total() const;
+
+  /// Total bytes delivered over the run and their dense-equivalent cost
+  /// (sums of the rounds' bytes_delivered / bytes_dense).
+  double bytes_total() const;
+  double bytes_dense_total() const;
+
+  /// Run-level compression ratio: dense-equivalent bytes over delivered
+  /// bytes (1 when nothing was delivered or nothing was compressed).
+  double compression_ratio() const;
 };
 
 /// Validates a config and throws std::invalid_argument with a specific

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "agreement/protocol.hpp"
+#include "compression/codec.hpp"
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
 #include "network/adversary.hpp"
@@ -83,6 +84,17 @@ TrainingResult DecentralizedTrainer::run() {
   TrainingResult result;
   result.history.reserve(config_.rounds);
 
+  // Gradient compression (the `comp=` dimension): honest gradients are
+  // EF-compressed before they enter agreement, and every agreement
+  // sub-round broadcast goes through the codec too (AgreementNode), so the
+  // whole decentralized exchange is priced at compressed wire sizes.  A
+  // null/identity codec keeps the pre-codec path bitwise.
+  const Codec* codec =
+      config_.codec != nullptr && !config_.codec->identity()
+          ? config_.codec.get()
+          : nullptr;
+  ErrorFeedback error_feedback(honest_count);
+
   // One contiguous gradient batch per round (honest rows first); clients
   // write their rows in place, and the spread metric runs the Gram kernel
   // over the honest prefix without materializing per-client Vectors.
@@ -112,6 +124,25 @@ TrainingResult DecentralizedTrainer::run() {
     const double gradient_diameter =
         DistanceMatrix(gradients.row(0), honest_count, dim, config_.pool)
             .diameter();
+
+    // EF-compress the honest gradients in place: agreement (and the
+    // attack, which observes wire traffic) runs on the lossy decodes.
+    // The residuals carry the dropped mass into the next learning round,
+    // and the recorded wire sizes price the sub-round-0 broadcasts —
+    // agreement ships these inputs untransformed (a re-encode under a
+    // fresh stochastic stream would re-sparsify onto a different support,
+    // outside error feedback's view) and only re-encodes the mixed
+    // vectors of later sub-rounds.
+    std::vector<std::size_t> input_wire;
+    if (codec != nullptr) {
+      input_wire.assign(n, HonestProcess::kDenseWire);
+      for (std::size_t i = 0; i < honest_count; ++i) {
+        const CompressedGradient encoded = error_feedback.compress(
+            *codec, config_.seed, i, round, gradients.row(i), dim);
+        encoded.decode_into(gradients.row(i));
+        input_wire[i] = encoded.wire_bytes();
+      }
+    }
 
     // The attack interface and the agreement protocol speak VectorList, so
     // the honest rows are materialized once per round for both.
@@ -151,6 +182,10 @@ TrainingResult DecentralizedTrainer::run() {
     // decorrelate the sampled latencies across rounds.
     agreement.net.seed =
         config_.net.seed ^ ((round + 1) * 0x9E3779B97F4A7C15ull);
+    agreement.codec = codec;
+    agreement.codec_seed =
+        config_.seed ^ ((round + 1) * 0xC2B2AE3D27D4EB4Full);
+    agreement.input_wire_bytes = input_wire;
     const AgreementResult agreed =
         run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
 
@@ -191,6 +226,10 @@ TrainingResult DecentralizedTrainer::run() {
     metrics.gradient_diameter = gradient_diameter;
     metrics.seconds = round_watch.seconds();
     metrics.sim_seconds = agreed.simulated_seconds;
+    metrics.bytes_delivered =
+        static_cast<double>(agreed.network.bytes_delivered);
+    metrics.bytes_dense =
+        static_cast<double>(agreed.network.bytes_dense_delivered);
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

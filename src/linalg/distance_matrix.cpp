@@ -148,6 +148,48 @@ DistanceMatrix::DistanceMatrix(const double* rows, std::size_t m,
   }
 }
 
+DistanceMatrix::DistanceMatrix(const SparseRows& rows, ThreadPool* pool)
+    : m_(rows.rows()) {
+  d2_.assign(m_ * m_, 0.0);
+  if (m_ < 2) return;
+
+  // Self dots off the "diagonal" first (each row's squared norm), then the
+  // pairwise merges.  Row i fills entries (i, j) and (j, i) for j > i, so
+  // the parallel build is race-free; the triangular row loop is the
+  // imbalanced shape the dynamic schedule handles.
+  std::vector<double> norms(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    norms[i] = kernels::sparse_dot_sparse(
+        rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+        rows.row_indices(i), rows.row_values(i), rows.row_nnz(i));
+  }
+  constexpr double kCancelGuard = 1.0e-6;
+  auto fill_row = [&](std::size_t i) {
+    const std::uint32_t* ia = rows.row_indices(i);
+    const double* va = rows.row_values(i);
+    const std::size_t na = rows.row_nnz(i);
+    for (std::size_t j = i + 1; j < m_; ++j) {
+      const std::uint32_t* ib = rows.row_indices(j);
+      const double* vb = rows.row_values(j);
+      const std::size_t nb = rows.row_nnz(j);
+      const double g = kernels::sparse_dot_sparse(ia, va, na, ib, vb, nb);
+      double s = std::max(0.0, norms[i] + norms[j] - 2.0 * g);
+      // Same cancellation guard as the dense Gram path: a result far
+      // smaller than the norms has lost most of its digits to the
+      // identity's subtraction, so recompute through the difference form.
+      if (s < kCancelGuard * (norms[i] + norms[j])) {
+        s = kernels::sparse_diff_norm2(ia, va, na, ib, vb, nb);
+      }
+      d2_[i * m_ + j] = d2_[j * m_ + i] = s;
+    }
+  };
+  if (pool != nullptr && m_ > 2) {
+    pool->parallel_for_dynamic(0, m_ - 1, fill_row);
+  } else {
+    for (std::size_t i = 0; i + 1 < m_; ++i) fill_row(i);
+  }
+}
+
 double DistanceMatrix::row_sum(std::size_t i) const {
   double s = 0.0;
   const double* row = d2_.data() + i * m_;

@@ -204,4 +204,51 @@ void col_sum(const double* x, std::size_t m, std::size_t k, double* out) {
   for (std::size_t i = 0; i < m; ++i) add_inplace(out, x + i * k, k);
 }
 
+double sparse_dot_dense(const std::uint32_t* idx, const double* val,
+                        std::size_t nnz, const double* dense) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < nnz; ++j) s += val[j] * dense[idx[j]];
+  return s;
+}
+
+double sparse_dot_sparse(const std::uint32_t* ia, const double* va,
+                         std::size_t na, const std::uint32_t* ib,
+                         const double* vb, std::size_t nb) {
+  double s = 0.0;
+  std::size_t a = 0, b = 0;
+  while (a < na && b < nb) {
+    if (ia[a] < ib[b]) {
+      ++a;
+    } else if (ib[b] < ia[a]) {
+      ++b;
+    } else {
+      s += va[a] * vb[b];
+      ++a;
+      ++b;
+    }
+  }
+  return s;
+}
+
+double sparse_diff_norm2(const std::uint32_t* ia, const double* va,
+                         std::size_t na, const std::uint32_t* ib,
+                         const double* vb, std::size_t nb) {
+  double s = 0.0;
+  std::size_t a = 0, b = 0;
+  while (a < na && b < nb) {
+    double d;
+    if (ia[a] < ib[b]) {
+      d = va[a++];
+    } else if (ib[b] < ia[a]) {
+      d = vb[b++];
+    } else {
+      d = va[a++] - vb[b++];
+    }
+    s += d * d;
+  }
+  for (; a < na; ++a) s += va[a] * va[a];
+  for (; b < nb; ++b) s += vb[b] * vb[b];
+  return s;
+}
+
 }  // namespace bcl::kernels

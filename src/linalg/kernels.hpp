@@ -30,6 +30,7 @@
 //    and bitwise-equal input rows produce bitwise-equal Gram entries.
 //
 #include <cstddef>
+#include <cstdint>
 
 namespace bcl::kernels {
 
@@ -80,5 +81,36 @@ void dot_rows(const double* a, const double* b, std::size_t rows,
 /// streams the batch row by row, so each out[j] accumulates in increasing-i
 /// order (bitwise identical to the naive per-coordinate loop over rows).
 void col_sum(const double* x, std::size_t m, std::size_t k, double* out);
+
+// --- sparse-row kernels ----------------------------------------------------
+//
+// Compressed (top-k / rand-k) gradients are mostly zeros; these kernels let
+// the Gram/distance path consume them in O(nnz) instead of densifying to
+// O(d).  A sparse row is (idx, val, nnz) with idx strictly increasing.
+// Accumulation order is increasing index, one sequential chain — the same
+// value a dense dot over the scattered row would produce up to the usual
+// reassociation tolerance (the sparse path serves the tolerance-checked
+// distance consumers, not the bitwise gemm contract).
+
+/// sum_j val[j] * dense[idx[j]]: sparse-dense dot in O(nnz), for callers
+/// holding one contiguous dense buffer (e.g. scoring a compressed
+/// gradient against a dense reference vector).  The all-sparse distance
+/// build below uses the merge kernels instead.
+double sparse_dot_dense(const std::uint32_t* idx, const double* val,
+                        std::size_t nnz, const double* dense);
+
+/// Dot of two sparse rows via an ordered merge in O(nnz_a + nnz_b): only
+/// indices present in both contribute.
+double sparse_dot_sparse(const std::uint32_t* ia, const double* va,
+                         std::size_t na, const std::uint32_t* ib,
+                         const double* vb, std::size_t nb);
+
+/// ||a - b||^2 of two sparse rows via the same ordered merge (the
+/// difference form — immune to the Gram identity's common-offset
+/// cancellation, so it serves as the sparse path's cancellation-guard
+/// recompute).
+double sparse_diff_norm2(const std::uint32_t* ia, const double* va,
+                         std::size_t na, const std::uint32_t* ib,
+                         const double* vb, std::size_t nb);
 
 }  // namespace bcl::kernels

@@ -1,0 +1,47 @@
+#include "linalg/sparse_rows.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcl {
+
+double SparseRows::density() const {
+  const std::size_t dense = rows() * dim_;
+  if (dense == 0) return 1.0;
+  return static_cast<double>(nnz()) / static_cast<double>(dense);
+}
+
+void SparseRows::push_row(const std::uint32_t* indices, const double* values,
+                          std::size_t nnz) {
+  for (std::size_t j = 0; j < nnz; ++j) {
+    if (indices[j] >= dim_ || (j > 0 && indices[j] <= indices[j - 1])) {
+      throw std::invalid_argument(
+          "SparseRows: indices must be strictly increasing and < dim");
+    }
+  }
+  indices_.insert(indices_.end(), indices, indices + nnz);
+  values_.insert(values_.end(), values, values + nnz);
+  rowptr_.push_back(values_.size());
+}
+
+void SparseRows::push_dense_row(const double* values, std::size_t dim) {
+  if (dim != dim_) {
+    throw std::invalid_argument("SparseRows: dense row dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (values[j] != 0.0) {
+      indices_.push_back(static_cast<std::uint32_t>(j));
+      values_.push_back(values[j]);
+    }
+  }
+  rowptr_.push_back(values_.size());
+}
+
+void SparseRows::decode_row_into(std::size_t i, double* out) const {
+  std::fill(out, out + dim_, 0.0);
+  const std::uint32_t* idx = row_indices(i);
+  const double* val = row_values(i);
+  for (std::size_t j = 0; j < row_nnz(i); ++j) out[idx[j]] = val[j];
+}
+
+}  // namespace bcl

@@ -1,0 +1,67 @@
+#pragma once
+// CSR-layout batch of sparse rows sharing one dimension.
+//
+// Top-k/rand-k compressed inboxes are mostly zeros; densifying them into a
+// GradientBatch makes the O(m^2 * d) distance build pay full dense cost on
+// ~1% occupancy.  SparseRows keeps the (index, value) pairs of each row
+// contiguously (one shared indices/values arena indexed by row offsets),
+// which is the layout the sparse kernels (kernels::sparse_dot_sparse and
+// friends) consume, and DistanceMatrix gains a constructor over it that
+// builds the same Gram-trick pairwise matrix in O(sum_i sum_j (nnz_i +
+// nnz_j)) instead of O(m^2 * d).
+//
+// Rows may mix sparsities: a dense row (a Byzantine submission, say) is
+// just a row with nnz == dim.  Indices within a row are strictly
+// increasing — push_row validates, since the merge kernels silently
+// mis-multiply on unsorted input.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace bcl {
+
+class SparseRows {
+ public:
+  /// Empty batch of `dim`-dimensional rows.
+  explicit SparseRows(std::size_t dim = 0) : dim_(dim), rowptr_{0} {}
+
+  std::size_t rows() const { return rowptr_.size() - 1; }
+  std::size_t dim() const { return dim_; }
+  std::size_t nnz() const { return values_.size(); }
+  std::size_t row_nnz(std::size_t i) const {
+    return rowptr_[i + 1] - rowptr_[i];
+  }
+  const std::uint32_t* row_indices(std::size_t i) const {
+    return indices_.data() + rowptr_[i];
+  }
+  const double* row_values(std::size_t i) const {
+    return values_.data() + rowptr_[i];
+  }
+
+  /// Fraction of stored to dense entries (1.0 for an all-dense batch).
+  double density() const;
+
+  /// Appends a row from parallel index/value arrays (indices strictly
+  /// increasing and < dim; throws std::invalid_argument otherwise).
+  void push_row(const std::uint32_t* indices, const double* values,
+                std::size_t nnz);
+
+  /// Appends a dense row, gathering its nonzero coordinates.  (Encoded
+  /// gradients append themselves via CompressedGradient::append_row_to —
+  /// the compression layer sits above this one.)
+  void push_dense_row(const double* values, std::size_t dim);
+
+  /// Scatters row i into out[0..dim) (zero-filled first).
+  void decode_row_into(std::size_t i, double* out) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::size_t> rowptr_;  // rows() + 1 offsets into the arenas
+  std::vector<std::uint32_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace bcl

@@ -27,6 +27,7 @@
 // internal consumers may still fan work out across the attached pool.
 
 #include <cstddef>
+#include <utility>
 
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
@@ -49,6 +50,17 @@ class AggregationWorkspace {
   explicit AggregationWorkspace(const GradientBatch& batch,
                                 ThreadPool* pool = nullptr)
       : batch_(&batch), pool_(pool) {}
+
+  /// Borrows `batch` but adopts `prebuilt` as the distance matrix (which
+  /// must cover the same rows): producers that computed distances some
+  /// cheaper way — e.g. the sparse Gram build over a compressed inbox —
+  /// hand the result over instead of letting distances() densify again.
+  AggregationWorkspace(const GradientBatch& batch, DistanceMatrix prebuilt,
+                       ThreadPool* pool = nullptr)
+      : batch_(&batch),
+        pool_(pool),
+        matrix_(std::move(prebuilt)),
+        built_(true) {}
 
   AggregationWorkspace(const AggregationWorkspace&) = delete;
   AggregationWorkspace& operator=(const AggregationWorkspace&) = delete;

@@ -48,7 +48,7 @@ const std::vector<std::string>& delay_family_names() {
 const std::vector<std::string>& net_config_keys() {
   static const std::vector<std::string> keys = {
       "delay", "mean", "min",     "max",   "mean2",    "p01", "p10",
-      "drop",  "timeout", "adv", "penalty", "until", "boundary"};
+      "drop",  "bw",   "timeout", "adv", "penalty", "until", "boundary"};
   return keys;
 }
 
@@ -121,6 +121,7 @@ NetConfig NetConfig::parse(const std::string& text) {
   config.p01 = get_double(params, "p01", config.p01);
   config.p10 = get_double(params, "p10", config.p10);
   config.drop = get_double(params, "drop", config.drop);
+  config.bw = get_double(params, "bw", config.bw);
   config.timeout = get_double(params, "timeout", config.timeout);
   config.adv = get_double(params, "adv", config.adv);
   config.penalty = get_double(params, "penalty", config.penalty);
@@ -131,7 +132,8 @@ NetConfig NetConfig::parse(const std::string& text) {
   check_probability(config.p01, "p01");
   check_probability(config.p10, "p10");
   if (config.mean < 0.0 || config.min < 0.0 || config.max < 0.0 ||
-      config.mean2 < 0.0 || config.timeout < 0.0 || config.adv < 0.0) {
+      config.mean2 < 0.0 || config.bw < 0.0 || config.timeout < 0.0 ||
+      config.adv < 0.0) {
     throw std::invalid_argument(
         "NetConfig: delay parameters must be non-negative in '" + text + "'");
   }
@@ -166,6 +168,7 @@ std::string NetConfig::to_string() const {
   if (p01 != defaults.p01) add("p01", format_g(p01));
   if (p10 != defaults.p10) add("p10", format_g(p10));
   if (drop != defaults.drop) add("drop", format_g(drop));
+  if (bw != defaults.bw) add("bw", format_g(bw));
   if (timeout != defaults.timeout) add("timeout", format_g(timeout));
   if (adv != defaults.adv) add("adv", format_g(adv));
   if (penalty != defaults.penalty) add("penalty", format_g(penalty));
@@ -294,20 +297,41 @@ std::unique_ptr<DelayModel> make_delay_model(const NetConfig& config,
 
 double star_round_latency(DelayModel& model, const NetConfig& config,
                           std::size_t n, std::size_t f, std::size_t quorum,
-                          std::size_t round) {
+                          std::size_t round, const StarWire& wire,
+                          StarDelivery* delivery) {
   const std::size_t honest = n - f;
+  if (delivery != nullptr) {
+    // Byzantine uploads rush and are never dropped by the model.
+    delivery->uplink.assign(n, true);
+    delivery->downlink.assign(honest, true);
+  }
+  // Transmission time of client i's upload (0 when no bandwidth or no wire
+  // sizes are configured — the pre-wire-cost semantics).
+  const auto uplink_transmission = [&](std::size_t i) {
+    if (config.bw <= 0.0 || i >= wire.uplink_bytes.size()) return 0.0;
+    return static_cast<double>(wire.uplink_bytes[i]) / config.bw;
+  };
   // Uplink: honest clients sample their link to the (virtual) server id n;
-  // Byzantine uploads rush (0).  The drop draw precedes the latency draw on
-  // every stream, matching the event engine's per-message order.
+  // Byzantine uploads rush (zero propagation) but still pay their
+  // transmission time.  The drop draw precedes the latency draw on every
+  // stream, matching the event engine's per-message order.
   std::vector<double> arrivals;
   arrivals.reserve(n);
-  for (std::size_t i = honest; i < n; ++i) arrivals.push_back(0.0);
+  for (std::size_t i = honest; i < n; ++i) {
+    arrivals.push_back(uplink_transmission(i));
+  }
   for (std::size_t i = 0; i < honest; ++i) {
     Rng rng = message_stream(config.seed, i, n, round);
-    if (config.drop > 0.0 && rng.uniform() < config.drop) continue;
+    if (config.drop > 0.0 && rng.uniform() < config.drop) {
+      if (delivery != nullptr) delivery->uplink[i] = false;
+      continue;
+    }
     const double d = model.sample(i, n, round, rng);
-    if (d < 0.0) continue;
-    arrivals.push_back(d);
+    if (d < 0.0) {
+      if (delivery != nullptr) delivery->uplink[i] = false;
+      continue;
+    }
+    arrivals.push_back(d + uplink_transmission(i));
   }
   std::sort(arrivals.begin(), arrivals.end());
   const std::size_t need = std::min<std::size_t>(std::max<std::size_t>(
@@ -326,19 +350,25 @@ double star_round_latency(DelayModel& model, const NetConfig& config,
   // Downlink: the round ends when the slowest honest client holds the new
   // model; dropped downlinks wait for the timeout (or are ignored without
   // one — the client re-syncs next round).
+  const double down_transmission =
+      config.bw > 0.0 && wire.downlink_bytes > 0
+          ? static_cast<double>(wire.downlink_bytes) / config.bw
+          : 0.0;
   double down = 0.0;
   for (std::size_t i = 0; i < honest; ++i) {
     Rng rng = message_stream(config.seed, n, i, round);
     if (config.drop > 0.0 && rng.uniform() < config.drop) {
+      if (delivery != nullptr) delivery->downlink[i] = false;
       if (config.timeout > 0.0) down = std::max(down, config.timeout);
       continue;
     }
     const double d = model.sample(n, i, round, rng);
     if (d < 0.0) {
+      if (delivery != nullptr) delivery->downlink[i] = false;
       if (config.timeout > 0.0) down = std::max(down, config.timeout);
       continue;
     }
-    down = std::max(down, d);
+    down = std::max(down, d + down_transmission);
   }
   if (config.timeout > 0.0) down = std::min(down, config.timeout);
   return up + down;

@@ -52,6 +52,11 @@ struct NetConfig {
   double p10 = 0.5;
   /// Independent per-message loss probability on honest links.
   double drop = 0.0;
+  /// Link bandwidth in bytes per simulated second: delivery delay becomes
+  /// propagation + wire_bytes / bw, so compressed payloads measurably
+  /// shorten rounds.  0 = infinite (transmission free — the pre-wire-cost
+  /// semantics, under which compression changes bytes but not time).
+  double bw = 0.0;
   /// Partial-synchrony round timeout Delta: a node stuck below quorum
   /// advances once Delta simulated time passed since it entered the round.
   /// 0 = no timeout (wait for quorum).
@@ -202,15 +207,41 @@ class PartitionDelayModel final : public DelayModel {
 std::unique_ptr<DelayModel> make_delay_model(const NetConfig& config,
                                              std::size_t n);
 
+/// Per-message wire sizes of one centralized (star-topology) round, for
+/// the bandwidth term of star_round_latency: `uplink_bytes[i]` is client
+/// i's upload as the trainer priced it — EF-encoded for honest clients,
+/// codec-serialized (or dense without a codec) for Byzantine submissions,
+/// 0 for a silent round — and `downlink_bytes` the server's broadcast
+/// payload.  Empty/zero = free transmission (the pre-wire-cost
+/// semantics).
+struct StarWire {
+  std::vector<std::size_t> uplink_bytes;
+  std::size_t downlink_bytes = 0;
+};
+
+/// Which of one star round's messages actually arrived (filled by
+/// star_round_latency when requested): `uplink[i]` for client i's upload,
+/// `downlink[i]` for honest client i's copy of the broadcast.  Lets the
+/// trainer count delivered bytes consistently with the event engine's
+/// NetworkStats, which also excludes dropped messages.
+struct StarDelivery {
+  std::vector<bool> uplink;
+  std::vector<bool> downlink;
+};
+
 /// Simulated latency of one centralized (star-topology) learning round:
 /// every client uploads its gradient to the server over a sampled uplink,
 /// the server waits for the `quorum`-th arrival (Byzantine clients rush:
-/// their uploads take 0), bounded by the timeout when one is configured,
-/// then broadcasts the model back and the round ends at the slowest honest
-/// downlink.  Dropped uplinks never arrive; if fewer than `quorum` make it
-/// the server stalls until the timeout (or the last arrival without one).
+/// their propagation is 0, but with `config.bw` set every upload still
+/// pays its transmission time wire_bytes / bw), bounded by the timeout
+/// when one is configured, then broadcasts the model back and the round
+/// ends at the slowest honest downlink (propagation + downlink
+/// transmission).  Dropped uplinks never arrive; if fewer than `quorum`
+/// make it the server stalls until the timeout (or the last arrival
+/// without one).
 double star_round_latency(DelayModel& model, const NetConfig& config,
                           std::size_t n, std::size_t f, std::size_t quorum,
-                          std::size_t round);
+                          std::size_t round, const StarWire& wire = {},
+                          StarDelivery* delivery = nullptr);
 
 }  // namespace bcl

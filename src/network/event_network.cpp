@@ -18,6 +18,10 @@ double clamp_extra_delay(double requested, double bound) {
 
 }  // namespace
 
+std::size_t HonestProcess::outgoing_wire_bytes(std::size_t /*round*/) const {
+  return kDenseWire;
+}
+
 EventNetwork::EventNetwork(std::vector<HonestProcess*> processes,
                            Adversary& adversary, EventNetworkConfig config)
     : processes_(std::move(processes)),
@@ -59,17 +63,31 @@ void EventNetwork::enter_round(std::size_t node, std::size_t round) {
   auto& values = values_by_round_[round];
   if (values.empty()) values.resize(processes_.size());
   values[node] = processes_[node]->outgoing(round);
+  auto& wires = wire_by_round_[round];
+  if (wires.empty()) wires.resize(processes_.size(), 0);
+  std::size_t wire = processes_[node]->outgoing_wire_bytes(round);
+  if (wire == HonestProcess::kDenseWire) {
+    wire = values[node]->size() * sizeof(double);
+  }
+  wires[node] = wire;
+  auto& pending = pending_by_round_[round];
+  if (pending.empty()) pending.resize(processes_.size(), 0);
   auto& max_entry = round_max_entry_[round];
   max_entry = std::max(max_entry, entry);
 
   // Broadcast: one message per honest receiver.  Self-delivery is a local
-  // loopback — instant and lossless — so the delay model, the drop draw and
-  // the adversary's scheduling power only apply to real links.
+  // loopback — instant, lossless and byte-free — so the delay model, the
+  // drop draw, the bandwidth term and the adversary's scheduling power
+  // only apply to real links.
   const bool adversarial_scheduling = config_.adversary_delay_bound > 0.0;
+  const double transmission =
+      config_.bandwidth > 0.0 ? static_cast<double>(wire) / config_.bandwidth
+                              : 0.0;
   for (std::size_t receiver = 0; receiver < processes_.size(); ++receiver) {
     if (processes_[receiver] == nullptr) continue;
     double latency = 0.0;
     if (receiver != node) {
+      stats_.bytes_sent += wire;
       Rng rng = message_stream(config_.seed, node, receiver, round);
       if (config_.drop_probability > 0.0 &&
           rng.uniform() < config_.drop_probability) {
@@ -83,12 +101,14 @@ void EventNetwork::enter_round(std::size_t node, std::size_t round) {
         ++stats_.messages_dropped;
         continue;
       }
+      latency += transmission;
       if (adversarial_scheduling) {
         latency += clamp_extra_delay(
             adversary_.scheduling_delay(node, receiver, round),
             config_.adversary_delay_bound);
       }
     }
+    ++pending[node];
     schedule(Event{entry + latency, 0, EventKind::Delivery, receiver, round,
                    node});
   }
@@ -120,7 +140,28 @@ void EventNetwork::fix_byzantine_values(std::size_t round) {
     fixed.emplace_back(i, std::move(*value));
   }
   const bool adversarial_scheduling = config_.adversary_delay_bound > 0.0;
+  auto& wires = wire_by_round_[round];
+  if (wires.empty()) wires.resize(processes_.size(), 0);
+  auto& pending = pending_by_round_[round];
+  if (pending.empty()) pending.resize(processes_.size(), 0);
   for (auto& [sender, value] : fixed) {
+    // The adversary speaks the protocol's wire format: with a codec
+    // configured its value is serialized through it (lossy decode on the
+    // payload, encoded size on the wire) — a dense oversized message would
+    // be rejected at the receiver's boundary.  Without one it is priced
+    // dense.
+    std::size_t wire = value.size() * sizeof(double);
+    if (config_.codec != nullptr) {
+      const CompressedGradient encoded = config_.codec->encode(
+          value.data(), value.size(), config_.codec_seed, sender, round);
+      wire = encoded.wire_bytes();
+      value = encoded.decode();
+    }
+    wires[sender] = wire;
+    const double transmission = config_.bandwidth > 0.0
+                                    ? static_cast<double>(wire) /
+                                          config_.bandwidth
+                                    : 0.0;
     values[sender] = std::move(value);
     for (std::size_t receiver = 0; receiver < processes_.size(); ++receiver) {
       if (processes_[receiver] == nullptr) continue;
@@ -128,15 +169,17 @@ void EventNetwork::fix_byzantine_values(std::size_t round) {
         ++stats_.messages_omitted;
         continue;
       }
+      stats_.bytes_sent += wire;
       // Rushing by default: the Byzantine message leaves the instant the
       // value is fixed; targeted extra delay stays inside the
       // partial-synchrony bound.
-      double latency = 0.0;
+      double latency = transmission;
       if (adversarial_scheduling) {
-        latency = clamp_extra_delay(
+        latency += clamp_extra_delay(
             adversary_.scheduling_delay(sender, receiver, round),
             config_.adversary_delay_bound);
       }
+      ++pending[sender];
       schedule(Event{fix_time + latency, 0, EventKind::Delivery, receiver,
                      round, sender});
     }
@@ -149,13 +192,33 @@ void EventNetwork::process_event(const Event& event) {
     if (!st.done && st.round == event.round) st.timed_out = true;
     return;
   }
+  // Every scheduled delivery of this (round, sender) value passes through
+  // here exactly once, late or not, so the pending count reaching zero
+  // means no future event will read the value again.  A round sealed by
+  // every honest node has had its book-keeping GC'd already; any event
+  // still arriving for it is late by definition.
+  std::size_t remaining = static_cast<std::size_t>(-1);
+  const auto pend = pending_by_round_.find(event.round);
+  if (pend != pending_by_round_.end()) {
+    remaining = --pend->second[event.sender];
+  }
   const bool past = st.done ? event.round <= st.round : event.round < st.round;
   if (past) {
     ++stats_.messages_late;
     return;
   }
-  const auto& values = values_by_round_[event.round];
-  Message message{event.sender, *values[event.sender]};
+  auto& values = values_by_round_[event.round];
+  // Hand off ownership on the last delivery: once the rushing adversary
+  // has fixed its values for the round (it inspects the honest entries
+  // until then) and no other delivery is pending, the stored vector's only
+  // remaining reader is this message — move it instead of copying.
+  const auto fixed = honest_entered_.find(event.round);
+  const bool movable = remaining == 0 && fixed != honest_entered_.end() &&
+                       fixed->second == honest_count_;
+  Message message{event.sender,
+                  movable ? std::move(*values[event.sender])
+                          : *values[event.sender],
+                  wire_by_round_[event.round][event.sender]};
   if (!st.done && event.round == st.round) {
     st.inbox.push_back(std::move(message));
   } else {
@@ -225,16 +288,22 @@ void EventNetwork::advance_ready_nodes() {
       st.inbox = std::move(kept);
     }
     stats_.messages_delivered += st.inbox.size();
+    for (const Message& message : st.inbox) {
+      if (message.sender == i) continue;  // loopback carries no bytes
+      stats_.bytes_delivered += message.wire_bytes;
+      stats_.bytes_dense_delivered += message.payload.size() * sizeof(double);
+    }
     if (st.timed_out && config_.timeout != 0.0 &&
         (config_.quorum == kNoQuorum || st.inbox.size() < config_.quorum)) {
       ++stats_.timeouts_fired;
     }
   }
 
-  // Deliver in parallel: each process mutates only its own state.
+  // Deliver in parallel: each process mutates only its own state and owns
+  // the inbox it is handed (the engine only clears the husk afterwards).
   auto deliver = [&](std::size_t k) {
     const std::size_t i = ready[k];
-    processes_[i]->receive(nodes_[i].round, nodes_[i].inbox);
+    processes_[i]->receive(nodes_[i].round, std::move(nodes_[i].inbox));
   };
   if (config_.pool != nullptr) {
     config_.pool->parallel_for(0, ready.size(), deliver);
@@ -267,6 +336,8 @@ void EventNetwork::advance_ready_nodes() {
         std::max(prev_end, round_max_end_[completed_rounds_]));
     now_ = std::max(now_, round_end_times_.back());
     values_by_round_.erase(completed_rounds_);
+    wire_by_round_.erase(completed_rounds_);
+    pending_by_round_.erase(completed_rounds_);
     honest_entered_.erase(completed_rounds_);
     round_done_counts_.erase(completed_rounds_);
     round_max_end_.erase(completed_rounds_);

@@ -34,6 +34,7 @@
 #include <queue>
 #include <vector>
 
+#include "compression/codec.hpp"
 #include "network/adversary.hpp"
 #include "network/delay_model.hpp"
 #include "network/message.hpp"
@@ -47,14 +48,26 @@ class ThreadPool;
 /// inbox sorted by sender id, touch only your own state).
 class HonestProcess {
  public:
+  /// outgoing_wire_bytes() sentinel: "price this broadcast dense",
+  /// payload.size() * sizeof(double).
+  static constexpr std::size_t kDenseWire = static_cast<std::size_t>(-1);
+
   virtual ~HonestProcess() = default;
 
   /// The vector this node reliably broadcasts in `round`.
   virtual Vector outgoing(std::size_t round) const = 0;
 
-  /// Delivers the round's inbox (sorted by sender id).  The process updates
-  /// its own state only.
-  virtual void receive(std::size_t round, const std::vector<Message>& inbox) = 0;
+  /// Modeled wire size of this round's broadcast.  The engine queries it
+  /// right after outgoing(round) and uses it for the bandwidth term of the
+  /// delivery delay and the byte totals in NetworkStats.  Default: dense.
+  /// Compressing processes return their codec's wire_bytes() instead.
+  virtual std::size_t outgoing_wire_bytes(std::size_t round) const;
+
+  /// Delivers the round's inbox (sorted by sender id), handing off
+  /// ownership — the engine never reads these messages again, so consumers
+  /// may move the payloads out instead of copying them.  The process
+  /// updates its own state only.
+  virtual void receive(std::size_t round, std::vector<Message>&& inbox) = 0;
 };
 
 /// Per-run delivery statistics.  The invariant over honest-to-honest
@@ -74,6 +87,15 @@ struct NetworkStats {
   std::size_t messages_dropped = 0;  // network loss (drop prob / partition)
   std::size_t messages_late = 0;     // arrived after the round completed
   std::size_t timeouts_fired = 0;    // rounds finished by Delta, not quorum
+  // Wire-cost accounting over real links (self-delivery is a local
+  // loopback and carries no bytes).  `bytes_sent` counts every broadcast
+  // copy put on a link, dropped or not; `bytes_delivered` counts the
+  // copies that reached a final inbox; `bytes_dense_delivered` is what the
+  // delivered copies would have cost uncompressed — the compression-ratio
+  // baseline the emitters quote.
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_delivered = 0;
+  std::size_t bytes_dense_delivered = 0;
 };
 
 /// Engine knobs.  The defaults reproduce full synchrony: zero delays,
@@ -96,8 +118,23 @@ struct EventNetworkConfig {
   double adversary_delay_bound = 0.0;
   /// Independent loss probability per honest-link message.
   double drop_probability = 0.0;
+  /// Link bandwidth in bytes per simulated second; a message's delivery
+  /// delay is its propagation sample plus wire_bytes / bandwidth.  0 =
+  /// infinite (transmission is free, the pre-wire-cost semantics).
+  double bandwidth = 0.0;
   /// Seed of the delay/drop randomness (message_stream keys off it).
   std::uint64_t seed = 0;
+  /// Wire format of broadcast payloads (not owned).  Honest processes
+  /// encode for themselves (outgoing / outgoing_wire_bytes); this hook
+  /// covers the adversary: when set, Byzantine values are serialized
+  /// through the codec too — the payload delivered is decode(encode(v))
+  /// and the wire size the encoded one — because a receiver in a
+  /// compressed protocol admits nothing larger than the wire format, so
+  /// the adversary cannot claim dense-size messages for itself.  nullptr =
+  /// dense payloads priced dense.
+  const Codec* codec = nullptr;
+  /// Seed of the codec's per-(sender, round) randomness.
+  std::uint64_t codec_seed = 0;
   /// Link latency model; nullptr = zero delay.  Not owned.
   DelayModel* delay = nullptr;
   /// Optional pool: nodes that become ready at the same simulated instant
@@ -195,6 +232,13 @@ class EventNetwork {
   // globally): value_by_round_[r][i] is node i's round-r vector, honest and
   // Byzantine alike; nullopt = silent.
   std::map<std::size_t, std::vector<std::optional<Vector>>> values_by_round_;
+  // Wire size of each sender's round-r broadcast (parallel to
+  // values_by_round_), and the number of its scheduled deliveries not yet
+  // processed: when the count hits zero (and the adversary can no longer
+  // inspect the round's values) the last delivery moves the vector into
+  // its Message instead of copying it.
+  std::map<std::size_t, std::vector<std::size_t>> wire_by_round_;
+  std::map<std::size_t, std::vector<std::size_t>> pending_by_round_;
   std::map<std::size_t, std::size_t> honest_entered_;     // round -> count
   std::map<std::size_t, std::size_t> round_done_counts_;  // round -> count
   std::map<std::size_t, double> round_max_entry_;  // adversary fix instant

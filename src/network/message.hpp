@@ -1,8 +1,9 @@
 #pragma once
-// Wire format of the synchronous peer-to-peer simulator: one vector-valued
-// message per sender per round.
+// Wire format of the peer-to-peer simulators: one vector-valued message
+// per sender per round, tagged with its modeled size on the wire.
 
 #include <cstddef>
+#include <utility>
 
 #include "linalg/gradient_batch.hpp"
 #include "linalg/vector_ops.hpp"
@@ -10,10 +11,15 @@
 namespace bcl {
 
 /// A delivered message.  Inboxes are sorted by sender id, which makes
-/// tie-breaking in the receiving rules deterministic.
+/// tie-breaking in the receiving rules deterministic.  `wire_bytes` is the
+/// modeled transmission size (compressed payloads are smaller than
+/// payload.size() * sizeof(double)); the event engine fills it from the
+/// sender's codec and prices delivery as propagation + wire_bytes /
+/// bandwidth.
 struct Message {
   std::size_t sender = 0;
   Vector payload;
+  std::size_t wire_bytes = 0;
 };
 
 /// Extracts just the payload vectors of an inbox, preserving order.
@@ -21,6 +27,16 @@ inline VectorList payloads(const std::vector<Message>& inbox) {
   VectorList out;
   out.reserve(inbox.size());
   for (const auto& msg : inbox) out.push_back(msg.payload);
+  return out;
+}
+
+/// Rvalue overload: steals the payloads instead of copying them — the
+/// receive() hand-off owns the inbox, so consumers shouldn't pay a second
+/// copy per vector.
+inline VectorList payloads(std::vector<Message>&& inbox) {
+  VectorList out;
+  out.reserve(inbox.size());
+  for (auto& msg : inbox) out.push_back(std::move(msg.payload));
   return out;
 }
 
@@ -34,6 +50,20 @@ inline GradientBatch payload_batch(const std::vector<Message>& inbox) {
   GradientBatch batch(inbox.size(), inbox.front().payload.size());
   for (std::size_t i = 0; i < inbox.size(); ++i) {
     batch.set_row(i, inbox[i].payload);
+  }
+  return batch;
+}
+
+/// Rvalue overload: consumes the inbox, releasing each payload's heap
+/// block as soon as it has been packed — the gather into contiguous
+/// storage is then the only copy a payload pays after the engine moved it
+/// into the Message.
+inline GradientBatch payload_batch(std::vector<Message>&& inbox) {
+  if (inbox.empty()) return GradientBatch();
+  GradientBatch batch(inbox.size(), inbox.front().payload.size());
+  for (std::size_t i = 0; i < inbox.size(); ++i) {
+    batch.set_row(i, inbox[i].payload);
+    Vector().swap(inbox[i].payload);
   }
   return batch;
 }

@@ -1,6 +1,7 @@
 #include "util/parse.hpp"
 
 #include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
 namespace bcl {
@@ -47,6 +48,59 @@ std::string format_double_g(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.12g", value);
   return buffer;
+}
+
+void split_spec_grammar(const std::string& spec, const std::string& context,
+                        std::string& family, SpecParams& params) {
+  const std::size_t colon = spec.find(':');
+  family = spec.substr(0, colon);
+  if (colon == std::string::npos) return;
+  std::stringstream rest(spec.substr(colon + 1));
+  std::string token;
+  while (std::getline(rest, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      throw std::invalid_argument(context + ": malformed parameter '" +
+                                  token + "' in '" + spec +
+                                  "' (expected key=value)");
+    }
+    params[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+}
+
+double spec_param_double(const SpecParams& params, const std::string& key,
+                         double fallback, const std::string& context) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return parse_strict_double(it->second,
+                             context + ": parameter '" + key + "'");
+}
+
+std::uint64_t spec_param_u64(const SpecParams& params, const std::string& key,
+                             std::uint64_t fallback,
+                             const std::string& context) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return parse_strict_u64(it->second, context + ": parameter '" + key + "'");
+}
+
+void reject_unknown_spec_params(const std::string& family,
+                                const SpecParams& params,
+                                const std::vector<std::string>& allowed,
+                                const std::string& context) {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool ok = false;
+    for (const auto& a : allowed) ok = ok || a == key;
+    if (!ok) {
+      throw std::invalid_argument(
+          context + ": unknown parameter '" + key + "' for '" + family +
+          "'" +
+          (allowed.empty() ? std::string(" (takes no parameters)")
+                           : " (valid: " + join_names(allowed) + ")"));
+    }
+  }
 }
 
 }  // namespace bcl

@@ -6,6 +6,7 @@
 // user sees which key was malformed.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,5 +30,36 @@ std::string join_names(const std::vector<std::string>& names);
 /// %.12g round-trips every value the harnesses use and keeps common
 /// decimals short ("0.25", not "0.250000000000").
 std::string format_double_g(double value);
+
+// --- the registries' "family[:key=value,...]" grammar ----------------------
+//
+// The attack and codec registries select entries with the same spec
+// grammar; these helpers are the single implementation both validate
+// against.  `context` is the registry's function name ("make_attack",
+// "make_codec") and prefixes every error message.
+
+/// Parsed key->value parameters of one spec.
+using SpecParams = std::map<std::string, std::string>;
+
+/// Splits "family:key=val,key=val" into the family name and a parameter
+/// map.  Malformed parameter tokens (no '=', empty key or value) throw
+/// std::invalid_argument.
+void split_spec_grammar(const std::string& spec, const std::string& context,
+                        std::string& family, SpecParams& params);
+
+/// Typed parameter lookups with strict parsing, so "target=1.9" fails for
+/// an integer key instead of truncating.
+double spec_param_double(const SpecParams& params, const std::string& key,
+                         double fallback, const std::string& context);
+std::uint64_t spec_param_u64(const SpecParams& params, const std::string& key,
+                             std::uint64_t fallback,
+                             const std::string& context);
+
+/// Validates every supplied key against the family's allowlist so a typo
+/// fails with the valid keys listed.
+void reject_unknown_spec_params(const std::string& family,
+                                const SpecParams& params,
+                                const std::vector<std::string>& allowed,
+                                const std::string& context);
 
 }  // namespace bcl

@@ -130,6 +130,43 @@ TEST(DelayModel, MmppStateIsDeterministicAndBursty) {
   EXPECT_GT(var / (mean * mean), 1.2);  // exponential would give ~1
 }
 
+TEST(DelayModel, MmppWindowedCountsAreOverdispersed) {
+  // The defining MMPP property from the arrival-process literature: treat
+  // successive per-round latencies as inter-arrival gaps of a point
+  // process and count arrivals in fixed time windows — the squared
+  // coefficient of variation (index of dispersion) of the per-window
+  // counts exceeds 1, whereas a Poisson (exponential) stream sits at ~1.
+  // Long dwell times (p01 = p10 = 0.05) make the bursts macroscopic.
+  const auto dispersion = [](DelayModel& model) {
+    std::vector<double> arrivals;
+    double t = 0.0;
+    for (std::size_t r = 0; r < 20000; ++r) {
+      Rng rng = message_stream(17, 0, 1, r);
+      t += model.sample(0, 1, r, rng);
+      arrivals.push_back(t);
+    }
+    const double window = t / 400.0;  // ~50 arrivals per window on average
+    std::vector<double> counts(400, 0.0);
+    for (double a : arrivals) {
+      const auto w = static_cast<std::size_t>(a / window);
+      if (w < counts.size()) counts[w] += 1.0;
+    }
+    double mean = 0.0;
+    for (double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0.0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size());
+    return var / mean;
+  };
+
+  MmppDelayModel mmpp(/*calm_mean=*/1.0, /*burst_mean=*/20.0, /*p01=*/0.05,
+                      /*p10=*/0.05, /*seed=*/23);
+  ExponentialDelayModel exponential(1.0);
+  EXPECT_GT(dispersion(mmpp), 1.5);
+  EXPECT_LT(dispersion(exponential), 1.3);  // Poisson control stays near 1
+}
+
 TEST(DelayModel, PartitionPenalizesCrossLinksUntilHealed) {
   PartitionDelayModel model(/*base_mean=*/0.0, /*penalty=*/40.0,
                             /*until=*/5, /*boundary=*/2);
@@ -150,8 +187,8 @@ class RecordingProcess final : public HonestProcess {
   Vector outgoing(std::size_t /*round*/) const override {
     return {static_cast<double>(id_)};
   }
-  void receive(std::size_t round, const std::vector<Message>& inbox) override {
-    inboxes_[round] = inbox;
+  void receive(std::size_t round, std::vector<Message>&& inbox) override {
+    inboxes_[round] = std::move(inbox);
   }
   const std::map<std::size_t, std::vector<Message>>& inboxes() const {
     return inboxes_;
@@ -223,6 +260,67 @@ TEST(EventNetwork, ConstantDelayAdvancesSimulatedTime) {
   // Full delivery: all n^2 messages per round arrived in time.
   EXPECT_EQ(net.stats().messages_delivered, 3 * n * n);
   EXPECT_EQ(net.stats().messages_late, 0u);
+}
+
+/// Broadcasts a fixed-dimension payload and reports a custom wire size,
+/// like a compressing node would.
+class WireProcess final : public HonestProcess {
+ public:
+  WireProcess(std::size_t id, std::size_t dim, std::size_t wire)
+      : id_(id), dim_(dim), wire_(wire) {}
+  Vector outgoing(std::size_t /*round*/) const override {
+    return Vector(dim_, static_cast<double>(id_));
+  }
+  std::size_t outgoing_wire_bytes(std::size_t /*round*/) const override {
+    return wire_;
+  }
+  void receive(std::size_t, std::vector<Message>&& inbox) override {
+    last_inbox_ = std::move(inbox);
+  }
+  const std::vector<Message>& last_inbox() const { return last_inbox_; }
+
+ private:
+  std::size_t id_, dim_, wire_;
+  std::vector<Message> last_inbox_;
+};
+
+TEST(EventNetwork, WireBytesAccountingAndBandwidthDelay) {
+  // 3 nodes, 100-double payloads compressed to 50 bytes on the wire, a
+  // 1-second propagation and 50 bytes/s of bandwidth: every real-link
+  // delivery lands at 1 + 50/50 = 2 simulated seconds, and the byte
+  // counters cover real links only (self-delivery is a local loopback).
+  const std::size_t n = 3;
+  const std::size_t dim = 100;
+  const std::size_t wire = 50;
+  std::vector<std::unique_ptr<WireProcess>> owned;
+  std::vector<HonestProcess*> pointers;
+  for (std::size_t i = 0; i < n; ++i) {
+    owned.push_back(std::make_unique<WireProcess>(i, dim, wire));
+    pointers.push_back(owned.back().get());
+  }
+  NoAdversary adversary;
+  ConstantDelayModel delay(1.0);
+  EventNetworkConfig config;
+  config.quorum = n;
+  config.timeout = -1.0;
+  config.delay = &delay;
+  config.bandwidth = 50.0;
+  EventNetwork net(pointers, adversary, config);
+  net.run(2);
+
+  EXPECT_DOUBLE_EQ(net.round_end_times()[0], 2.0);
+  EXPECT_DOUBLE_EQ(net.round_end_times()[1], 4.0);
+  const NetworkStats& stats = net.stats();
+  const std::size_t real_links = 2 * n * (n - 1);  // 2 rounds, no self
+  EXPECT_EQ(stats.messages_delivered, 2 * n * n);  // inboxes include self
+  EXPECT_EQ(stats.bytes_sent, real_links * wire);
+  EXPECT_EQ(stats.bytes_delivered, real_links * wire);
+  EXPECT_EQ(stats.bytes_dense_delivered,
+            real_links * dim * sizeof(double));
+  // The inbox messages carry their sender's declared wire size.
+  for (const auto& message : owned[0]->last_inbox()) {
+    EXPECT_EQ(message.wire_bytes, wire);
+  }
 }
 
 TEST(EventNetwork, QuorumAdvanceLeavesStragglersLate) {

@@ -28,7 +28,7 @@ class CountingProcess final : public HonestProcess {
   Vector outgoing(std::size_t) const override {
     return {static_cast<double>(id_)};
   }
-  void receive(std::size_t, const std::vector<Message>& inbox) override {
+  void receive(std::size_t, std::vector<Message>&& inbox) override {
     last_inbox_size_ = inbox.size();
   }
   std::size_t last_inbox_size() const { return last_inbox_size_; }

@@ -25,8 +25,8 @@ class RecordingProcess final : public HonestProcess {
     return {static_cast<double>(id_)};
   }
 
-  void receive(std::size_t round, const std::vector<Message>& inbox) override {
-    inboxes_[round] = inbox;
+  void receive(std::size_t round, std::vector<Message>&& inbox) override {
+    inboxes_[round] = std::move(inbox);
   }
 
   const std::map<std::size_t, std::vector<Message>>& inboxes() const {
@@ -247,6 +247,23 @@ TEST(Message, PayloadsPreserveOrder) {
   const VectorList p = payloads(inbox);
   ASSERT_EQ(p.size(), 2u);
   EXPECT_DOUBLE_EQ(p[1][0], 3.0);
+}
+
+TEST(Message, RvaluePayloadsAndBatchConsumeTheInbox) {
+  // The receive() hand-off owns the inbox, so the rvalue overloads steal
+  // the payload buffers instead of copying them.
+  std::vector<Message> inbox{{0, {1.0, 2.0}}, {2, {3.0, 4.0}}};
+  const double* stolen = inbox[1].payload.data();
+  const VectorList p = payloads(std::move(inbox));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1].data(), stolen);  // moved, not copied
+  EXPECT_DOUBLE_EQ(p[1][1], 4.0);
+
+  std::vector<Message> inbox2{{0, {1.0, 2.0}}, {2, {3.0, 4.0}}};
+  const GradientBatch batch = payload_batch(std::move(inbox2));
+  ASSERT_EQ(batch.rows(), 2u);
+  EXPECT_DOUBLE_EQ(batch.row(1)[0], 3.0);
+  EXPECT_TRUE(inbox2[0].payload.empty());  // released as it was packed
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "experiments/emitters.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
 
 namespace bcl {
 namespace {
@@ -27,8 +28,8 @@ TEST(ScenarioSpec, ParsesEveryKey) {
   const auto spec = ScenarioSpec::parse(
       "label=probe rule=KRUM attack=alie:z=2 n=13 f=2 t=3 "
       "topology=decentralized model=cifarnet het=extreme scale=full "
-      "rounds=7 batch=4 lr=0.125 subrounds=2 delay=0.25 seed=99 "
-      "eval-max=50");
+      "rounds=7 batch=4 lr=0.125 subrounds=2 delay=0.25 "
+      "comp=topk:frac=0.05 seed=99 eval-max=50");
   EXPECT_EQ(spec.label, "probe");
   EXPECT_EQ(spec.rule, "KRUM");
   EXPECT_EQ(spec.attack, "alie:z=2");
@@ -44,6 +45,7 @@ TEST(ScenarioSpec, ParsesEveryKey) {
   EXPECT_DOUBLE_EQ(spec.lr, 0.125);
   EXPECT_EQ(spec.subrounds, 2u);
   EXPECT_DOUBLE_EQ(spec.delay, 0.25);
+  EXPECT_EQ(spec.comp, "topk:frac=0.05");
   EXPECT_EQ(spec.seed, 99u);
   EXPECT_EQ(spec.eval_max, 50u);
 }
@@ -423,6 +425,53 @@ TEST(ScenarioRunner, AsyncNetScenarioReportsSimulatedSeconds) {
   for (const auto& metrics : summary.result.history) {
     EXPECT_GT(metrics.sim_seconds, 0.0);
   }
+}
+
+TEST(SweepExpansion, GridMatchesExecutedCellOrder) {
+  // The contract behind `bcl_run --dry-run`: expand_sweep's grid, in
+  // order, is exactly the sequence of cells a run would execute — so the
+  // printed dry-run lines can be trusted cell for cell.
+  experiments::SweepAxes axes;
+  axes.rules = {"MEAN", "KRUM"};
+  axes.attacks = {"none", "sign-flip"};
+  axes.comps = {"identity", "topk:frac=0.5"};
+  const auto specs =
+      experiments::expand_sweep(axes, [](ScenarioSpec& spec) {
+        spec.set("n", "4");
+        spec.set("rounds", "1");
+        spec.set("eval-max", "20");
+      });
+  ASSERT_EQ(specs.size(), 8u);
+  // comp is an outer axis relative to rule/attack: the first four cells
+  // are identity, the last four topk, each in rule-major order.
+  EXPECT_EQ(specs[0].comp, "identity");
+  EXPECT_EQ(specs[4].comp, "topk:frac=0.5");
+  EXPECT_EQ(specs[0].rule, "MEAN");
+  EXPECT_EQ(specs[1].attack, "sign-flip");
+  EXPECT_EQ(specs[2].rule, "KRUM");
+
+  // Execute the grid and record the begin_scenario order.
+  struct OrderProbe final : experiments::MetricsEmitter {
+    std::vector<std::string> begun;
+    void begin_scenario(const ScenarioSpec& spec) override {
+      begun.push_back(spec.to_string());
+    }
+  } probe;
+  experiments::ScenarioRunner runner;
+  runner.run_all(specs, {&probe});
+  ASSERT_EQ(probe.begun.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(probe.begun[i], specs[i].to_string()) << i;
+  }
+}
+
+TEST(SweepExpansion, InvalidAxisValueFailsBeforeAnyCell) {
+  experiments::SweepAxes axes;
+  axes.comps = {"identity", "gzip"};
+  EXPECT_THROW(experiments::expand_sweep(axes), std::invalid_argument);
+  axes.comps = {"identity"};
+  axes.nets = {"wireless"};
+  EXPECT_THROW(experiments::expand_sweep(axes), std::invalid_argument);
 }
 
 TEST(ScenarioRunner, FixedSubroundsHonoured) {
