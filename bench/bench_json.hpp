@@ -3,17 +3,31 @@
 //
 // The micro benches emit BENCH_<name>.json next to their google-benchmark
 // console output so the perf trajectory of the hot kernels is tracked
-// across PRs (CI uploads the files as workflow artifacts).  Each record is
-// one measured operation: {op, m, d, ns_op, speedup_vs_naive}, where
-// speedup_vs_naive compares against the pre-optimization reference
-// implementation measured in the same process (0 when there is no
-// meaningful baseline).
+// across PRs (CI uploads the files as workflow artifacts).  The file is an
+// object {"meta": {...}, "records": [...]}:
+//
+//   meta     — where the numbers came from: machine (uname -sm), OS
+//              release, the commit under test (GITHUB_SHA or BCL_COMMIT
+//              env, "unknown" outside CI) and the hardware thread count.
+//              tools/check_bench_regression.py uses it to decide whether
+//              absolute nanoseconds are comparable against the committed
+//              baseline or only the machine-independent speedup ratios.
+//   records  — one measured operation each: {op, m, d, ns_op,
+//              speedup_vs_naive}, where speedup_vs_naive compares against
+//              the pre-optimization reference implementation measured in
+//              the same process (0 when there is no meaningful baseline).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 namespace bcl::benchjson {
 
@@ -23,6 +37,34 @@ struct Record {
   std::size_t d = 0;
   double ns_op = 0.0;
   double speedup_vs_naive = 0.0;
+};
+
+/// Provenance header of a bench file (see the file comment).
+struct Meta {
+  std::string machine = "unknown";
+  std::string os = "unknown";
+  std::string commit = "unknown";
+  unsigned threads = 0;
+
+  /// Fills every field from the running system and environment.
+  static Meta detect() {
+    Meta meta;
+#if defined(__unix__) || defined(__APPLE__)
+    utsname uts{};
+    if (uname(&uts) == 0) {
+      meta.machine = std::string(uts.sysname) + " " + uts.machine;
+      meta.os = uts.release;
+    }
+#endif
+    for (const char* var : {"GITHUB_SHA", "BCL_COMMIT"}) {
+      if (const char* sha = std::getenv(var); sha != nullptr && *sha != '\0') {
+        meta.commit = sha;
+        break;
+      }
+    }
+    meta.threads = std::thread::hardware_concurrency();
+    return meta;
+  }
 };
 
 /// Best-of-`reps` wall time of fn(), in nanoseconds per call.
@@ -40,20 +82,28 @@ double time_ns(Fn&& fn, int reps = 5) {
   return best;
 }
 
-/// Writes the records as a JSON array to `path`; returns false on I/O error.
-inline bool write(const std::string& path, const std::vector<Record>& records) {
+/// Writes {"meta": ..., "records": [...]} to `path`; returns false on I/O
+/// error.  Meta is detected at call time unless the caller overrides it.
+inline bool write(const std::string& path, const std::vector<Record>& records,
+                  const Meta& meta = Meta::detect()) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "[\n");
+  std::fprintf(f,
+               "{\n"
+               "  \"meta\": {\"machine\": \"%s\", \"os\": \"%s\", "
+               "\"commit\": \"%s\", \"threads\": %u},\n"
+               "  \"records\": [\n",
+               meta.machine.c_str(), meta.os.c_str(), meta.commit.c_str(),
+               meta.threads);
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(f,
-                 "  {\"op\": \"%s\", \"m\": %zu, \"d\": %zu, "
+                 "    {\"op\": \"%s\", \"m\": %zu, \"d\": %zu, "
                  "\"ns_op\": %.1f, \"speedup_vs_naive\": %.3f}%s\n",
                  r.op.c_str(), r.m, r.d, r.ns_op, r.speedup_vs_naive,
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
 }

@@ -264,6 +264,53 @@ void emit_json() {
                        block_trim > 0.0 ? naive_trim / block_trim : 0.0});
   }
 
+  // Sparse distance build: the SpGEMM row-merge Gram vs the pairwise
+  // sparse_dot_sparse build it replaced, at the acceptance shape (m=500,
+  // d=10000, 1% density — a top-k compressed inbox at scale).
+  {
+    const std::size_t m = 500, d = 10000;
+    const double density = 0.01;
+    Rng rng(13);
+    SparseRows rows(d);
+    std::vector<std::uint32_t> idx;
+    std::vector<double> val;
+    for (std::size_t i = 0; i < m; ++i) {
+      idx.clear();
+      val.clear();
+      for (std::size_t k = 0; k < d; ++k) {
+        if (rng.uniform() >= density) continue;
+        idx.push_back(static_cast<std::uint32_t>(k));
+        val.push_back(rng.uniform(-1.0, 1.0));
+      }
+      rows.push_row(idx.data(), val.data(), val.size());
+    }
+    // Pairwise replica of the pre-SpGEMM constructor: m^2/2 ordered merges
+    // (norms + Gram identity, no guard hit on this data).
+    const auto pairwise = [&] {
+      std::vector<double> norms(m), d2(m * m, 0.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        norms[i] = kernels::sparse_dot_sparse(
+            rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+            rows.row_indices(i), rows.row_values(i), rows.row_nnz(i));
+      }
+      for (std::size_t i = 0; i + 1 < m; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j) {
+          const double g = kernels::sparse_dot_sparse(
+              rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+              rows.row_indices(j), rows.row_values(j), rows.row_nnz(j));
+          d2[i * m + j] = d2[j * m + i] = norms[i] + norms[j] - 2.0 * g;
+        }
+      }
+      benchmark::DoNotOptimize(d2);
+    };
+    const double naive = time_ns(pairwise, 3);
+    const double spgemm = time_ns(
+        [&] { benchmark::DoNotOptimize(DistanceMatrix(rows)); }, 3);
+    records.push_back({"sparse_distance_pairwise_merge", m, d, naive, 0.0});
+    records.push_back({"sparse_distance_spgemm", m, d, spgemm,
+                       spgemm > 0.0 ? naive / spgemm : 0.0});
+  }
+
   // One full distance-based rule through the batch path vs the legacy
   // VectorList entry point (which rebuilds distances per pair).
   {

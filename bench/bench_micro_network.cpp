@@ -1,0 +1,251 @@
+// Microbenchmark: event throughput of the discrete-event network core.
+//
+// The broadcast-storm workload (every node broadcasts to every node each
+// round, quorum = n) measures nanoseconds per delivered event for the
+// sharded per-destination engine against a faithful replica of the
+// pre-sharding engine: one global std::priority_queue of 48-byte events
+// and one heap-allocated Vector copy per delivery.  The sharded engine's
+// win is architectural — per-receiver heaps with 24-byte events, arena
+// payload views instead of per-delivery copies, and batch drains that
+// parallelize across cores when a pool is attached — so the speedup shows
+// up even single-threaded.
+//
+// main() emits BENCH_micro_network.json (see bench_json.hpp) before
+// running the registered google-benchmark suites.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/bcl.hpp"
+
+namespace {
+
+using namespace bcl;
+
+constexpr std::uint64_t kSeed = 29;
+
+// --- pre-sharding engine replica -------------------------------------------
+//
+// The structure the tentpole replaced: a single global priority queue over
+// all receivers, (time, seq) ordering, round values stored as owned
+// Vectors and *copied into every receiver's inbox* on delivery.  Trimmed
+// to the fault-free broadcast-storm path (no drops, no timeouts, no
+// Byzantine senders) so the comparison isolates queue + payload mechanics.
+
+struct NaiveEvent {
+  double time;
+  std::uint64_t seq;
+  std::uint32_t sender;
+  std::uint32_t receiver;
+  std::uint32_t round;
+};
+
+struct NaiveEventLater {
+  bool operator()(const NaiveEvent& a, const NaiveEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct NaiveMessage {
+  std::size_t sender;
+  Vector payload;  // owned copy per delivery — the churn the arena removed
+};
+
+double run_naive_storm(std::size_t n, std::size_t dim, std::size_t rounds,
+                       double* sink) {
+  std::priority_queue<NaiveEvent, std::vector<NaiveEvent>, NaiveEventLater>
+      queue;
+  std::uint64_t seq = 0;
+  std::vector<std::vector<NaiveMessage>> inboxes(n);
+  std::vector<std::size_t> node_round(n, 0);
+  // values[r % 2][s]: double-buffered owned round values, as the old
+  // engine's per-round book held them.
+  std::vector<std::vector<Vector>> values(2, std::vector<Vector>(n));
+
+  const auto enter = [&](std::size_t s, std::size_t round, double at) {
+    values[round % 2][s] = Vector(dim, static_cast<double>(s));
+    for (std::size_t r = 0; r < n; ++r) {
+      Rng rng = message_stream(kSeed, s, r, round);
+      const double latency = s == r ? 0.0 : rng.uniform(0.5, 1.5);
+      queue.push(NaiveEvent{at + latency, seq++, static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(r),
+                            static_cast<std::uint32_t>(round)});
+    }
+  };
+  for (std::size_t s = 0; s < n; ++s) enter(s, 0, 0.0);
+
+  double delivered = 0.0;
+  while (!queue.empty()) {
+    const NaiveEvent e = queue.top();
+    queue.pop();
+    if (e.round != node_round[e.receiver]) continue;  // late straggler
+    inboxes[e.receiver].push_back(
+        NaiveMessage{e.sender, values[e.round % 2][e.sender]});
+    if (inboxes[e.receiver].size() < n) continue;
+    // Quorum reached: consume the inbox (touch every payload as a real
+    // receiving rule would), then enter the next round.
+    for (const NaiveMessage& msg : inboxes[e.receiver]) {
+      *sink += msg.payload[0];
+      delivered += 1.0;
+    }
+    inboxes[e.receiver].clear();
+    const std::size_t next = ++node_round[e.receiver];
+    if (next < rounds) enter(e.receiver, next, e.time);
+  }
+  return delivered;
+}
+
+// --- sharded engine under the same storm -----------------------------------
+
+class StormProcess final : public HonestProcess {
+ public:
+  StormProcess(std::size_t id, std::size_t dim, double* sink)
+      : id_(id), dim_(dim), sink_(sink) {}
+  Vector outgoing(std::size_t /*round*/) const override {
+    return Vector(dim_, static_cast<double>(id_));
+  }
+  void receive(std::size_t /*round*/, std::vector<Message>&& inbox) override {
+    for (const Message& msg : inbox) *sink_ += msg.payload[0];
+  }
+
+ private:
+  std::size_t id_;
+  std::size_t dim_;
+  double* sink_;
+};
+
+double run_sharded_storm(std::size_t n, std::size_t dim, std::size_t rounds,
+                         ThreadPool* pool, double* sink) {
+  std::vector<std::unique_ptr<StormProcess>> owned;
+  std::vector<HonestProcess*> pointers;
+  for (std::size_t i = 0; i < n; ++i) {
+    owned.push_back(std::make_unique<StormProcess>(i, dim, sink));
+    pointers.push_back(owned.back().get());
+  }
+  NoAdversary adversary;
+  UniformDelayModel delay(0.5, 1.5);
+  EventNetworkConfig config;
+  config.quorum = n;
+  config.timeout = -1.0;
+  config.seed = kSeed;
+  config.delay = &delay;
+  config.pool = pool;
+  EventNetwork net(pointers, adversary, config);
+  net.run(rounds);
+  return static_cast<double>(net.stats().messages_delivered);
+}
+
+// --- google-benchmark suites ------------------------------------------------
+
+void BM_EventStormNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double sink = 0.0;
+  double events = 0.0;
+  for (auto _ : state) {
+    events += run_naive_storm(n, 8, 2, &sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["events/s"] = benchmark::Counter(
+      events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventStormNaive)->Arg(50)->Arg(200);
+
+void BM_EventStormSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double sink = 0.0;
+  double events = 0.0;
+  for (auto _ : state) {
+    events += run_sharded_storm(n, 8, 2, nullptr, &sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["events/s"] = benchmark::Counter(
+      events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventStormSharded)->Arg(50)->Arg(200);
+
+void BM_EventStormShardedPool(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool;
+  double sink = 0.0;
+  double events = 0.0;
+  for (auto _ : state) {
+    events += run_sharded_storm(n, 8, 2, &pool, &sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["events/s"] = benchmark::Counter(
+      events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventStormShardedPool)->Arg(50)->Arg(200);
+
+// --- machine-readable records (BENCH_micro_network.json) -------------------
+
+void emit_json() {
+  using benchjson::Record;
+  using benchjson::time_ns;
+  std::vector<Record> records;
+
+  struct Shape {
+    std::size_t m;
+    std::size_t rounds;
+    int reps;
+  };
+  // One sweep per acceptance size; rounds shrink as m^2 grows so every
+  // shape measures a comparable number of delivered events.
+  for (const Shape& shape : {Shape{50, 20, 3}, {500, 2, 2}, {5000, 1, 1}}) {
+    const std::size_t dim = 8;
+    double sink = 0.0;
+    double naive_events = 0.0;
+    const double naive_ns = time_ns(
+        [&] { naive_events = run_naive_storm(shape.m, dim, shape.rounds,
+                                             &sink); },
+        shape.reps);
+    double sharded_events = 0.0;
+    const double sharded_ns = time_ns(
+        [&] {
+          sharded_events =
+              run_sharded_storm(shape.m, dim, shape.rounds, nullptr, &sink);
+        },
+        shape.reps);
+    benchmark::DoNotOptimize(sink);
+    const double naive_per_event =
+        naive_events > 0.0 ? naive_ns / naive_events : 0.0;
+    const double sharded_per_event =
+        sharded_events > 0.0 ? sharded_ns / sharded_events : 0.0;
+    records.push_back(
+        {"event_drain_single_queue", shape.m, dim, naive_per_event, 0.0});
+    records.push_back({"event_drain_sharded", shape.m, dim, sharded_per_event,
+                       sharded_per_event > 0.0
+                           ? naive_per_event / sharded_per_event
+                           : 0.0});
+  }
+
+  const char* path = "BENCH_micro_network.json";
+  if (benchjson::write(path, records)) {
+    std::printf("wrote %s (%zu records)\n", path, records.size());
+    for (const auto& r : records) {
+      std::printf("  %-28s m=%-5zu d=%-3zu %9.1f ns/event  speedup %.2fx\n",
+                  r.op.c_str(), r.m, r.d, r.ns_op, r.speedup_vs_naive);
+    }
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+}
+
+}  // namespace
+
+// Custom main: emit the JSON records first (so they are written even when
+// the --benchmark_filter selects nothing), then run the registered
+// google-benchmark suites as usual.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  emit_json();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

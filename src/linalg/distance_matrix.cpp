@@ -153,35 +153,56 @@ DistanceMatrix::DistanceMatrix(const SparseRows& rows, ThreadPool* pool)
   d2_.assign(m_ * m_, 0.0);
   if (m_ < 2) return;
 
-  // Self dots off the "diagonal" first (each row's squared norm), then the
-  // pairwise merges.  Row i fills entries (i, j) and (j, i) for j > i, so
-  // the parallel build is race-free; the triangular row loop is the
-  // imbalanced shape the dynamic schedule handles.
+  // Self dots off the "diagonal" first (each row's squared norm: the same
+  // increasing-index chain the SpGEMM diagonal would produce, kept as a
+  // cheap O(nnz) upfront pass because row i's Gram pass needs norms[j] of
+  // rows j > i it has not visited yet).
   std::vector<double> norms(m_);
   for (std::size_t i = 0; i < m_; ++i) {
     norms[i] = kernels::sparse_dot_sparse(
         rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
         rows.row_indices(i), rows.row_values(i), rows.row_nnz(i));
   }
+
+  // Row-merge SpGEMM: one CSC transpose up front, then each output row i
+  // scatters its Gram entries G_ij (j >= i) through the columns of row i's
+  // stored coordinates.  Cost per row is nnz_i * (average column length)
+  // — zeros never meet — versus the pairwise merge's sum_j (nnz_i +
+  // nnz_j), which re-walks both rows for every pair whether or not they
+  // share a coordinate.  Each accumulator receives its common coordinates
+  // in increasing-k order, so every G entry is bitwise identical to the
+  // sparse_dot_sparse merge it replaces.  Row i writes entries (i, j) and
+  // (j, i) for j > i, so the parallel build is race-free; the triangular
+  // row loop is the imbalanced shape the dynamic schedule handles.
+  const SparseColumns cols(rows);
   constexpr double kCancelGuard = 1.0e-6;
   auto fill_row = [&](std::size_t i) {
+    // Per-worker dense scratch row for the sparse accumulator, zeroed on
+    // first use and re-zeroed behind every row, so reuse across rows (and
+    // DistanceMatrix builds) on the same worker is clean.
+    static thread_local std::vector<double> acc;
+    if (acc.size() < m_) acc.assign(m_, 0.0);
+    kernels::spgemm_gram_row(rows.row_indices(i), rows.row_values(i),
+                             rows.row_nnz(i), cols.colptr(), cols.row_ids(),
+                             cols.values(), static_cast<std::uint32_t>(i),
+                             acc.data());
     const std::uint32_t* ia = rows.row_indices(i);
     const double* va = rows.row_values(i);
     const std::size_t na = rows.row_nnz(i);
     for (std::size_t j = i + 1; j < m_; ++j) {
-      const std::uint32_t* ib = rows.row_indices(j);
-      const double* vb = rows.row_values(j);
-      const std::size_t nb = rows.row_nnz(j);
-      const double g = kernels::sparse_dot_sparse(ia, va, na, ib, vb, nb);
+      const double g = acc[j];
+      acc[j] = 0.0;
       double s = std::max(0.0, norms[i] + norms[j] - 2.0 * g);
       // Same cancellation guard as the dense Gram path: a result far
       // smaller than the norms has lost most of its digits to the
       // identity's subtraction, so recompute through the difference form.
       if (s < kCancelGuard * (norms[i] + norms[j])) {
-        s = kernels::sparse_diff_norm2(ia, va, na, ib, vb, nb);
+        s = kernels::sparse_diff_norm2(ia, va, na, rows.row_indices(j),
+                                       rows.row_values(j), rows.row_nnz(j));
       }
       d2_[i * m_ + j] = d2_[j * m_ + i] = s;
     }
+    acc[i] = 0.0;  // diagonal entry: norms[] already holds it
   };
   if (pool != nullptr && m_ > 2) {
     pool->parallel_for_dynamic(0, m_ - 1, fill_row);

@@ -80,13 +80,18 @@ class DistanceMatrix {
                  ThreadPool* pool = nullptr);
 
   /// Sparse Gram build over a CSR batch (top-k / rand-k compressed
-  /// inboxes): G entries come from ordered-merge sparse dots, so the cost
-  /// is O(sum of pairwise nnz) instead of O(m^2 * d) — zeros are skipped,
-  /// not multiplied.  Same identity, zero clamp and cancellation guard as
-  /// the dense Gram path (the guard recomputes through the sparse
-  /// difference form), and the result agrees with the dense constructors
-  /// to the documented ~1e-12 relative tolerance.  No rebase pass: sparse
-  /// rows have no common offset to cancel (a shared offset would densify
+  /// inboxes): a row-merge SpGEMM over the CSR rows and their CSC
+  /// transpose (kernels::spgemm_gram_row) — each Gram row scatters through
+  /// the columns of its stored coordinates, so only coordinates two rows
+  /// actually share are ever multiplied, O(nnz * avg column length)
+  /// total instead of the pairwise merge's O(m^2 * avg nnz) row re-walks.
+  /// Every G entry accumulates its common coordinates in increasing-k
+  /// order, bitwise identical to the sparse_dot_sparse pairwise build it
+  /// replaced.  Same identity, zero clamp and cancellation guard as the
+  /// dense Gram path (the guard recomputes through the sparse difference
+  /// form), and the result agrees with the dense constructors to the
+  /// documented ~1e-12 relative tolerance.  No rebase pass: sparse rows
+  /// have no common offset to cancel (a shared offset would densify
   /// them).
   explicit DistanceMatrix(const SparseRows& rows, ThreadPool* pool = nullptr);
 

@@ -251,4 +251,22 @@ double sparse_diff_norm2(const std::uint32_t* ia, const double* va,
   return s;
 }
 
+void spgemm_gram_row(const std::uint32_t* idx, const double* val,
+                     std::size_t nnz, const std::size_t* colptr,
+                     const std::uint32_t* colrow, const double* colval,
+                     std::uint32_t i, double* acc) {
+  for (std::size_t p = 0; p < nnz; ++p) {
+    const std::uint32_t k = idx[p];
+    const double v = val[p];
+    const std::uint32_t* lo = colrow + colptr[k];
+    const std::uint32_t* hi = colrow + colptr[k + 1];
+    // Columns list rows in increasing order; skip the strictly-lower
+    // triangle in one binary search (row i itself stays — it feeds the
+    // diagonal / squared norm).
+    const std::uint32_t* at = std::lower_bound(lo, hi, i);
+    const double* cv = colval + (at - colrow);
+    for (; at != hi; ++at, ++cv) acc[*at] += v * *cv;
+  }
+}
+
 }  // namespace bcl::kernels

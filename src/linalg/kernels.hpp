@@ -113,4 +113,28 @@ double sparse_diff_norm2(const std::uint32_t* ia, const double* va,
                          std::size_t na, const std::uint32_t* ib,
                          const double* vb, std::size_t nb);
 
+/// One output row of the SpGEMM Gram build G = X * X^T over a CSR batch
+/// and its CSC transpose: scatters acc[j] += x[i][k] * x[j][k] for every
+/// coordinate k stored in row i and every row j >= i that also stores k
+/// (found via the column's sorted row list, so rows j < i cost one binary
+/// search, not a scan).  `idx`/`val`/`nnz` describe CSR row i;
+/// `colptr`/`colrow`/`colval` are the transpose arenas
+/// (SparseColumns::colptr()/row_ids()/values()).  `acc` is a caller-owned
+/// dense scratch row (length m) whose entries [i, m) must be zero on
+/// entry; on return acc[j] holds X_i . X_j for j >= i (still zero for
+/// rows sharing no coordinate) and the caller restores the zeros.
+///
+/// Determinism: row i's indices are walked in increasing order, so each
+/// acc[j] accumulates its common coordinates in increasing-k order with
+/// the operand order val * colval — bitwise identical to the pairwise
+/// sparse_dot_sparse merge of rows i and j (and on the diagonal, to the
+/// self dot).  The replacement of the m^2/2 pairwise merges by this
+/// kernel is therefore invisible to every tolerance- and bitwise-checked
+/// consumer.  Cost: sum over k in row i of |{j in column k : j >= i}|,
+/// i.e. O(nnz_i * avg column length) instead of O(sum_j (nnz_i + nnz_j)).
+void spgemm_gram_row(const std::uint32_t* idx, const double* val,
+                     std::size_t nnz, const std::size_t* colptr,
+                     const std::uint32_t* colrow, const double* colval,
+                     std::uint32_t i, double* acc);
+
 }  // namespace bcl::kernels

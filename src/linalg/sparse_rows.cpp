@@ -44,4 +44,32 @@ void SparseRows::decode_row_into(std::size_t i, double* out) const {
   for (std::size_t j = 0; j < row_nnz(i); ++j) out[idx[j]] = val[j];
 }
 
+SparseColumns::SparseColumns(const SparseRows& rows) {
+  const std::size_t dim = rows.dim();
+  const std::size_t m = rows.rows();
+  colptr_.assign(dim + 1, 0);
+  rows_.resize(rows.nnz());
+  values_.resize(rows.nnz());
+  // Counting sort by column: count, prefix-sum, scatter.  Scattering rows
+  // in increasing row order fills each column's slice in increasing row
+  // order, which the SpGEMM kernel's >= i lower bound relies on.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t* idx = rows.row_indices(i);
+    const std::size_t nnz = rows.row_nnz(i);
+    for (std::size_t j = 0; j < nnz; ++j) ++colptr_[idx[j] + 1];
+  }
+  for (std::size_t k = 0; k < dim; ++k) colptr_[k + 1] += colptr_[k];
+  std::vector<std::size_t> cursor(colptr_.begin(), colptr_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t* idx = rows.row_indices(i);
+    const double* val = rows.row_values(i);
+    const std::size_t nnz = rows.row_nnz(i);
+    for (std::size_t j = 0; j < nnz; ++j) {
+      const std::size_t at = cursor[idx[j]]++;
+      rows_[at] = static_cast<std::uint32_t>(i);
+      values_[at] = val[j];
+    }
+  }
+}
+
 }  // namespace bcl

@@ -64,4 +64,43 @@ class SparseRows {
   std::vector<double> values_;
 };
 
+/// CSC transpose of a SparseRows batch: the same (row, column, value)
+/// triples regrouped by column, rows within a column in increasing order
+/// (the build is a counting sort over the CSR arenas, O(nnz + dim)).
+///
+/// This is the second operand layout of the row-merge SpGEMM Gram build
+/// (kernels::spgemm_gram_row): for each stored entry (i, k, v) of row i,
+/// column k lists every row j that also holds coordinate k — exactly the
+/// rows whose dot with row i picks up a contribution v * x[j][k].  Walking
+/// the columns of row i's indices in order therefore visits, per output
+/// pair (i, j), the common coordinates in increasing-k order: the same
+/// accumulation order as the pairwise sparse_dot_sparse merge, which is
+/// what keeps the SpGEMM Gram bitwise identical to the pairwise build.
+class SparseColumns {
+ public:
+  /// Transposes `rows` (which it does not retain).
+  explicit SparseColumns(const SparseRows& rows);
+
+  std::size_t dim() const { return colptr_.size() - 1; }
+  std::size_t col_nnz(std::size_t k) const {
+    return colptr_[k + 1] - colptr_[k];
+  }
+  /// Row ids holding coordinate k, strictly increasing.
+  const std::uint32_t* col_rows(std::size_t k) const {
+    return rows_.data() + colptr_[k];
+  }
+  /// Values parallel to col_rows(k).
+  const double* col_values(std::size_t k) const {
+    return values_.data() + colptr_[k];
+  }
+  const std::size_t* colptr() const { return colptr_.data(); }
+  const std::uint32_t* row_ids() const { return rows_.data(); }
+  const double* values() const { return values_.data(); }
+
+ private:
+  std::vector<std::size_t> colptr_;  // dim() + 1 offsets into the arenas
+  std::vector<std::uint32_t> rows_;
+  std::vector<double> values_;
+};
+
 }  // namespace bcl

@@ -70,9 +70,12 @@ class Adversary {
   /// the hook when the bound is 0 — in particular the synchronous adapter
   /// never calls it.  Defaults to no extra delay.
   ///
-  /// Decision hooks (delivers, delays_honest, scheduling_delay) should be
+  /// Decision hooks (delivers, delays_honest, scheduling_delay) must be
   /// pure functions of their arguments: the engines may consult them a
-  /// different number of times per link per round.
+  /// different number of times per link per round, and the sharded event
+  /// engine consults them concurrently from worker threads (one per
+  /// receiver), so they must not mutate adversary state.  Value fixing
+  /// (byzantine_value) stays strictly serial on the driving thread.
   virtual double scheduling_delay(std::size_t sender, std::size_t receiver,
                                   std::size_t round) {
     (void)sender;

@@ -224,6 +224,10 @@ MmppDelayModel::MmppDelayModel(double calm_mean, double burst_mean, double p01,
   }
 }
 
+void MmppDelayModel::prepare(std::size_t sender, std::size_t round) {
+  congested(sender, round);  // advance the chain; the result is discarded
+}
+
 bool MmppDelayModel::congested(std::size_t sender, std::size_t round) {
   if (sender >= chains_.size()) chains_.resize(sender + 1);
   Chain& chain = chains_[sender];

@@ -100,14 +100,28 @@ Rng message_stream(std::uint64_t seed, std::size_t sender,
                    std::size_t receiver, std::size_t round);
 
 /// One link-latency distribution (see file comment).  Instances are
-/// per-run and are driven from the (single-threaded) event loop only.
+/// per-run.  The sharded event engine fans a sender's broadcast out to
+/// worker threads, so sampling follows a two-phase contract: the engine
+/// calls prepare(sender, round) serially for every sender it is about to
+/// schedule, then sample() concurrently from the workers — after its
+/// prepare(), a model's sample() must not mutate shared state (stateless
+/// models satisfy this trivially; MMPP advances its per-sender state
+/// chain in prepare() so the samples only read it).
 class DelayModel {
  public:
   virtual ~DelayModel() = default;
   virtual std::string name() const = 0;
+  /// Serial warm-up hook before the engine fans `sender`'s round-`round`
+  /// broadcast out to worker threads (see the class comment).  Default:
+  /// nothing — most models keep no per-sender state.
+  virtual void prepare(std::size_t sender, std::size_t round) {
+    (void)sender;
+    (void)round;
+  }
   /// Latency of the message sender -> receiver broadcast in `round`.
   /// `rng` is a stream keyed to this exact message by the engine; models
   /// draw from it so samples are order-independent.  Negative = dropped.
+  /// May be called from worker threads after prepare() (class comment).
   virtual double sample(std::size_t sender, std::size_t receiver,
                         std::size_t round, Rng& rng) = 0;
 };
@@ -167,6 +181,9 @@ class MmppDelayModel final : public DelayModel {
   MmppDelayModel(double calm_mean, double burst_mean, double p01, double p10,
                  std::uint64_t seed);
   std::string name() const override { return "mmpp"; }
+  /// Advances `sender`'s state chain to `round` on the driving thread, so
+  /// the concurrent sample() calls that follow only read it.
+  void prepare(std::size_t sender, std::size_t round) override;
   double sample(std::size_t sender, std::size_t receiver, std::size_t round,
                 Rng& rng) override;
   /// The hidden state of `sender` at `round` (true = congested); exposed

@@ -1,8 +1,8 @@
 #pragma once
-// Discrete-event network engine.
+// Discrete-event network engine with a sharded, parallel event core.
 //
 // Generalizes the lockstep synchronous round model to partial synchrony: a
-// priority-queue simulator in which every broadcast message receives a
+// discrete-event simulator in which every broadcast message receives a
 // delivery time from a pluggable DelayModel (plus independent loss and a
 // bounded adversarial scheduling delay), and an honest node finishes a
 // round once it holds at least `quorum` messages for it or the round
@@ -24,20 +24,73 @@
 // With a zero-delay model and timeout 0, every delivery and timeout of a
 // round lands on one simulated instant; the engine drains simultaneous
 // events before advancing anyone, so it reproduces the synchronous
-// SyncNetwork semantics bitwise (SyncNetwork is now a thin adapter over
-// this engine).
+// SyncNetwork semantics bitwise (SyncNetwork is a thin adapter over this
+// engine).
+//
+// --- The sharded event core -------------------------------------------------
+//
+// Events live in per-destination queues (one shard per honest node)
+// instead of one global priority queue.  The simulation advances by
+// *conservative safe windows*: the next batch is every event sharing the
+// minimum head timestamp across shards — exactly the set the old global
+// queue drained per instant — and within a batch all effects are
+// per-receiver (inbox/future appends, timeout flags, late counts), so the
+// touched shards drain concurrently on the ThreadPool with no shared
+// writes.  Scheduling parallelizes the same way: each receiver samples its
+// own links' drop/latency draws from the pure per-message streams
+// (message_stream) and pushes into its own shard.  Per-shard sequence
+// numbers reproduce the old queue's FIFO tie-breaking per receiver, and
+// cross-receiver interleaving of same-instant events is unobservable
+// (inboxes are re-sorted by sender, statistics are sums, late
+// classification reads only receiver state frozen during the batch) — so
+// serial and pool-parallel runs are bitwise identical, which a test
+// enforces.
+//
+// Each shard stores its events as LSM-style *sorted runs* rather than a
+// binary heap: a scheduling wave sorts its appends once (sequential in
+// memory) and similar-sized runs are merged, so popping means comparing a
+// handful of run heads and walking each run linearly.  A binary heap pays
+// ~log(size) scattered cache lines per pop — with thousands of shards the
+// heaps evict each other and that dominated the drain — while runs cost
+// amortized O(log wave) comparisons per event on prefetch-friendly
+// memory.  Events are 24 bytes instead of 48, and readiness is re-checked
+// only for nodes whose shard was touched by the batch instead of scanning
+// all n every instant.
+//
+// Finding each batch costs O(log n), not an O(n) scan: a position-indexed
+// min-heap over the shard heads (heads_, one entry per non-empty shard,
+// updated in place) is refreshed serially after every phase that mutates
+// shard heaps.  Under continuous delay distributions (every batch a
+// single event) the engine thus stays O(log) per event like the global
+// queue it replaced — but over n entries, not over all in-flight events —
+// instead of degrading to O(n) per event.
+//
+// --- Round-value arena ------------------------------------------------------
+//
+// Each in-flight round owns a RoundBook: a DoubleArena holding every
+// sender's broadcast value exactly once, committed serially when the
+// sender enters the round (or when the rushing adversary fixes its
+// values).  Deliveries carry PayloadView spans into that storage — n
+// receivers share one stored value — so the per-delivery
+// std::vector<double> allocate+copy of the previous engine is gone
+// entirely.  Ownership rule (see network/message.hpp): views are valid
+// only during receive(); the book (and its arena, recycled through a free
+// pool) is released once every honest node has sealed the round, which is
+// provably after the last receive() that can reference it — a node that
+// has not consumed its round-r inbox (or still buffers round-r arrivals
+// for a round it has not reached) has not completed r, so r is not sealed.
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "compression/codec.hpp"
 #include "network/adversary.hpp"
 #include "network/delay_model.hpp"
 #include "network/message.hpp"
+#include "util/arena.hpp"
 
 namespace bcl {
 
@@ -54,7 +107,9 @@ class HonestProcess {
 
   virtual ~HonestProcess() = default;
 
-  /// The vector this node reliably broadcasts in `round`.
+  /// The vector this node reliably broadcasts in `round`.  The engine may
+  /// call outgoing() for different nodes concurrently (each node still
+  /// sees only its own calls, in round order).
   virtual Vector outgoing(std::size_t round) const = 0;
 
   /// Modeled wire size of this round's broadcast.  The engine queries it
@@ -63,10 +118,10 @@ class HonestProcess {
   /// Compressing processes return their codec's wire_bytes() instead.
   virtual std::size_t outgoing_wire_bytes(std::size_t round) const;
 
-  /// Delivers the round's inbox (sorted by sender id), handing off
-  /// ownership — the engine never reads these messages again, so consumers
-  /// may move the payloads out instead of copying them.  The process
-  /// updates its own state only.
+  /// Delivers the round's inbox (sorted by sender id).  Message payloads
+  /// are views into the engine's round storage, valid only for the
+  /// duration of this call — copy what you keep (message.hpp ownership
+  /// rule).  The process updates its own state only.
   virtual void receive(std::size_t round, std::vector<Message>&& inbox) = 0;
 };
 
@@ -137,15 +192,16 @@ struct EventNetworkConfig {
   std::uint64_t codec_seed = 0;
   /// Link latency model; nullptr = zero delay.  Not owned.
   DelayModel* delay = nullptr;
-  /// Optional pool: nodes that become ready at the same simulated instant
-  /// run their receive callbacks in parallel.  Not owned.
+  /// Optional pool for the three parallel phases (broadcast production,
+  /// per-shard scheduling/draining, ready-node finalize + receive).  Runs
+  /// are bitwise identical with and without it.  Not owned.
   ThreadPool* pool = nullptr;
 };
 
 /// The discrete-event engine (see file comment).  Node ids are [0, n);
 /// honest ids own a HonestProcess, Byzantine ids are driven by the
 /// adversary.  Not thread-safe: one engine, one driving thread (worker
-/// parallelism lives inside the receive fan-out).
+/// parallelism lives inside the phases documented on EventNetworkConfig).
 class EventNetwork {
  public:
   /// `processes[i]` must be non-null exactly for honest ids i.  The engine
@@ -179,20 +235,61 @@ class EventNetwork {
 
  private:
   enum class EventKind : std::uint8_t { Delivery, Timeout };
-  struct Event {
+  /// One event in a destination shard.  The receiver is implicit (the
+  /// shard), which keeps the struct at 24 bytes — at m = 5000 a single
+  /// round holds ~m^2 in-flight deliveries, so event size is live memory.
+  struct ShardEvent {
     double time = 0.0;
-    std::uint64_t seq = 0;  // deterministic FIFO order among equal times
+    std::uint32_t seq = 0;  // per-shard FIFO order among equal times
+    std::uint32_t sender = 0;
+    std::uint32_t round = 0;
     EventKind kind = EventKind::Delivery;
-    std::size_t receiver = 0;
-    std::size_t round = 0;
-    std::size_t sender = 0;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  struct ShardEventEarlier {
+    bool operator()(const ShardEvent& a, const ShardEvent& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
+  /// Statistics deltas accumulated inside a parallel phase and reduced
+  /// into NetworkStats serially afterwards (sums, so the reduction order
+  /// is immaterial and parallel runs match serial ones exactly).
+  struct ShardStats {
+    std::size_t dropped = 0;
+    std::size_t omitted = 0;
+    std::size_t late = 0;
+    std::size_t delivered = 0;
+    std::size_t delayed = 0;
+    std::size_t timeouts = 0;
+    std::size_t bytes_sent = 0;
+    std::size_t bytes_delivered = 0;
+    std::size_t bytes_dense = 0;
+  };
+  /// One sorted run of a shard: ascending (time, seq), consumed from the
+  /// front.  Consumed prefixes are reclaimed when the run empties.
+  struct Run {
+    std::vector<ShardEvent> events;
+    std::size_t at = 0;  // consumption cursor
+    std::size_t left() const { return events.size() - at; }
+    const ShardEvent& head() const { return events[at]; }
+  };
+  /// One destination's event queue (see the file comment): appends land in
+  /// `wave` raw; seal_wave() sorts them into a new run and merges runs of
+  /// similar size, keeping the run count logarithmic in the queue size.
+  /// Only the owning task of a parallel phase touches a shard, so no
+  /// locks anywhere.
+  struct Shard {
+    std::vector<Run> runs;           // every run non-empty
+    std::vector<ShardEvent> wave;    // unsealed appends of the current wave
+    std::uint32_t next_seq = 0;
+    ShardStats delta;
+
+    bool empty() const { return runs.empty(); }
+    const ShardEvent& front() const;  // global min head; runs non-empty
+    ShardEvent pop();                 // pops front(), prunes emptied runs
+    void seal_wave();
+  };
+  struct RoundBook;
   /// Per-node progress.
   struct NodeState {
     std::size_t round = 0;       // round the node is currently collecting
@@ -200,49 +297,106 @@ class EventNetwork {
     double completed = 0.0;      // completion time of the last round
     bool done = false;           // finished `round`, holding at the barrier
     bool timed_out = false;      // Delta fired for the current round
+    // Current round's book (std::map nodes are pointer-stable); spares
+    // the per-delivery lookup.  Dereferenced only on the current-round
+    // path, which a sealed — hence fully completed — round cannot reach.
+    const RoundBook* book = nullptr;
     std::vector<Message> inbox;  // buffered arrivals for the current round
     // Arrivals for rounds the node has not reached yet (sender ran ahead
     // inside a multi-round run() window).
     std::map<std::size_t, std::vector<Message>> future;
   };
+  /// Book-keeping of one in-flight round, GC'd (and its arena recycled)
+  /// once every honest node has completed the round.
+  struct RoundBook {
+    DoubleArena arena;                 // backs every values[] span
+    std::vector<PayloadView> values;   // per sender; gated by present[]
+    std::vector<std::uint8_t> present;
+    std::vector<std::size_t> wire;     // wire bytes per sender
+    // Honest values as the Adversary interface expects them (nullopt at
+    // Byzantine slots); materialized only when the run has Byzantine ids.
+    std::vector<std::optional<Vector>> adversary_view;
+    std::size_t honest_entered = 0;
+    std::size_t done_count = 0;
+    double max_entry = 0.0;  // adversary fix instant
+    double max_end = 0.0;    // slowest completion
+  };
+  /// One node entering a round (the unit of the scheduling phases).
+  struct Entering {
+    std::size_t node = 0;
+    std::size_t round = 0;
+    double entry = 0.0;
+    double transmission = 0.0;  // wire / bandwidth
+    std::size_t wire = 0;
+    Vector value;  // broadcast, produced in the parallel phase
+  };
 
-  void schedule(Event event);
-  void enter_round(std::size_t node, std::size_t round);
+  RoundBook& book_for(std::size_t round);
+  static void append_event(Shard& shard, double time, EventKind kind,
+                           std::size_t sender, std::size_t round);
+  /// Enters every listed node into its round: parallel broadcast
+  /// production, serial value commit (arena + adversary view + MMPP
+  /// warm-up), parallel per-shard delivery scheduling, then Byzantine
+  /// value fixing for any round whose last honest node just entered.
+  void enter_rounds(std::vector<Entering>& entering);
   void fix_byzantine_values(std::size_t round);
-  void process_event(const Event& event);
+  void process_event(std::size_t receiver, const ShardEvent& event,
+                     Shard& shard);
   bool node_ready(const NodeState& node) const;
-  /// Pops every event sharing the earliest timestamp (one simulated
-  /// instant) into the per-node buffers; an empty queue forces stalled
-  /// rounds open instead.
+  /// Re-records the current head of every listed shard in heads_ (no-op
+  /// per shard whose head did not move).  Must run serially after any
+  /// phase that pushed or popped shard events.
+  void refresh_heads(const std::vector<std::size_t>& ids);
+  /// Pops every event sharing the earliest timestamp across shards (one
+  /// simulated instant) into the per-node buffers, draining touched
+  /// shards in parallel; an empty queue forces stalled rounds open
+  /// instead.  Fills touched_.
   void drain_next_batch();
-  /// Finishes every node whose quorum/timeout condition holds: honored
-  /// delay floor, sorted inbox, parallel receive, round sealing, next-round
-  /// entry.  Runs on the single driving thread; only receive() fans out.
+  /// Finishes every touched node whose quorum/timeout condition holds:
+  /// honored delay floor, sorted inbox, byte accounting and receive() in
+  /// one parallel pass per node, then (serially) round sealing, arena
+  /// recycling and next-round entry.
   void advance_ready_nodes();
+  /// Adds the listed shards' pending deltas into stats_ and clears them.
+  /// Callers pass exactly the ids the preceding parallel phase touched —
+  /// a full-n sweep here would put an O(n) term on every single-event
+  /// batch.
+  void reduce_shard_deltas(const std::vector<std::size_t>& ids);
 
   std::vector<HonestProcess*> processes_;
   Adversary& adversary_;
   EventNetworkConfig config_;
   std::size_t honest_count_ = 0;
+  std::size_t byzantine_count_ = 0;
+  std::vector<std::size_t> honest_ids_;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::uint64_t next_seq_ = 0;
+  /// Position-indexed min-heap over shard head times (see the file
+  /// comment): one entry per non-empty shard, O(n) memory, in-place
+  /// key updates — never stale, unlike a lazy candidate heap, whose
+  /// entry count (and pop depth) would grow with in-flight events.
+  struct HeadIndex {
+    std::vector<std::uint32_t> heap;  // shard ids, min key at heap[0]
+    std::vector<double> key;          // key[id] = that shard's head time
+    std::vector<std::int32_t> pos;    // pos[id] = index in heap, -1 absent
+
+    void init(std::size_t n);
+    bool empty() const { return heap.empty(); }
+    std::uint32_t top() const { return heap.front(); }
+    double top_key() const { return key[heap.front()]; }
+    void update(std::uint32_t id, double t);
+    void remove(std::uint32_t id);
+
+   private:
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+  };
+
+  std::vector<Shard> shards_;  // indexed by node id; Byzantine ids unused
   std::vector<NodeState> nodes_;
-  // Broadcast values of in-flight rounds (GC'd once the round completes
-  // globally): value_by_round_[r][i] is node i's round-r vector, honest and
-  // Byzantine alike; nullopt = silent.
-  std::map<std::size_t, std::vector<std::optional<Vector>>> values_by_round_;
-  // Wire size of each sender's round-r broadcast (parallel to
-  // values_by_round_), and the number of its scheduled deliveries not yet
-  // processed: when the count hits zero (and the adversary can no longer
-  // inspect the round's values) the last delivery moves the vector into
-  // its Message instead of copying it.
-  std::map<std::size_t, std::vector<std::size_t>> wire_by_round_;
-  std::map<std::size_t, std::vector<std::size_t>> pending_by_round_;
-  std::map<std::size_t, std::size_t> honest_entered_;     // round -> count
-  std::map<std::size_t, std::size_t> round_done_counts_;  // round -> count
-  std::map<std::size_t, double> round_max_entry_;  // adversary fix instant
-  std::map<std::size_t, double> round_max_end_;    // slowest completion
+  std::map<std::size_t, RoundBook> rounds_;
+  std::vector<DoubleArena> arena_pool_;  // recycled round arenas
+  std::vector<std::size_t> touched_;     // shards hit by the current batch
+  HeadIndex heads_;
 
   double now_ = 0.0;
   double batch_time_ = 0.0;

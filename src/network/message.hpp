@@ -1,42 +1,97 @@
 #pragma once
 // Wire format of the peer-to-peer simulators: one vector-valued message
 // per sender per round, tagged with its modeled size on the wire.
+//
+// Payloads are *views*, not owned buffers.  The event engine stores each
+// broadcast value exactly once, in a per-round arena (util/arena.hpp), and
+// every delivery of that broadcast carries a PayloadView into the stored
+// value — so fanning one round value out to n receivers costs n spans, not
+// n heap-allocated vector copies.  The ownership rule that buys this:
+//
+//   A message's payload is guaranteed valid only for the duration of the
+//   receive() call that delivers it.  A process that keeps payload data
+//   beyond receive() must copy it (to_vector(), payloads(), or
+//   payload_batch() all do); the arena behind the view is recycled once
+//   every honest node has sealed the round.
+//
+// The protocol layer already obeys it: every receiving rule packs its
+// inbox into an owned GradientBatch / VectorList before returning.
 
 #include <cstddef>
-#include <utility>
+#include <stdexcept>
+#include <vector>
 
 #include "linalg/gradient_batch.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace bcl {
 
+/// Read-only span over a payload's doubles (the engine's arena or any
+/// caller-owned buffer).  Comparisons are element-wise, so tests and
+/// consumers can compare payloads across engines without caring where the
+/// bytes live.
+class PayloadView {
+ public:
+  PayloadView() = default;
+  PayloadView(const double* data, std::size_t size)
+      : data_(data), size_(size) {}
+  /// Views an owned vector (which must outlive the view).
+  explicit PayloadView(const Vector& v) : data_(v.data()), size_(v.size()) {}
+
+  const double* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Materializes an owned copy — the escape hatch for any consumer that
+  /// keeps payload data beyond the receive() call.
+  Vector to_vector() const { return Vector(data_, data_ + size_); }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+inline bool operator==(const PayloadView& a, const PayloadView& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+inline bool operator!=(const PayloadView& a, const PayloadView& b) {
+  return !(a == b);
+}
+inline bool operator==(const PayloadView& a, const Vector& b) {
+  return a == PayloadView(b);
+}
+inline bool operator==(const Vector& a, const PayloadView& b) {
+  return PayloadView(a) == b;
+}
+
 /// A delivered message.  Inboxes are sorted by sender id, which makes
 /// tie-breaking in the receiving rules deterministic.  `wire_bytes` is the
 /// modeled transmission size (compressed payloads are smaller than
 /// payload.size() * sizeof(double)); the event engine fills it from the
 /// sender's codec and prices delivery as propagation + wire_bytes /
-/// bandwidth.
+/// bandwidth.  `payload` is a view into the engine's round storage — see
+/// the ownership rule in the file comment.
 struct Message {
   std::size_t sender = 0;
-  Vector payload;
+  PayloadView payload;
   std::size_t wire_bytes = 0;
 };
 
-/// Extracts just the payload vectors of an inbox, preserving order.
+/// Extracts the payload vectors of an inbox as owned copies, preserving
+/// order.  (With view payloads there is nothing to steal — this *is* the
+/// one copy a consumer pays, where the pre-arena engine paid one per
+/// delivery plus one here.)
 inline VectorList payloads(const std::vector<Message>& inbox) {
   VectorList out;
   out.reserve(inbox.size());
-  for (const auto& msg : inbox) out.push_back(msg.payload);
-  return out;
-}
-
-/// Rvalue overload: steals the payloads instead of copying them — the
-/// receive() hand-off owns the inbox, so consumers shouldn't pay a second
-/// copy per vector.
-inline VectorList payloads(std::vector<Message>&& inbox) {
-  VectorList out;
-  out.reserve(inbox.size());
-  for (auto& msg : inbox) out.push_back(std::move(msg.payload));
+  for (const auto& msg : inbox) out.push_back(msg.payload.to_vector());
   return out;
 }
 
@@ -47,23 +102,16 @@ inline VectorList payloads(std::vector<Message>&& inbox) {
 /// does inside the rules.
 inline GradientBatch payload_batch(const std::vector<Message>& inbox) {
   if (inbox.empty()) return GradientBatch();
-  GradientBatch batch(inbox.size(), inbox.front().payload.size());
+  const std::size_t dim = inbox.front().payload.size();
+  GradientBatch batch(inbox.size(), dim);
   for (std::size_t i = 0; i < inbox.size(); ++i) {
-    batch.set_row(i, inbox[i].payload);
-  }
-  return batch;
-}
-
-/// Rvalue overload: consumes the inbox, releasing each payload's heap
-/// block as soon as it has been packed — the gather into contiguous
-/// storage is then the only copy a payload pays after the engine moved it
-/// into the Message.
-inline GradientBatch payload_batch(std::vector<Message>&& inbox) {
-  if (inbox.empty()) return GradientBatch();
-  GradientBatch batch(inbox.size(), inbox.front().payload.size());
-  for (std::size_t i = 0; i < inbox.size(); ++i) {
-    batch.set_row(i, inbox[i].payload);
-    Vector().swap(inbox[i].payload);
+    const PayloadView& p = inbox[i].payload;
+    if (p.size() != dim) {
+      throw std::invalid_argument(
+          "payload_batch: payload dimensions disagree");
+    }
+    double* row = batch.row(i);
+    for (std::size_t k = 0; k < dim; ++k) row[k] = p[k];
   }
   return batch;
 }

@@ -1,0 +1,55 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace bcl {
+
+namespace {
+constexpr std::size_t kMinChunkDoubles = 4096;  // 32 KiB
+}
+
+double* DoubleArena::allocate(std::size_t n) {
+  while (active_ < chunks_.size() &&
+         chunks_[active_].cursor + n > chunks_[active_].size) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    // Geometric growth over the arena's total footprint keeps the chunk
+    // count logarithmic in the high-water mark.
+    const std::size_t grown = std::max(kMinChunkDoubles, capacity());
+    Chunk chunk;
+    chunk.size = std::max(n, grown);
+    chunk.data = std::make_unique<double[]>(chunk.size);
+    chunks_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = chunks_[active_];
+  double* out = chunk.data.get() + chunk.cursor;
+  chunk.cursor += n;
+  used_ += n;
+  return out;
+}
+
+void DoubleArena::reset() {
+  if (chunks_.size() > 1) {
+    // Coalesce: one chunk of the full footprint, so the next fill never
+    // chains (and never strands tail space in earlier chunks).
+    const std::size_t total = capacity();
+    chunks_.clear();
+    Chunk chunk;
+    chunk.size = total;
+    chunk.data = std::make_unique<double[]>(total);
+    chunks_.push_back(std::move(chunk));
+  } else if (!chunks_.empty()) {
+    chunks_.front().cursor = 0;
+  }
+  active_ = 0;
+  used_ = 0;
+}
+
+std::size_t DoubleArena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+}  // namespace bcl

@@ -1,0 +1,54 @@
+#pragma once
+// Monotonic chunked arena for double payload storage.
+//
+// The event engine stores every in-flight round value exactly once and
+// hands receivers read-only spans into that storage (network/message.hpp),
+// so the per-round allocation pattern is: many variable-length payload
+// writes while the round is open, then one bulk release when every honest
+// node has sealed the round.  A general-purpose allocator pays a
+// malloc/free pair per payload for that pattern; this arena pays one
+// pointer bump per payload and recycles its chunks across rounds, so a
+// steady-state simulation stops allocating entirely after the first few
+// rounds.
+//
+// Not thread-safe: allocation happens on the engine's driving thread (the
+// serial value-commit phase); worker threads only read through previously
+// returned pointers, which stay stable until reset() — chunks are never
+// moved or grown in place.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace bcl {
+
+class DoubleArena {
+ public:
+  /// Bump-allocates `n` doubles (uninitialized).  The block stays valid
+  /// until reset(); n == 0 returns a non-null one-past pointer so empty
+  /// payloads still get a distinct "present" address.
+  double* allocate(std::size_t n);
+
+  /// Releases every allocation at once and recycles the storage: chunks
+  /// are kept (coalesced into one when the arena had to chain several), so
+  /// the next fill of similar size allocates nothing.
+  void reset();
+
+  /// Doubles handed out since the last reset().
+  std::size_t used() const { return used_; }
+  /// Doubles of backing storage currently held.
+  std::size_t capacity() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<double[]> data;
+    std::size_t size = 0;
+    std::size_t cursor = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunks_[active_] is the one being bumped
+  std::size_t used_ = 0;
+};
+
+}  // namespace bcl

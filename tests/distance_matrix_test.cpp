@@ -18,6 +18,8 @@
 #include "geometry/min_diameter.hpp"
 #include "geometry/subsets.hpp"
 #include "linalg/distance_matrix.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/sparse_rows.hpp"
 #include "linalg/workspace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -276,6 +278,125 @@ TEST(WorkspaceRegression, RoundFunctionsMatchLegacyStep) {
     EXPECT_EQ(round->step(received, ws, current, ctx),
               round->step(received, current, ctx))
         << "round function " << name;
+  }
+}
+
+// --- sparse (SpGEMM) build vs pairwise vs dense ---
+
+/// Random sparse batch at the given density; `offset` adds a large common
+/// value on a shared coordinate set to provoke Gram-identity cancellation.
+SparseRows random_sparse(Rng& rng, std::size_t m, std::size_t d,
+                         double density, double offset = 0.0) {
+  SparseRows rows(d);
+  std::vector<std::uint32_t> idx;
+  std::vector<double> val;
+  for (std::size_t i = 0; i < m; ++i) {
+    idx.clear();
+    val.clear();
+    for (std::size_t k = 0; k < d; ++k) {
+      const bool shared = offset != 0.0 && k < d / 100 + 1;
+      if (!shared && rng.uniform() >= density) continue;
+      idx.push_back(static_cast<std::uint32_t>(k));
+      val.push_back(rng.uniform(-1.0, 1.0) * 1e-3 + (shared ? offset : 0.0));
+    }
+    rows.push_row(idx.data(), val.data(), val.size());
+  }
+  return rows;
+}
+
+VectorList densify(const SparseRows& rows) {
+  VectorList out;
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    Vector v(rows.dim(), 0.0);
+    rows.decode_row_into(i, v.data());
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// The pre-SpGEMM sparse build: m^2/2 pairwise merge kernels with the same
+/// cancellation guard the production constructor uses.
+std::vector<double> pairwise_sparse_d2(const SparseRows& rows) {
+  const std::size_t m = rows.rows();
+  std::vector<double> norms(m), d2(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    norms[i] = kernels::sparse_dot_sparse(
+        rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+        rows.row_indices(i), rows.row_values(i), rows.row_nnz(i));
+  }
+  constexpr double kCancelGuard = 1.0e-6;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double g = kernels::sparse_dot_sparse(
+          rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+          rows.row_indices(j), rows.row_values(j), rows.row_nnz(j));
+      double s = norms[i] + norms[j] - 2.0 * g;
+      const double scale = norms[i] + norms[j];
+      if (s < kCancelGuard * scale) {
+        s = kernels::sparse_diff_norm2(
+            rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+            rows.row_indices(j), rows.row_values(j), rows.row_nnz(j));
+      }
+      d2[i * m + j] = d2[j * m + i] = s;
+    }
+  }
+  return d2;
+}
+
+TEST(SparseDistanceMatrix, SpgemmMatchesPairwiseBitwiseAndDenseClosely) {
+  Rng rng(31);
+  const std::size_t m = 40, d = 500;
+  const SparseRows rows = random_sparse(rng, m, d, 0.05);
+  const DistanceMatrix sparse(rows);
+  const DistanceMatrix dense(densify(rows));
+  const std::vector<double> pairwise = pairwise_sparse_d2(rows);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      // The SpGEMM row accumulates each pair's common coordinates in the
+      // same order as the pairwise merge: bitwise, not approximately.
+      EXPECT_EQ(sparse.dist2(i, j), pairwise[i * m + j])
+          << "pair " << i << "," << j;
+      EXPECT_NEAR(sparse.dist2(i, j), dense.dist2(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(SparseDistanceMatrix, LargeCommonOffsetStaysAccurate) {
+  // Rows share a ~1e8 offset on a few coordinates with 1e-3-scale deltas:
+  // the Gram identity cancels catastrophically (||x||^2 ~ 1e16, true
+  // distance ~ 1e-6), the guard must kick in on the SpGEMM path exactly as
+  // it did pairwise, and the result must match the direct difference form.
+  Rng rng(33);
+  const std::size_t m = 12, d = 300;
+  const SparseRows rows = random_sparse(rng, m, d, 0.05, 1.0e8);
+  const DistanceMatrix sparse(rows);
+  const std::vector<double> pairwise = pairwise_sparse_d2(rows);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(sparse.dist2(i, j), pairwise[i * m + j]);
+      if (i == j) continue;
+      const double direct = kernels::sparse_diff_norm2(
+          rows.row_indices(i), rows.row_values(i), rows.row_nnz(i),
+          rows.row_indices(j), rows.row_values(j), rows.row_nnz(j));
+      // Guard engaged: the stored distance is the difference form, not the
+      // cancelled Gram value (which would be off by orders of magnitude).
+      EXPECT_EQ(sparse.dist2(i, j), direct);
+      EXPECT_GT(direct, 0.0);
+      EXPECT_LT(direct, 1.0);  // deltas are 1e-3-scale: sanity of the regime
+    }
+  }
+}
+
+TEST(SparseDistanceMatrix, PoolBuildIdenticalToSerial) {
+  Rng rng(35);
+  const SparseRows rows = random_sparse(rng, 30, 400, 0.08);
+  ThreadPool pool(4);
+  const DistanceMatrix serial(rows);
+  const DistanceMatrix parallel(rows, &pool);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      EXPECT_EQ(serial.dist2(i, j), parallel.dist2(i, j));
+    }
   }
 }
 

@@ -16,6 +16,13 @@
 namespace bcl {
 namespace {
 
+/// Owned copy of a delivered message: payloads are views valid only during
+/// receive(), so a recorder that keeps them must materialize them.
+struct Recorded {
+  std::size_t sender = 0;
+  Vector payload;
+};
+
 /// Records everything it receives; broadcasts a constant tagged by id.
 class RecordingProcess final : public HonestProcess {
  public:
@@ -26,16 +33,20 @@ class RecordingProcess final : public HonestProcess {
   }
 
   void receive(std::size_t round, std::vector<Message>&& inbox) override {
-    inboxes_[round] = std::move(inbox);
+    auto& recorded = inboxes_[round];
+    recorded.reserve(inbox.size());
+    for (const Message& msg : inbox) {
+      recorded.push_back({msg.sender, msg.payload.to_vector()});
+    }
   }
 
-  const std::map<std::size_t, std::vector<Message>>& inboxes() const {
+  const std::map<std::size_t, std::vector<Recorded>>& inboxes() const {
     return inboxes_;
   }
 
  private:
   std::size_t id_;
-  std::map<std::size_t, std::vector<Message>> inboxes_;
+  std::map<std::size_t, std::vector<Recorded>> inboxes_;
 };
 
 std::vector<HonestProcess*> as_pointers(
@@ -243,27 +254,38 @@ TEST(Adversary, CrashRequiresMatchingValues) {
 }
 
 TEST(Message, PayloadsPreserveOrder) {
-  std::vector<Message> inbox{{0, {1.0}}, {2, {3.0}}};
+  const Vector a{1.0};
+  const Vector b{3.0};
+  std::vector<Message> inbox{{0, PayloadView(a), 8}, {2, PayloadView(b), 8}};
   const VectorList p = payloads(inbox);
   ASSERT_EQ(p.size(), 2u);
   EXPECT_DOUBLE_EQ(p[1][0], 3.0);
 }
 
-TEST(Message, RvaluePayloadsAndBatchConsumeTheInbox) {
-  // The receive() hand-off owns the inbox, so the rvalue overloads steal
-  // the payload buffers instead of copying them.
-  std::vector<Message> inbox{{0, {1.0, 2.0}}, {2, {3.0, 4.0}}};
-  const double* stolen = inbox[1].payload.data();
-  const VectorList p = payloads(std::move(inbox));
+TEST(Message, PayloadsAndBatchMaterializeOwnedCopies) {
+  // Payloads are views into engine-owned storage; the extraction helpers
+  // are where the one copy happens, so the results must not alias the
+  // backing buffer.
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 4.0};
+  std::vector<Message> inbox{{0, PayloadView(a), 16}, {2, PayloadView(b), 16}};
+  const VectorList p = payloads(inbox);
   ASSERT_EQ(p.size(), 2u);
-  EXPECT_EQ(p[1].data(), stolen);  // moved, not copied
-  EXPECT_DOUBLE_EQ(p[1][1], 4.0);
+  EXPECT_NE(p[1].data(), b.data());  // copied, not aliased
+  a[0] = 9.0;                        // backing changes after the copy...
+  EXPECT_DOUBLE_EQ(p[0][0], 1.0);    // ...the extracted copy does not
 
-  std::vector<Message> inbox2{{0, {1.0, 2.0}}, {2, {3.0, 4.0}}};
-  const GradientBatch batch = payload_batch(std::move(inbox2));
+  const GradientBatch batch = payload_batch(inbox);
   ASSERT_EQ(batch.rows(), 2u);
   EXPECT_DOUBLE_EQ(batch.row(1)[0], 3.0);
-  EXPECT_TRUE(inbox2[0].payload.empty());  // released as it was packed
+  EXPECT_DOUBLE_EQ(batch.row(0)[0], 9.0);  // packed from the live view
+}
+
+TEST(Message, PayloadBatchRejectsDimensionMismatch) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0};
+  std::vector<Message> inbox{{0, PayloadView(a), 16}, {2, PayloadView(b), 8}};
+  EXPECT_THROW(payload_batch(inbox), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fail on hot-path benchmark regressions against a committed baseline.
+
+Compares a freshly emitted BENCH_*.json (the {"meta": ..., "records":
+...} shape of bench/bench_json.hpp; the legacy bare-list shape is also
+accepted) against a baseline committed under bench/baseline/.  Records
+pair up by (op, m, d).
+
+Two kinds of comparison, because CI machines are not the machines that
+recorded the baselines:
+
+  * speedup ratios (speedup_vs_naive) are machine-independent — the
+    optimized and reference paths ran on the same box — so they are
+    always checked: a hot path must not lose more than --threshold of
+    its recorded advantage.
+  * absolute ns_op is checked only when the current meta.machine string
+    equals the baseline's, i.e. when the numbers are actually
+    comparable.
+
+Exit status is non-zero if any checked record regressed by more than the
+threshold (default 15%).  Records present on only one side are reported
+but never fail the gate, so adding or retiring a benchmark does not need
+a lockstep baseline refresh.
+
+Refresh a baseline by copying the current file over it:
+    python3 tools/check_bench_regression.py baseline.json current.json --update
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    """Returns (meta dict, records list) from either JSON shape."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, list):  # legacy: bare record list, no metadata
+        return {}, data
+    return data.get("meta", {}), data.get("records", [])
+
+
+def key(record):
+    return (record.get("op"), record.get("m"), record.get("d"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly emitted BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed fractional regression (default 0.15 = 15%%)")
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy current over baseline instead of checking")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline refreshed: {args.current} -> {args.baseline}")
+        return 0
+
+    base_meta, base_records = load(args.baseline)
+    cur_meta, cur_records = load(args.current)
+    base_by_key = {key(r): r for r in base_records}
+    cur_by_key = {key(r): r for r in cur_records}
+
+    same_machine = bool(base_meta.get("machine")) and (
+        base_meta.get("machine") == cur_meta.get("machine"))
+    print(f"baseline machine: {base_meta.get('machine', '?')!r}, "
+          f"current machine: {cur_meta.get('machine', '?')!r} -> "
+          f"absolute-time checks {'ON' if same_machine else 'OFF'}")
+
+    failures = []
+    for k, base in sorted(base_by_key.items(), key=str):
+        cur = cur_by_key.get(k)
+        label = f"{k[0]} m={k[1]} d={k[2]}"
+        if cur is None:
+            print(f"  [gone]  {label}: not in current run")
+            continue
+        base_speedup = base.get("speedup_vs_naive", 0.0)
+        cur_speedup = cur.get("speedup_vs_naive", 0.0)
+        if base_speedup > 0.0:
+            floor = base_speedup * (1.0 - args.threshold)
+            verdict = "FAIL" if cur_speedup < floor else "ok"
+            print(f"  [{verdict:>4}]  {label}: speedup {cur_speedup:.2f}x "
+                  f"vs baseline {base_speedup:.2f}x (floor {floor:.2f}x)")
+            if cur_speedup < floor:
+                failures.append(f"{label}: speedup {cur_speedup:.2f}x fell "
+                                f"below {floor:.2f}x")
+        if same_machine and base.get("ns_op", 0.0) > 0.0:
+            ceiling = base["ns_op"] * (1.0 + args.threshold)
+            cur_ns = cur.get("ns_op", 0.0)
+            verdict = "FAIL" if cur_ns > ceiling else "ok"
+            print(f"  [{verdict:>4}]  {label}: {cur_ns:.1f} ns/op vs "
+                  f"baseline {base['ns_op']:.1f} (ceiling {ceiling:.1f})")
+            if cur_ns > ceiling:
+                failures.append(f"{label}: {cur_ns:.1f} ns/op exceeded "
+                                f"{ceiling:.1f}")
+    for k in sorted(set(cur_by_key) - set(base_by_key), key=str):
+        print(f"  [new ]  {k[0]} m={k[1]} d={k[2]}: no baseline yet")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
