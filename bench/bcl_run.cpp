@@ -27,9 +27,16 @@
 //   # print the expanded grid (one spec per line) without running a cell
 //   ./bcl_run --rules KRUM,BOX-GEOM --fs 1,2 --dry-run
 //
+//   # fault-injection sweep (FaultConfig grammar values contain commas,
+//   # so --faults is ';'-separated like --nets/--comps); bounded-staleness
+//   # server with tau=2
+//   ./bcl_run --rules BOX-GEOM --stale 2 \
+//       --faults "none;churn:leave=0.2,join=0.5,cap=0.3"
+//
 // Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets,
-// --comps.  Shared scalar overrides: --n, --t, --model, --full, --rounds,
-// --batch, --lr, --subrounds, --delay, --net, --comp, --seed, --eval-max.
+// --comps, --faults.  Shared scalar overrides: --n, --t, --model, --full,
+// --rounds, --batch, --lr, --subrounds, --delay, --net, --comp, --stale,
+// --seed, --eval-max.
 // Artifacts: --csv <base>, --json <file>.  --threads attaches a worker
 // pool; --jobs N runs independent sweep cells concurrently (artifact row
 // order stays deterministic — cells are replayed through the emitters in
@@ -91,6 +98,16 @@ void print_registries() {
   for (const auto& family : bcl::delay_family_names()) {
     std::cout << " " << family;
   }
+  std::cout << "\n\nfault plans (faults=name[:key=value,...]):\n ";
+  for (const auto& [family, params] : bcl::fault_parameter_table()) {
+    std::cout << " " << family;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::cout << (i == 0 ? ":" : ",") << params[i] << "=<v>";
+    }
+  }
+  std::cout << "\n\nbounded staleness (stale=none | stale=<tau>[,key=...]):"
+               "\n  keys:";
+  for (const auto& key : bcl::stale_config_keys()) std::cout << " " << key;
   std::cout << "\n\nSee docs/scenarios.md for the full reference.\n";
 }
 
@@ -101,10 +118,10 @@ int main(int argc, char** argv) {
   using experiments::ScenarioSpec;
   const CliArgs args(argc, argv,
                      {"list", "scenario", "rules", "attacks", "topologies",
-                      "hets", "fs", "nets", "comps", "n", "t", "model",
-                      "full", "rounds", "batch", "lr", "subrounds", "delay",
-                      "net", "comp", "seed", "eval-max", "csv", "json",
-                      "threads", "jobs", "dry-run"});
+                      "hets", "fs", "nets", "comps", "faults", "n", "t",
+                      "model", "full", "rounds", "batch", "lr", "subrounds",
+                      "delay", "net", "comp", "stale", "seed", "eval-max",
+                      "csv", "json", "threads", "jobs", "dry-run"});
   if (args.get_bool("list", false)) {
     print_registries();
     return 0;
@@ -114,7 +131,7 @@ int main(int argc, char** argv) {
   // the spec grammar's own strict validation (flag name == spec key).
   const std::vector<std::string> scalar_keys = {
       "n",  "t",     "model",     "rounds", "batch",    "lr",
-      "subrounds", "delay", "net", "comp", "seed",   "eval-max"};
+      "subrounds", "delay", "net", "comp", "stale", "seed", "eval-max"};
 
   std::vector<ScenarioSpec> specs;
   try {
@@ -124,7 +141,7 @@ int main(int argc, char** argv) {
       // contradict the CLI's fail-loudly design.
       for (const char* axis :
            {"rules", "attacks", "topologies", "hets", "fs", "nets",
-            "comps"}) {
+            "comps", "faults"}) {
         if (args.has(axis)) {
           throw std::invalid_argument(
               std::string("--scenario cannot be combined with the sweep "
@@ -162,6 +179,9 @@ int main(int argc, char** argv) {
       }
       axes.nets = split_list(args.get_string("nets", "sync"), ';');
       axes.comps = split_list(args.get_string("comps", "identity"), ';');
+      // Fault grammar values embed commas too ("churn:leave=0.2,cap=0.3"),
+      // so --faults is ';'-separated like --nets/--comps.
+      axes.faults = split_list(args.get_string("faults", "none"), ';');
       specs = experiments::expand_sweep(axes, [&](ScenarioSpec& spec) {
         bench::apply_scalar_flags(args, scalar_keys, spec);
       });

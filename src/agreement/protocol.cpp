@@ -143,6 +143,11 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
     net_config.codec = config.codec;
     net_config.codec_seed = config.codec_seed;
   }
+  if (config.faults != nullptr) {
+    net_config.faults = config.faults;
+    net_config.fault_round_offset = config.fault_round;
+    net_config.fault_membership_frozen = true;
+  }
   if (config.net.async) {
     delay_model = make_delay_model(config.net, config.n);
     net_config.delay = delay_model.get();

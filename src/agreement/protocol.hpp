@@ -59,6 +59,14 @@ struct AgreementConfig {
   /// sizes the trainer produced).  Empty, or HonestProcess::kDenseWire at
   /// an entry = price that input dense.  Ignored without a codec.
   std::vector<std::size_t> input_wire_bytes;
+  /// Liveness schedule (not owned; must outlive the run).  Membership is
+  /// frozen at the plan's `fault_round` across every sub-round of this
+  /// agreement instance: the decentralized trainer runs one instance per
+  /// learning round and advances the plan between them, so the quorum
+  /// degrades with the learning round's live set but sub-rounds stay
+  /// internally consistent.  nullptr = everyone up.
+  const FaultPlan* faults = nullptr;
+  std::size_t fault_round = 0;
 };
 
 /// Per-round convergence trace.

@@ -49,6 +49,17 @@ std::optional<Vector> OppositeMeanAttack::corrupt(
   return scale(mean(honest_gradients), -scale_);
 }
 
+std::optional<Vector> StaleStrikeAttack::corrupt(
+    const Vector& own_gradient, const VectorList& honest_gradients,
+    std::size_t /*round*/, Rng& /*rng*/) const {
+  // Strike only into thin cohorts when a threshold is set; blending in
+  // with an honest-looking gradient otherwise keeps the attacker under
+  // the radar of history-free defences.
+  if (cohort_ > 0 && honest_gradients.size() > cohort_) return own_gradient;
+  if (honest_gradients.empty()) return scale(own_gradient, -scale_);
+  return scale(mean(honest_gradients), -scale_);
+}
+
 std::optional<Vector> ALittleIsEnoughAttack::corrupt(
     const Vector& own_gradient, const VectorList& honest_gradients,
     std::size_t /*round*/, Rng& /*rng*/) const {

@@ -62,6 +62,20 @@ class GradientAttack {
   /// Byzantine shards, so the "own gradient" passed to corrupt() is already
   /// computed on poisoned data.  Default: false.
   virtual bool poisons_labels() const { return false; }
+
+  /// Staleness the attacker claims for the upload it starts in `round`
+  /// under a bounded-staleness server with acceptance bound `tau` (the
+  /// stale= dimension): the submission arrives that many versions late,
+  /// disguised as an honest straggler.  The caller clamps to tau.  Most
+  /// attacks rush (0, the default); StaleStrikeAttack returns tau so its
+  /// poison lands in the thinnest accepted cohort.  Pure function of its
+  /// arguments, like corrupt().
+  virtual std::size_t submit_staleness(std::size_t round,
+                                       std::size_t tau) const {
+    (void)round;
+    (void)tau;
+    return 0;
+  }
 };
 
 using GradientAttackPtr = std::shared_ptr<const GradientAttack>;
@@ -144,6 +158,34 @@ class OppositeMeanAttack : public GradientAttack {
 
  private:
   double scale_;
+};
+
+/// Staleness-exploiting strike (the stale= dimension's adversary): delays
+/// every submission to land at exactly the maximal accepted staleness
+/// (submit_staleness returns tau), then submits -scale * mean of the honest
+/// gradients that arrived alongside it.  Late rounds are where the cohort
+/// is thinnest — stragglers rejected, crashed clients absent — so the same
+/// opposite-mean poison meets the least honest mass that can outvote it;
+/// `cohort` > 0 additionally holds fire (honest pass-through) whenever more
+/// than that many honest gradients landed in the round.
+class StaleStrikeAttack final : public GradientAttack {
+ public:
+  explicit StaleStrikeAttack(double attack_scale = 1.0,
+                             std::size_t cohort = 0)
+      : scale_(attack_scale), cohort_(cohort) {}
+  std::string name() const override { return "stale-strike"; }
+  std::optional<Vector> corrupt(const Vector& own_gradient,
+                                const VectorList& honest_gradients,
+                                std::size_t round, Rng& rng) const override;
+  std::size_t submit_staleness(std::size_t round,
+                               std::size_t tau) const override {
+    (void)round;
+    return tau;
+  }
+
+ private:
+  double scale_;
+  std::size_t cohort_;
 };
 
 /// "A Little Is Enough" (Baruch et al.): submits mean(honest) +

@@ -40,7 +40,8 @@ attack_parameter_table() {
                {"ipm", {"eps"}},
                {"mimic", {"target"}},
                {"min-max", {}},
-               {"label-flip", {}}};
+               {"label-flip", {}},
+               {"stale-strike", {"scale", "cohort"}}};
   return table;
 }
 
@@ -98,6 +99,10 @@ GradientAttackPtr make_attack(const std::string& name) {
   }
   if (family == "min-max") return std::make_shared<MinMaxAttack>();
   if (family == "label-flip") return std::make_shared<LabelFlipAttack>();
+  if (family == "stale-strike") {
+    return std::make_shared<StaleStrikeAttack>(
+        get_double(params, "scale", 1.0), get_size(params, "cohort", 0));
+  }
   // A table row without a matching branch is a registry bug, not user
   // input: fail loudly instead of silently constructing the wrong attack.
   throw std::logic_error("make_attack: family '" + family +

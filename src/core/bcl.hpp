@@ -37,6 +37,8 @@
 #include "experiments/runner.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/sweep.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/staleness.hpp"
 #include "geometry/convex2d.hpp"
 #include "geometry/enclosing_ball.hpp"
 #include "geometry/medoid.hpp"

@@ -21,7 +21,7 @@ ConsoleEmitter::ConsoleEmitter(std::ostream& os, std::size_t series_samples)
     : os_(os),
       series_samples_(std::max<std::size_t>(1, series_samples)),
       summary_({"scenario", "rule", "attack", "best acc", "final acc",
-                "rounds", "seconds", "MB", "comp x"}) {}
+                "rounds", "degr", "seconds", "MB", "comp x"}) {}
 
 void ConsoleEmitter::begin_scenario(const ScenarioSpec& spec) {
   series_.emplace_back(spec.name(), std::vector<RoundMetrics>{});
@@ -42,6 +42,7 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
         .add("FAILED")
         .add("FAILED")
         .add_int(static_cast<long long>(result.history.size()))
+        .add("-")
         .add_num(summary.seconds, 2)
         .add("-")
         .add("-");
@@ -56,6 +57,7 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
       .add_num(result.best_accuracy(), 4)
       .add_num(result.final_accuracy, 4)
       .add_int(static_cast<long long>(result.history.size()))
+      .add_int(static_cast<long long>(result.rounds_degraded_total()))
       .add_num(summary.seconds, 2)
       .add_num(result.bytes_total() / 1e6, 2)
       .add_num(result.compression_ratio(), 1);
@@ -67,7 +69,7 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
 
 void ConsoleEmitter::finish() {
   Table series({"scenario", "round", "accuracy", "loss", "grad diameter",
-                "sim s"});
+                "live", "sim s"});
   for (const auto& [name, rounds] : series_) {
     if (rounds.empty()) continue;
     const std::size_t stride =
@@ -80,6 +82,7 @@ void ConsoleEmitter::finish() {
           .add_num(rounds[i].accuracy, 4)
           .add_num(rounds[i].mean_honest_loss, 4)
           .add_num(rounds[i].gradient_diameter, 4)
+          .add_num(rounds[i].live_clients, 0)
           .add_num(rounds[i].sim_seconds, 3);
     }
   }
@@ -95,12 +98,14 @@ CsvEmitter::CsvEmitter(std::string base_path)
     : base_path_(std::move(base_path)),
       series_({"scenario", "round", "accuracy", "accuracy_min",
                "accuracy_max", "loss", "lr", "disagreement",
-               "gradient_diameter", "seconds", "sim_seconds", "bytes",
-               "compression_ratio"}),
+               "gradient_diameter", "live_clients", "stale_accepted",
+               "stale_rejected", "degraded", "seconds", "sim_seconds",
+               "bytes", "compression_ratio"}),
       summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
-                "f", "net", "comp", "best_accuracy", "final_accuracy",
-                "seconds", "sim_seconds", "bytes", "compression_ratio",
-                "error"}) {}
+                "f", "net", "comp", "faults", "stale", "best_accuracy",
+                "final_accuracy", "rounds_degraded", "stale_accepted",
+                "stale_rejected", "seconds", "sim_seconds", "bytes",
+                "compression_ratio", "error"}) {}
 
 void CsvEmitter::emit_round(const ScenarioSpec& spec,
                             const RoundMetrics& m) {
@@ -116,6 +121,10 @@ void CsvEmitter::emit_round(const ScenarioSpec& spec,
       .add_num(m.learning_rate, 6)
       .add_num(m.disagreement, 6)
       .add_num(m.gradient_diameter, 6)
+      .add_num(m.live_clients, 0)
+      .add_num(m.stale_accepted, 0)
+      .add_num(m.stale_rejected, 0)
+      .add_num(m.degraded, 0)
       .add_num(m.seconds, 4)
       .add_num(m.sim_seconds, 4)
       .add_num(m.bytes_delivered, 0)
@@ -133,8 +142,13 @@ void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
       .add_int(static_cast<long long>(summary.spec.byzantine))
       .add(summary.spec.net)
       .add(summary.spec.comp)
+      .add(summary.spec.faults)
+      .add(summary.spec.stale)
       .add_num(summary.result.best_accuracy(), 6)
       .add_num(summary.result.final_accuracy, 6)
+      .add_num(summary.result.rounds_degraded_total(), 0)
+      .add_num(summary.result.stale_accepted_total(), 0)
+      .add_num(summary.result.stale_rejected_total(), 0)
       .add_num(summary.seconds, 2)
       .add_num(sim_total, 3)
       .add_num(summary.result.bytes_total(), 0)
@@ -169,6 +183,9 @@ void JsonEmitter::end_scenario(const ScenarioSummary& summary) {
   entry.sim_seconds = summary.result.sim_seconds_total();
   entry.bytes = summary.result.bytes_total();
   entry.compression_ratio = summary.result.compression_ratio();
+  entry.rounds_degraded = summary.result.rounds_degraded_total();
+  entry.stale_accepted = summary.result.stale_accepted_total();
+  entry.stale_rejected = summary.result.stale_rejected_total();
   entry.error = summary.error;
 }
 
@@ -217,13 +234,19 @@ void JsonEmitter::finish() {
                  ml::heterogeneity_name(e.spec.heterogeneity),
                  e.spec.byzantine, escape_json(e.spec.net).c_str(),
                  escape_json(e.spec.comp).c_str());
+    std::fprintf(f, "   \"faults\": \"%s\", \"stale\": \"%s\",\n",
+                 escape_json(e.spec.faults).c_str(),
+                 escape_json(e.spec.stale).c_str());
     std::fprintf(f,
                  "   \"best_accuracy\": %.6f, \"final_accuracy\": %.6f, "
                  "\"seconds\": %.3f, \"sim_seconds\": %.4f, "
                  "\"bytes\": %.0f, \"compression_ratio\": %.3f, "
+                 "\"rounds_degraded\": %.0f, \"stale_accepted\": %.0f, "
+                 "\"stale_rejected\": %.0f, "
                  "\"error\": \"%s\",\n",
                  e.best_accuracy, e.final_accuracy, e.seconds, e.sim_seconds,
-                 e.bytes, e.compression_ratio,
+                 e.bytes, e.compression_ratio, e.rounds_degraded,
+                 e.stale_accepted, e.stale_rejected,
                  escape_json(e.error).c_str());
     std::fprintf(f, "   \"rounds\": [\n");
     for (std::size_t r = 0; r < e.rounds.size(); ++r) {
@@ -233,10 +256,13 @@ void JsonEmitter::finish() {
                    "\"loss\": %.6f, \"lr\": %.6f, "
                    "\"disagreement\": %.6g, "
                    "\"gradient_diameter\": %.6g, \"seconds\": %.4f, "
-                   "\"sim_seconds\": %.4f, \"bytes\": %.0f}%s\n",
+                   "\"sim_seconds\": %.4f, \"bytes\": %.0f, "
+                   "\"live\": %.0f, \"stale_acc\": %.0f, "
+                   "\"stale_rej\": %.0f, \"degraded\": %.0f}%s\n",
                    m.round, m.accuracy, m.mean_honest_loss, m.learning_rate,
                    m.disagreement, m.gradient_diameter, m.seconds,
-                   m.sim_seconds, m.bytes_delivered,
+                   m.sim_seconds, m.bytes_delivered, m.live_clients,
+                   m.stale_accepted, m.stale_rejected, m.degraded,
                    r + 1 < e.rounds.size() ? "," : "");
     }
     std::fprintf(f, "   ]}%s\n", i + 1 < entries_.size() ? "," : "");

@@ -101,6 +101,9 @@ class JsonEmitter final : public MetricsEmitter {
     double sim_seconds = 0.0;  ///< total simulated network time
     double bytes = 0.0;        ///< total delivered wire bytes
     double compression_ratio = 1.0;  ///< dense-equivalent / delivered
+    double rounds_degraded = 0.0;    ///< rounds below the designed quorum
+    double stale_accepted = 0.0;     ///< stale-but-within-tau submissions
+    double stale_rejected = 0.0;     ///< submissions older than tau
     std::string error;
   };
   std::string path_;

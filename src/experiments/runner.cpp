@@ -127,6 +127,8 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
       scale.lr, scale.lr / static_cast<double>(scale.rounds));
   cfg.heterogeneity = spec.heterogeneity;
   cfg.honest_delay_probability = spec.delay;
+  cfg.faults = FaultConfig::parse(spec.faults);
+  cfg.stale = StaleConfig::parse(spec.stale);
   cfg.net = NetConfig::parse(spec.net);
   cfg.net.seed = spec.seed;
   cfg.seed = spec.seed;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "compression/registry.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/staleness.hpp"
 #include "network/delay_model.hpp"
 #include "util/parse.hpp"
 
@@ -53,8 +55,8 @@ const std::vector<std::string>& scenario_keys() {
   static const std::vector<std::string> keys = {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
-      "lr",    "subrounds", "delay", "net",    "comp",   "seed",
-      "eval-max"};
+      "lr",    "subrounds", "delay", "net",    "comp",   "faults",
+      "stale", "seed",  "eval-max"};
   return keys;
 }
 
@@ -115,6 +117,15 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
     // registry rejects unknown families and keys with the menus attached.
     (void)make_codec(value);
     comp = value;
+  } else if (key == "faults") {
+    // Eager validation / verbatim storage, like `net` and `comp`: the
+    // fault grammar rejects unknown families and keys with the menus
+    // attached, and the artifact replays exactly what was written.
+    (void)FaultConfig::parse(value);
+    faults = value;
+  } else if (key == "stale") {
+    (void)StaleConfig::parse(value);
+    stale = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -164,6 +175,8 @@ std::string ScenarioSpec::to_string() const {
   out += " delay=" + format_g(delay);
   out += " net=" + net;
   out += " comp=" + comp;
+  out += " faults=" + faults;
+  out += " stale=" + stale;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -180,6 +193,8 @@ std::string ScenarioSpec::name() const {
   if (subrounds > 0) out += "/k" + std::to_string(subrounds);
   if (net != "sync") out += "/" + net;
   if (comp != "identity") out += "/" + comp;
+  if (faults != "none") out += "/" + faults;
+  if (stale != "none") out += "/stale:" + stale;
   return out;
 }
 

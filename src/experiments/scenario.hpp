@@ -38,8 +38,17 @@
 //   comp      gradient codec (make_codec grammar:
 //             identity | topk:frac=F | randk:frac=F |
 //             qsgd:levels=L)                             [identity]
+//   faults    fault-injection plan (FaultConfig grammar:
+//             none | crash:at=R,frac=F |
+//             crash-recover:mttf=,mttr=,frac=,cap= |
+//             straggler:factor=,frac= |
+//             churn:leave=,join=,burst=,p01=,p10=,cap=)  [none]
+//   stale     bounded-staleness server (StaleConfig
+//             grammar: none | "<tau>[,decay=D,quorum=Q]";
+//             centralized topology only)                 [none]
 //   seed      root RNG seed (drives data + training +
-//             network delays + codec randomness)         [11]
+//             network delays + codec randomness + fault
+//             schedules)                                 [11]
 //   eval-max  cap on test examples per evaluation (0 =
 //             all)                                       [0]
 //
@@ -102,6 +111,17 @@ struct ScenarioSpec {
   /// Codec grammar string (make_codec; validated eagerly by set(), stored
   /// verbatim).  "identity" = dense traffic, bitwise the pre-codec path.
   std::string comp = "identity";
+  /// Fault-injection grammar string (FaultConfig::parse: "none",
+  /// "crash:at=R,frac=F", "crash-recover:mttf=,mttr=,...",
+  /// "straggler:factor=,frac=", "churn:leave=,join=,...").  Validated
+  /// eagerly by set(), stored verbatim.  "none" = everyone up, bitwise the
+  /// pre-fault path.
+  std::string faults = "none";
+  /// Bounded-staleness grammar string (StaleConfig::parse: "none" or
+  /// "<tau>[,decay=D,quorum=Q]").  Centralized topology only (the runner
+  /// rejects it on decentralized specs).  Validated eagerly, stored
+  /// verbatim.
+  std::string stale = "none";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

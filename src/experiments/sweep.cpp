@@ -7,25 +7,28 @@ std::vector<ScenarioSpec> expand_sweep(
     const std::function<void(ScenarioSpec&)>& finalize) {
   std::vector<ScenarioSpec> specs;
   specs.reserve(axes.topologies.size() * axes.hets.size() * axes.fs.size() *
-                axes.nets.size() * axes.comps.size() * axes.rules.size() *
-                axes.attacks.size());
+                axes.nets.size() * axes.comps.size() * axes.faults.size() *
+                axes.rules.size() * axes.attacks.size());
   for (const auto& topology : axes.topologies) {
     for (const auto& het : axes.hets) {
       for (const auto& f : axes.fs) {
         for (const auto& net : axes.nets) {
           for (const auto& comp : axes.comps) {
-            for (const auto& rule : axes.rules) {
-              for (const auto& attack : axes.attacks) {
-                ScenarioSpec spec;
-                spec.set("topology", topology);
-                spec.set("het", het);
-                spec.set("f", f);
-                spec.set("net", net);
-                spec.set("comp", comp);
-                spec.set("rule", rule);
-                spec.set("attack", attack);
-                if (finalize) finalize(spec);
-                specs.push_back(std::move(spec));
+            for (const auto& fault : axes.faults) {
+              for (const auto& rule : axes.rules) {
+                for (const auto& attack : axes.attacks) {
+                  ScenarioSpec spec;
+                  spec.set("topology", topology);
+                  spec.set("het", het);
+                  spec.set("f", f);
+                  spec.set("net", net);
+                  spec.set("comp", comp);
+                  spec.set("faults", fault);
+                  spec.set("rule", rule);
+                  spec.set("attack", attack);
+                  if (finalize) finalize(spec);
+                  specs.push_back(std::move(spec));
+                }
               }
             }
           }

@@ -8,9 +8,9 @@
 // grid without running a cell and a test can assert that what would run
 // matches what does run, cell for cell.
 //
-// Axis nesting, outermost first: topology > het > f > net > comp > rule >
-// attack (the innermost axes vary fastest, so related cells sit next to
-// each other in the artifacts).
+// Axis nesting, outermost first: topology > het > f > net > comp >
+// faults > rule > attack (the innermost axes vary fastest, so related
+// cells sit next to each other in the artifacts).
 
 #include <functional>
 #include <string>
@@ -29,6 +29,7 @@ struct SweepAxes {
   std::vector<std::string> fs = {"1"};
   std::vector<std::string> nets = {"sync"};
   std::vector<std::string> comps = {"identity"};
+  std::vector<std::string> faults = {"none"};
   std::vector<std::string> rules = {"BOX-GEOM"};
   std::vector<std::string> attacks = {"sign-flip"};
 };

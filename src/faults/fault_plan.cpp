@@ -1,0 +1,255 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+namespace {
+
+// Distinct from message_stream's 0xD6E8FEB86659FD93 and codec_stream's
+// 0xC0DEC0DEC0DEC0DE salts: the three stream families derived from one
+// root seed must never alias (see RngStreamIsolation in faults_test).
+constexpr std::uint64_t kFaultStreamSalt = 0xFA177AB1E5EED001ull;
+
+const char* kContext = "FaultConfig::parse";
+
+double require_at_least_one(double value, const std::string& key) {
+  if (!(value >= 1.0)) {
+    throw std::invalid_argument(std::string(kContext) + ": '" + key +
+                                "' must be >= 1, got " +
+                                format_double_g(value));
+  }
+  return value;
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+fault_parameter_table() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      table = {
+          {"none", {}},
+          {"crash", {"at", "frac"}},
+          {"crash-recover", {"mttf", "mttr", "frac", "cap"}},
+          {"straggler", {"factor", "frac"}},
+          {"churn", {"leave", "join", "burst", "p01", "p10", "cap"}},
+      };
+  return table;
+}
+
+std::vector<std::string> all_fault_names() {
+  std::vector<std::string> names;
+  for (const auto& [family, params] : fault_parameter_table()) {
+    (void)params;
+    names.push_back(family);
+  }
+  return names;
+}
+
+Rng fault_stream(std::uint64_t seed, std::size_t node, std::size_t round) {
+  std::uint64_t state = splitmix64(seed ^ kFaultStreamSalt);
+  state = splitmix64(state ^ static_cast<std::uint64_t>(node));
+  state = splitmix64(state ^ static_cast<std::uint64_t>(round));
+  return Rng(state);
+}
+
+FaultConfig FaultConfig::parse(const std::string& text) {
+  std::string family;
+  SpecParams params;
+  split_spec_grammar(text, kContext, family, params);
+
+  FaultConfig out;
+  out.family = family;
+
+  const auto& table = fault_parameter_table();
+  const auto row = std::find_if(
+      table.begin(), table.end(),
+      [&](const auto& entry) { return entry.first == family; });
+  if (row == table.end()) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": unknown fault family '" + family +
+                                "' (valid: " + join_names(all_fault_names()) +
+                                ")");
+  }
+  reject_unknown_spec_params(family, params, row->second, kContext);
+
+  if (family == "none") return out;
+
+  if (family == "crash") {
+    out.frac = 0.3;
+    out.at = spec_param_u64(params, "at", out.at, kContext);
+    out.frac = spec_param_double(params, "frac", out.frac, kContext);
+    check_positive_fraction(out.frac, "frac", kContext);
+  } else if (family == "crash-recover") {
+    out.mttf = spec_param_double(params, "mttf", out.mttf, kContext);
+    out.mttr = spec_param_double(params, "mttr", out.mttr, kContext);
+    out.frac = spec_param_double(params, "frac", out.frac, kContext);
+    out.cap = spec_param_double(params, "cap", out.cap, kContext);
+    check_positive(out.mttf, "mttf", kContext);
+    check_positive(out.mttr, "mttr", kContext);
+    check_positive_fraction(out.frac, "frac", kContext);
+    check_positive_fraction(out.cap, "cap", kContext);
+  } else if (family == "straggler") {
+    out.frac = 0.2;
+    out.factor = spec_param_double(params, "factor", out.factor, kContext);
+    out.frac = spec_param_double(params, "frac", out.frac, kContext);
+    require_at_least_one(out.factor, "factor");
+    check_positive_fraction(out.frac, "frac", kContext);
+  } else if (family == "churn") {
+    out.leave = spec_param_double(params, "leave", out.leave, kContext);
+    out.join = spec_param_double(params, "join", out.join, kContext);
+    out.burst = spec_param_double(params, "burst", out.burst, kContext);
+    out.p01 = spec_param_double(params, "p01", out.p01, kContext);
+    out.p10 = spec_param_double(params, "p10", out.p10, kContext);
+    out.cap = spec_param_double(params, "cap", out.cap, kContext);
+    check_positive_fraction(out.leave, "leave", kContext);
+    check_positive_fraction(out.join, "join", kContext);
+    require_at_least_one(out.burst, "burst");
+    check_probability(out.p01, "p01", kContext);
+    check_probability(out.p10, "p10", kContext);
+    check_positive_fraction(out.cap, "cap", kContext);
+  }
+  return out;
+}
+
+std::string FaultConfig::to_string() const {
+  if (family == "none") return "none";
+  if (family == "crash") {
+    return "crash:at=" + std::to_string(at) +
+           ",frac=" + format_double_g(frac);
+  }
+  if (family == "crash-recover") {
+    return "crash-recover:mttf=" + format_double_g(mttf) +
+           ",mttr=" + format_double_g(mttr) + ",frac=" + format_double_g(frac) +
+           ",cap=" + format_double_g(cap);
+  }
+  if (family == "straggler") {
+    return "straggler:factor=" + format_double_g(factor) +
+           ",frac=" + format_double_g(frac);
+  }
+  return "churn:leave=" + format_double_g(leave) +
+         ",join=" + format_double_g(join) + ",burst=" + format_double_g(burst) +
+         ",p01=" + format_double_g(p01) + ",p10=" + format_double_g(p10) +
+         ",cap=" + format_double_g(cap);
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::size_t n,
+                     std::size_t horizon, std::uint64_t seed)
+    : config_(config), n_(n), horizon_(horizon) {
+  if (!config.any() || n == 0 || horizon == 0) {
+    horizon_ = 0;  // Degenerate plans answer alive()==true via the guard.
+    return;
+  }
+
+  alive_.assign(n * horizon, 1);
+  slowdown_.assign(n, 1.0);
+  live_count_.assign(horizon, n);
+  transitions_.assign(horizon, RoundTransitions{});
+
+  // Cohort: the first ceil(frac*n) entries of one seeded permutation, so
+  // the victim set is exact-size and independent of the per-round draws.
+  Rng cohort_rng(splitmix64(seed ^ kFaultStreamSalt));
+  const std::vector<std::size_t> order = cohort_rng.permutation(n);
+  const auto cohort_size = [&](double frac, std::size_t limit) {
+    auto k = static_cast<std::size_t>(std::ceil(frac * static_cast<double>(n)));
+    return std::min(std::max<std::size_t>(k, 1), limit);
+  };
+
+  // Simultaneous-down budget for the dynamic families; one node always
+  // survives regardless of cap.
+  std::size_t down_budget =
+      static_cast<std::size_t>(config.cap * static_cast<double>(n));
+  down_budget = std::min(down_budget, n - 1);
+
+  if (config.family == "crash") {
+    const std::size_t k = cohort_size(config.frac, n - 1);
+    for (std::size_t v = 0; v < k; ++v) {
+      const std::size_t node = order[v];
+      for (std::size_t r = config.at; r < horizon; ++r) {
+        alive_[node * horizon + r] = 0;
+      }
+    }
+    if (config.at < horizon) transitions_[config.at].crashes = k;
+  } else if (config.family == "straggler") {
+    const std::size_t k = cohort_size(config.frac, n);
+    for (std::size_t v = 0; v < k; ++v) slowdown_[order[v]] = config.factor;
+  } else if (config.family == "crash-recover" || config.family == "churn") {
+    const bool churn = config.family == "churn";
+    std::vector<std::uint8_t> in_cohort(n, churn ? 1 : 0);
+    if (!churn) {
+      const std::size_t k = cohort_size(config.frac, n);
+      for (std::size_t v = 0; v < k; ++v) in_cohort[order[v]] = 1;
+    }
+    std::vector<std::uint8_t> congested(n, 0);  // churn's hidden MMPP state.
+    std::vector<std::uint8_t> up(n, 1);         // everyone starts round 0 up.
+    const double fail = churn ? 0.0 : 1.0 / config.mttf;
+    const double recover = churn ? config.join : 1.0 / config.mttr;
+    std::size_t down_count = 0;
+
+    for (std::size_t r = 1; r < horizon; ++r) {
+      // Pure per-(node, round) draws: one chain draw (churn only), then one
+      // transition draw — identical regardless of what other nodes did.
+      std::vector<std::uint8_t> wants_down(n, 0), wants_up(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!in_cohort[i]) continue;
+        Rng draw = fault_stream(seed, i, r);
+        double leave_prob = fail;
+        if (churn) {
+          const double flip = draw.uniform();
+          if (congested[i] ? flip < config.p10 : flip < config.p01) {
+            congested[i] = static_cast<std::uint8_t>(!congested[i]);
+          }
+          leave_prob =
+              std::min(1.0, config.leave * (congested[i] ? config.burst : 1.0));
+        }
+        const double u = draw.uniform();
+        if (up[i]) {
+          wants_down[i] = u < leave_prob;
+        } else {
+          wants_up[i] = u < recover;
+        }
+      }
+      // Recoveries/joins first (they free budget), then crashes in node-id
+      // order until the simultaneous-down cap is reached; suppressed
+      // crashes simply stay up this round.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!wants_up[i]) continue;
+        up[i] = 1;
+        --down_count;
+        if (churn) {
+          ++transitions_[r].joins;
+        } else {
+          ++transitions_[r].recoveries;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!wants_down[i] || down_count >= down_budget) continue;
+        up[i] = 0;
+        ++down_count;
+        ++transitions_[r].crashes;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        alive_[i * horizon + r] = up[i];
+      }
+    }
+  }
+
+  // Derived per-round aggregates: live counts, the cap audit, epoch count.
+  for (std::size_t r = 0; r < horizon; ++r) {
+    std::size_t live = 0;
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      live += alive_[i * horizon + r];
+      changed = changed ||
+                (r > 0 && alive_[i * horizon + r] != alive_[i * horizon + r - 1]);
+    }
+    live_count_[r] = live;
+    max_down_ = std::max(max_down_, n - live);
+    if (changed) ++epochs_;
+  }
+}
+
+}  // namespace bcl

@@ -1,0 +1,170 @@
+#pragma once
+// Deterministic fault injection: who is up, who is slow, in which round.
+//
+// A FaultConfig is parsed from the registries' "family:key=val,..." grammar
+// (faults= in a ScenarioSpec, --faults on bcl_run) and expanded once into a
+// FaultPlan: a precomputed per-(node, round) liveness/slowdown table.  The
+// expansion draws every node's trajectory from its own fault_stream — a
+// splitmix64-derived stream keyed only by (seed, node, round), never by
+// thread schedule — and runs serially at construction, so the same config,
+// seed, and horizon replay bitwise under any --jobs count.  Consumers
+// (EventNetwork, the trainers) only issue const reads afterwards.
+//
+// Families:
+//   none                                 no faults (the default; plans are
+//                                        empty and every node is always up)
+//   crash:at=R,frac=F                    a frac-F cohort crashes permanently
+//                                        at round R (fail-stop)
+//   crash-recover:mttf=M,mttr=R,frac=F,cap=C
+//                                        a frac-F cohort alternates up/down
+//                                        renewal phases with geometric
+//                                        durations (means M and R rounds)
+//   straggler:factor=K,frac=F            a frac-F cohort stays up but sends
+//                                        K-times slower (delivery latency
+//                                        multiplier)
+//   churn:leave=P,join=Q,burst=B,p01=,p10=,cap=C
+//                                        MMPP-modulated join/leave: a hidden
+//                                        calm/bursty chain per node (switch
+//                                        probabilities p01/p10, the delay
+//                                        model's modulation) multiplies the
+//                                        per-round leave probability P by B
+//                                        in the bursty state; down nodes
+//                                        rejoin with probability Q per round
+//
+// cap bounds the fraction of nodes simultaneously down (transitions that
+// would exceed it are suppressed, in node-id order, during expansion) so
+// "at most 30% down at once" is a plan invariant, not a hope.  At least one
+// node is always kept alive regardless of cap.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bcl {
+
+/// Parsed faults= specification.  Fields not used by the family keep their
+/// defaults so the defaulted equality operator compares cleanly.
+struct FaultConfig {
+  std::string family = "none";
+
+  std::size_t at = 1;    ///< crash: the round the cohort goes down.
+  double frac = 1.0;     ///< cohort fraction (family-specific default).
+  double mttf = 10.0;    ///< crash-recover: mean rounds up before failing.
+  double mttr = 3.0;     ///< crash-recover: mean rounds down before recovery.
+  double factor = 4.0;   ///< straggler: latency multiplier (>= 1).
+  double leave = 0.05;   ///< churn: per-round leave probability (calm state).
+  double join = 0.3;     ///< churn: per-round rejoin probability when down.
+  double burst = 4.0;    ///< churn: leave multiplier in the bursty state.
+  double p01 = 0.1;      ///< churn: calm -> bursty switch probability.
+  double p10 = 0.5;      ///< churn: bursty -> calm switch probability.
+  double cap = 0.5;      ///< max fraction simultaneously down.
+
+  /// True when the config injects any fault at all.
+  bool any() const { return family != "none"; }
+
+  /// Parses "family:key=val,..." with eager validation: unknown families
+  /// and parameters fail with the registry-style "valid: ..." menus, and
+  /// rates/fractions are range-checked (zero and negative rates rejected).
+  static FaultConfig parse(const std::string& text);
+
+  /// Canonical spec string; parse(to_string()) round-trips exactly.  Emits
+  /// every parameter of the family so the canonical form is self-contained.
+  std::string to_string() const;
+
+  bool operator==(const FaultConfig& other) const = default;
+};
+
+/// Family -> parameter-name rows, in menu order; drives both validation
+/// and `bcl_run --list` (mirrors attack_parameter_table()).
+const std::vector<std::pair<std::string, std::vector<std::string>>>&
+fault_parameter_table();
+
+/// All valid family names, for rejection menus.
+std::vector<std::string> all_fault_names();
+
+/// The per-(node, round) fault decision stream.  Chained through splitmix64
+/// with a constant distinct from message_stream's and codec_stream's, so
+/// fault schedules, delivery delays, and codec draws keyed from the same
+/// root seed never collide (tested in tests/faults_test.cpp).
+Rng fault_stream(std::uint64_t seed, std::size_t node, std::size_t round);
+
+/// The expanded schedule: liveness, slowdown, and membership-change counts
+/// per round, immutable after construction.
+class FaultPlan {
+ public:
+  /// Per-round membership transition counters, split by direction:
+  /// crashes are down-transitions; up-transitions count as recoveries
+  /// under crash-recover and as joins under churn.
+  struct RoundTransitions {
+    std::size_t crashes = 0;
+    std::size_t recoveries = 0;
+    std::size_t joins = 0;
+  };
+
+  /// Empty plan: no faults, zero nodes.  alive() is true for everything.
+  FaultPlan() = default;
+
+  /// Expands `config` for `n` nodes over `horizon` rounds.
+  FaultPlan(const FaultConfig& config, std::size_t n, std::size_t horizon,
+            std::uint64_t seed);
+
+  bool any() const { return config_.any(); }
+  const FaultConfig& config() const { return config_; }
+  std::size_t nodes() const { return n_; }
+  std::size_t horizon() const { return horizon_; }
+
+  /// Is `node` up during `round`?  Rounds beyond the horizon freeze at the
+  /// final planned round (membership stops changing after the plan ends).
+  bool alive(std::size_t node, std::size_t round) const {
+    if (!any() || horizon_ == 0) return true;
+    return alive_[node * horizon_ + clamp_round(round)] != 0;
+  }
+
+  /// Latency multiplier for messages sent by `node` (1.0 unless the node
+  /// is a straggler).
+  double slowdown(std::size_t node) const {
+    return slowdown_.empty() ? 1.0 : slowdown_[node];
+  }
+
+  /// Number of live nodes in `round` (n when the plan is empty).
+  std::size_t live_count(std::size_t round) const {
+    if (!any() || horizon_ == 0) return n_;
+    return live_count_[clamp_round(round)];
+  }
+
+  /// Membership transitions that took effect entering `round`.
+  const RoundTransitions& transitions(std::size_t round) const {
+    static const RoundTransitions kNone;
+    if (!any() || horizon_ == 0) return kNone;
+    return transitions_[clamp_round(round)];
+  }
+
+  /// Largest number of simultaneously-down nodes over the horizon (the
+  /// cap invariant: max_down() <= max(1, floor(cap * n)) and < n).
+  std::size_t max_down() const { return max_down_; }
+
+  /// Number of membership epochs: maximal spans of rounds with identical
+  /// live sets.  1 for a fault-free plan.
+  std::size_t epochs() const { return epochs_; }
+
+ private:
+  std::size_t clamp_round(std::size_t round) const {
+    return round < horizon_ ? round : horizon_ - 1;
+  }
+
+  FaultConfig config_;
+  std::size_t n_ = 0;
+  std::size_t horizon_ = 0;
+  std::vector<std::uint8_t> alive_;       // n x horizon, row-major by node.
+  std::vector<double> slowdown_;          // per node; empty = all 1.0.
+  std::vector<std::size_t> live_count_;   // per round.
+  std::vector<RoundTransitions> transitions_;
+  std::size_t max_down_ = 0;
+  std::size_t epochs_ = 1;
+};
+
+}  // namespace bcl

@@ -1,0 +1,52 @@
+#include "faults/staleness.hpp"
+
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace bcl {
+namespace {
+const char* kContext = "StaleConfig::parse";
+}
+
+const std::vector<std::string>& stale_config_keys() {
+  static const std::vector<std::string> keys = {"decay", "quorum"};
+  return keys;
+}
+
+StaleConfig StaleConfig::parse(const std::string& text) {
+  StaleConfig out;
+  if (text == "none") return out;
+
+  // Leading token is the staleness bound itself; the optional tail is a
+  // comma-separated key=val list sharing the registries' strict parsing.
+  const std::size_t comma = text.find(',');
+  const std::string head = text.substr(0, comma);
+  out.tau = parse_strict_u64(head, std::string(kContext) + ": tau");
+  if (out.tau == 0) {
+    throw std::invalid_argument(std::string(kContext) +
+                                ": tau must be >= 1 (use 'none' to disable)");
+  }
+  if (comma != std::string::npos) {
+    const SpecParams params =
+        split_param_list(text.substr(comma + 1), kContext);
+    reject_unknown_spec_params("stale", params, stale_config_keys(), kContext);
+    out.decay = spec_param_double(params, "decay", out.decay, kContext);
+    out.quorum = spec_param_double(params, "quorum", out.quorum, kContext);
+    check_positive_fraction(out.decay, "decay", kContext);
+    if (out.quorum != 0.0) {
+      check_positive_fraction(out.quorum, "quorum", kContext);
+    }
+  }
+  return out;
+}
+
+std::string StaleConfig::to_string() const {
+  if (!enabled()) return "none";
+  std::string out = std::to_string(tau);
+  if (decay != 1.0) out += ",decay=" + format_double_g(decay);
+  if (quorum != 0.0) out += ",quorum=" + format_double_g(quorum);
+  return out;
+}
+
+}  // namespace bcl

@@ -1,0 +1,46 @@
+#pragma once
+// Bounded-staleness round policy for the centralized trainer.
+//
+// stale= grammar: "none" (the default lockstep barrier) or
+// "<tau>[,key=val,...]" — the server advances on a quorum of gradients no
+// older than tau model versions.  A gradient computed against version v and
+// arriving at version v' has staleness s = v' - v; s == 0 is fresh,
+// 0 < s <= tau is accepted (down-weighted by decay^s), s > tau is rejected
+// and accounted.  Keys:
+//   decay   per-version weight multiplier in (0, 1]; 1 (default) keeps
+//           stale gradients at full weight
+//   quorum  fraction of *live* clients whose gradients must be accepted
+//           before the server steps, in (0, 1]; 0 (default) uses the
+//           Byzantine-safe n - t count clamped to the live membership
+//
+// Parsed eagerly by the scenario grammar; parse(to_string()) round-trips.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+struct StaleConfig {
+  std::size_t tau = 0;   ///< 0 = disabled (global round barrier).
+  double decay = 1.0;    ///< weight multiplier per version of staleness.
+  double quorum = 0.0;   ///< live-fraction quorum; 0 = use n - t.
+
+  bool enabled() const { return tau > 0; }
+
+  /// Parses "none" or "<tau>[,key=val,...]".  tau must be >= 1 (use "none"
+  /// to disable); out-of-range decay/quorum and unknown keys are rejected
+  /// with the valid keys listed.
+  static StaleConfig parse(const std::string& text);
+
+  /// Canonical form: "none", or "<tau>" with only non-default keys
+  /// appended; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  bool operator==(const StaleConfig& other) const = default;
+};
+
+/// Valid stale= parameter keys, for menus and rejection lists.
+const std::vector<std::string>& stale_config_keys();
+
+}  // namespace bcl

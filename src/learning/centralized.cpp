@@ -1,6 +1,7 @@
 #include "learning/centralized.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -29,6 +30,11 @@ CentralizedTrainer::CentralizedTrainer(TrainingConfig config,
 }
 
 TrainingResult CentralizedTrainer::run() {
+  if (config_.faults.any() || config_.stale.enabled()) return run_elastic();
+  return run_lockstep();
+}
+
+TrainingResult CentralizedTrainer::run_lockstep() {
   const std::size_t n = config_.num_clients;
   const std::size_t f = config_.num_byzantine;
   Rng root(config_.seed);
@@ -267,6 +273,296 @@ TrainingResult CentralizedTrainer::run() {
       if (!delivery.downlink.empty() && !delivery.downlink[i]) continue;
       bytes += static_cast<double>(downlink_wire);
       bytes_dense += dense;
+    }
+    metrics.bytes_delivered = bytes;
+    metrics.bytes_dense = bytes_dense;
+    metrics.live_clients = static_cast<double>(n);  // lockstep: all up
+    result.history.push_back(metrics);
+    if (config_.on_round) config_.on_round(result.history.back());
+  }
+  result.final_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().accuracy;
+  return result;
+}
+
+TrainingResult CentralizedTrainer::run_elastic() {
+  const std::size_t n = config_.num_clients;
+  const std::size_t f = config_.num_byzantine;
+  const std::size_t t = config_.resolved_t();
+  Rng root(config_.seed);
+
+  // Setup mirrors run_lockstep (same split indices, so the two paths see
+  // identical partitions, initial parameters and attack streams).
+  Rng partition_rng = root.split(1);
+  const auto shards =
+      ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  ml::Dataset poisoned_train;
+  const ml::Dataset* byz_train = poison_byzantine_shards(
+      *config_.attack, *train_, shards, f, poisoned_train);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<Client>(
+        i, i < n - f ? train_ : byz_train, shards[i], factory_,
+        config_.batch_size, root.split(100 + i)));
+  }
+  ml::Model server_model = factory_();
+  Rng init_rng = root.split(2);
+  server_model.initialize(init_rng);
+  global_params_ = server_model.parameters();
+  Rng attack_rng = root.split(3);
+
+  std::unique_ptr<DelayModel> delay_model;
+  if (config_.net.async) delay_model = make_delay_model(config_.net, n);
+  const Codec* codec =
+      config_.codec != nullptr && !config_.codec->identity()
+          ? config_.codec.get()
+          : nullptr;
+  ErrorFeedback error_feedback(n + 1);
+  const std::size_t dim = server_model.parameter_count();
+
+  // The liveness schedule, expanded once over the whole run; every
+  // membership decision below is a const read of it, so serial and
+  // --jobs runs replay the same elastic trajectory bitwise.
+  const FaultPlan plan(config_.faults, n, config_.rounds, config_.seed);
+  const std::size_t tau = config_.stale.tau;  // 0 = only fresh arrivals
+  const double decay = config_.stale.decay;
+  // The configured quorum: a live fraction, or the Byzantine-safe n - t.
+  const auto quorum_of = [&](std::size_t members) {
+    std::size_t need =
+        config_.stale.quorum > 0.0
+            ? static_cast<std::size_t>(std::ceil(
+                  config_.stale.quorum * static_cast<double>(members)))
+            : (members > t ? members - t : 1);
+    return std::max<std::size_t>(need, 1);
+  };
+  const std::size_t configured_quorum = quorum_of(n);
+
+  // One in-flight gradient per client: computed against the model version
+  // current when the client last synced, arriving `ready - version` rounds
+  // later (straggler slowdown for honest clients, the attack's chosen
+  // staleness for Byzantine ones).
+  struct Pending {
+    bool active = false;
+    std::size_t version = 0;  // model version the gradient was computed at
+    std::size_t ready = 0;    // round the upload reaches the server
+    double loss = 0.0;
+    std::size_t wire = 0;
+    Vector grad;
+  };
+  std::vector<Pending> pending(n);
+
+  TrainingResult result;
+  result.history.reserve(config_.rounds);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    Stopwatch round_watch;
+    const std::size_t live = plan.live_count(round);
+
+    // Start work: every live, idle client picks up the latest broadcast
+    // model (this is where a recovering client resyncs — global_params_ is
+    // whatever the server last published) and computes one gradient
+    // against it.  Row writes are disjoint, so the pass parallelizes.
+    std::vector<std::size_t> starters;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (plan.alive(i, round) && !pending[i].active) starters.push_back(i);
+    }
+    auto compute = [&](std::size_t k) {
+      const std::size_t i = starters[k];
+      Pending& p = pending[i];
+      p.grad.assign(dim, 0.0);
+      p.loss = clients[i]->stochastic_gradient_into(global_params_,
+                                                    p.grad.data());
+      p.active = true;
+      p.version = round;
+    };
+    if (config_.pool != nullptr && starters.size() > 1) {
+      config_.pool->parallel_for(0, starters.size(), compute);
+    } else {
+      for (std::size_t k = 0; k < starters.size(); ++k) compute(k);
+    }
+    for (const std::size_t i : starters) {
+      Pending& p = pending[i];
+      if (i < n - f) {
+        // Honest upload: EF-compressed at the client, arriving after the
+        // straggler delay (a factor-K straggler lands K-1 versions stale).
+        if (codec != nullptr) {
+          const CompressedGradient encoded = error_feedback.compress(
+              *codec, config_.seed, i, round, p.grad.data(), dim);
+          encoded.decode_into(p.grad.data());
+          p.wire = encoded.wire_bytes();
+        } else {
+          p.wire = dense_wire_bytes(dim);
+        }
+        const auto lag = static_cast<std::size_t>(
+            std::ceil(plan.slowdown(i)) - 1.0);
+        p.ready = round + lag;
+      } else {
+        // Byzantine upload: the attack picks its own arrival staleness
+        // (clamped to the accepted bound — landing beyond tau would just
+        // be rejected), corruption happens at arrival time against that
+        // round's honest cohort.
+        p.ready =
+            round + std::min(config_.attack->submit_staleness(round, tau), tau);
+      }
+    }
+
+    // Arrivals due this round.  An upload whose owner is down right now is
+    // lost with the node; an accepted honest upload joins the cohort with
+    // weight decay^staleness; anything older than tau is rejected.
+    std::vector<std::size_t> honest_arrived;
+    std::vector<std::size_t> byz_arrived;
+    std::size_t stale_accepted = 0, stale_rejected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Pending& p = pending[i];
+      if (!p.active || p.ready > round) continue;
+      if (!plan.alive(i, round)) {
+        p.active = false;  // crashed mid-upload: the gradient dies with it
+        continue;
+      }
+      const std::size_t staleness = round - p.version;
+      if (staleness > tau) {
+        ++stale_rejected;
+        p.active = false;
+        continue;
+      }
+      if (staleness > 0) ++stale_accepted;
+      (i < n - f ? honest_arrived : byz_arrived).push_back(i);
+    }
+
+    // Byzantine corruption over the arrived cohort (rushing within the
+    // round: the attack sees every honest gradient accepted this round).
+    VectorList honest_cohort;
+    honest_cohort.reserve(honest_arrived.size());
+    for (const std::size_t i : honest_arrived) {
+      honest_cohort.push_back(pending[i].grad);
+    }
+    VectorList submissions;
+    std::vector<double> weights;
+    std::vector<double> cohort_losses;
+    std::vector<std::size_t> upload_wire(n, 0);
+    for (const std::size_t i : honest_arrived) {
+      Pending& p = pending[i];
+      submissions.push_back(std::move(p.grad));
+      weights.push_back(std::pow(decay, static_cast<double>(round - p.version)));
+      cohort_losses.push_back(p.loss);
+      upload_wire[i] = p.wire;
+      p.active = false;
+    }
+    const std::size_t honest_accepted = submissions.size();
+    for (const std::size_t i : byz_arrived) {
+      Pending& p = pending[i];
+      auto corrupted = config_.attack->corrupt(std::move(p.grad),
+                                               honest_cohort, round,
+                                               attack_rng);
+      p.active = false;
+      if (!corrupted) continue;  // silent round: nothing on the wire
+      std::size_t wire = dense_wire_bytes(dim);
+      if (codec != nullptr) {
+        CompressedGradient encoded = codec->encode(
+            corrupted->data(), dim, config_.seed, i, round);
+        wire = encoded.wire_bytes();
+        *corrupted = encoded.decode();
+      }
+      submissions.push_back(std::move(*corrupted));
+      weights.push_back(std::pow(
+          decay, static_cast<double>(round - pending[i].version)));
+      upload_wire[i] = wire;
+    }
+
+    // Quorum-or-skip over the current membership: enough fresh-enough
+    // arrivals and the server steps; otherwise the round is degraded and
+    // the model stands still — the loop is a fixed count, so thin
+    // membership can never hang the run.
+    const std::size_t need = std::min(configured_quorum, quorum_of(live));
+    const bool advanced = submissions.size() >= need;
+    const double lr = config_.schedule.rate(round);
+    std::size_t downlink_wire = 0;
+    double diameter = 0.0;
+    if (advanced) {
+      GradientBatch submitted(submissions.size(), dim);
+      for (std::size_t k = 0; k < submissions.size(); ++k) {
+        if (weights[k] != 1.0) {
+          for (double& value : submissions[k]) value *= weights[k];
+        }
+        submitted.set_row(k, submissions[k]);
+      }
+      // Tolerance degrades with the cohort: the rules' trimming counts
+      // must stay meaningful at thin membership.
+      AggregationContext ctx;
+      ctx.n = submitted.rows();
+      ctx.t = std::min(t, submitted.rows() > 1 ? (submitted.rows() - 1) / 3
+                                               : 0);
+      ctx.pool = config_.pool;
+      AggregationWorkspace workspace(submitted, ctx.pool);
+      Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
+      downlink_wire = dense_wire_bytes(dim);
+      if (codec != nullptr) {
+        const CompressedGradient encoded = error_feedback.compress(
+            *codec, config_.seed, n, round, aggregate.data(), dim);
+        encoded.decode_into(aggregate.data());
+        downlink_wire = encoded.wire_bytes();
+      }
+      ml::sgd_step(global_params_, aggregate, lr);
+      if (workspace.has_distances() && honest_accepted >= 2) {
+        std::vector<std::size_t> honest_ids(honest_accepted);
+        for (std::size_t k = 0; k < honest_accepted; ++k) honest_ids[k] = k;
+        diameter = workspace.distances().subset_diameter(honest_ids);
+      } else if (honest_accepted >= 2) {
+        diameter = DistanceMatrix(submitted.row(0), honest_accepted, dim,
+                                  config_.pool)
+                       .diameter();
+      }
+    }
+
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.learning_rate = lr;
+    double loss = 0.0;
+    for (const double value : cohort_losses) loss += value;
+    metrics.mean_honest_loss =
+        cohort_losses.empty()
+            ? 0.0
+            : loss / static_cast<double>(cohort_losses.size());
+    metrics.accuracy = clients[0]->evaluate(global_params_, *test_,
+                                            config_.eval_max_examples);
+    metrics.accuracy_min = metrics.accuracy;
+    metrics.accuracy_max = metrics.accuracy;
+    metrics.gradient_diameter = diameter;
+    metrics.live_clients = static_cast<double>(live);
+    metrics.stale_accepted = static_cast<double>(stale_accepted);
+    metrics.stale_rejected = static_cast<double>(stale_rejected);
+    metrics.degraded = (need < configured_quorum || !advanced) ? 1.0 : 0.0;
+    metrics.seconds = round_watch.seconds();
+
+    // Star pricing + byte accounting over what actually hit the wire:
+    // arrived uploads and, when the server stepped, its broadcast to the
+    // live honest clients.
+    StarWire star_wire;
+    star_wire.uplink_bytes = upload_wire;
+    star_wire.downlink_bytes = downlink_wire;
+    StarDelivery delivery;
+    if (delay_model != nullptr) {
+      metrics.sim_seconds = star_round_latency(*delay_model, config_.net, n,
+                                               f, need, round, star_wire,
+                                               &delivery);
+    }
+    const double dense = static_cast<double>(dense_wire_bytes(dim));
+    double bytes = 0.0;
+    double bytes_dense = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (upload_wire[i] == 0) continue;
+      if (!delivery.uplink.empty() && !delivery.uplink[i]) continue;
+      bytes += static_cast<double>(upload_wire[i]);
+      bytes_dense += dense;
+    }
+    if (advanced) {
+      for (std::size_t i = 0; i < n - f; ++i) {
+        if (!plan.alive(i, round)) continue;
+        if (!delivery.downlink.empty() && !delivery.downlink[i]) continue;
+        bytes += static_cast<double>(downlink_wire);
+        bytes_dense += dense;
+      }
     }
     metrics.bytes_delivered = bytes;
     metrics.bytes_dense = bytes_dense;

@@ -19,13 +19,27 @@ class CentralizedTrainer {
                      const ml::Dataset* train, const ml::Dataset* test);
 
   /// Runs the full training loop; returns the per-round accuracy history of
-  /// the global model.
+  /// the global model.  Dispatches on the config: the default lockstep
+  /// barrier loop, or the elastic bounded-staleness loop when faults= or
+  /// stale= is set (run_elastic below).
   TrainingResult run();
 
   /// The global parameter vector (valid after run()).
   const Vector& parameters() const { return global_params_; }
 
  private:
+  /// The pre-fault global-barrier loop, preserved verbatim: every client
+  /// uploads every round, the server waits for all of them.  faults=none
+  /// stale=none takes exactly this path (bitwise-equality is test-enforced).
+  TrainingResult run_lockstep();
+
+  /// Elastic membership + bounded staleness: a FaultPlan drives per-round
+  /// liveness, clients own in-flight gradients that arrive after their
+  /// straggler delay (or the attack's chosen staleness), the server steps
+  /// on a quorum of arrivals at most tau versions old and skips (degraded)
+  /// rounds below it — fixed round loop, so it can never hang.
+  TrainingResult run_elastic();
+
   TrainingConfig config_;
   ModelFactory factory_;
   const ml::Dataset* train_;

@@ -35,6 +35,24 @@ double TrainingResult::compression_ratio() const {
   return bytes_dense_total() / actual;
 }
 
+double TrainingResult::rounds_degraded_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.degraded;
+  return total;
+}
+
+double TrainingResult::stale_accepted_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.stale_accepted;
+  return total;
+}
+
+double TrainingResult::stale_rejected_total() const {
+  double total = 0.0;
+  for (const auto& metrics : history) total += metrics.stale_rejected;
+  return total;
+}
+
 void validate_config(const TrainingConfig& config) {
   if (config.num_clients == 0) {
     throw std::invalid_argument("TrainingConfig: num_clients must be > 0");

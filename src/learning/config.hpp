@@ -9,6 +9,8 @@
 #include "aggregation/rule.hpp"
 #include "attacks/attack.hpp"
 #include "compression/codec.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/staleness.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
 #include "network/delay_model.hpp"
@@ -64,6 +66,21 @@ struct TrainingConfig {
   /// into sim_seconds.
   CodecPtr codec;
 
+  /// Liveness schedule (the scenario `faults=` dimension).  The default
+  /// "none" keeps every client up for the whole run and the trainers on a
+  /// code path bitwise identical to the pre-fault one.  Otherwise a
+  /// FaultPlan expanded over the run's rounds drives crashes, recoveries,
+  /// MMPP churn and stragglers: the centralized trainer runs its elastic
+  /// membership loop, the decentralized trainer freezes the plan's
+  /// membership across each learning round's agreement sub-rounds.
+  FaultConfig faults;
+
+  /// Bounded-staleness round policy (the scenario `stale=` dimension),
+  /// centralized only: tau > 0 replaces the global round barrier with
+  /// server advancement on a quorum of gradients at most tau versions
+  /// old (see faults/staleness.hpp).  "none" keeps the lockstep barrier.
+  StaleConfig stale;
+
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
 
@@ -118,6 +135,16 @@ struct RoundMetrics {
   /// under the identity codec).
   double bytes_delivered = 0.0;
   double bytes_dense = 0.0;
+  /// Membership and staleness accounting (faults= / stale= dimensions;
+  /// doubles for uniform emitter formatting).  live_clients is the round's
+  /// live membership (n without faults); stale_accepted / stale_rejected
+  /// count gradient arrivals within / beyond the tau staleness bound;
+  /// degraded is 1 when the round ran below the configured quorum (thin
+  /// membership) or the server could not advance at all.
+  double live_clients = 0.0;
+  double stale_accepted = 0.0;
+  double stale_rejected = 0.0;
+  double degraded = 0.0;
 };
 
 struct TrainingResult {
@@ -140,6 +167,12 @@ struct TrainingResult {
   /// Run-level compression ratio: dense-equivalent bytes over delivered
   /// bytes (1 when nothing was delivered or nothing was compressed).
   double compression_ratio() const;
+
+  /// Membership/staleness totals over the run (sums of the per-round
+  /// fields; all zero without faults= / stale=).
+  double rounds_degraded_total() const;
+  double stale_accepted_total() const;
+  double stale_rejected_total() const;
 };
 
 /// Validates a config and throws std::invalid_argument with a specific

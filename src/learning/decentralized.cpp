@@ -40,6 +40,12 @@ DecentralizedTrainer::DecentralizedTrainer(TrainingConfig config,
   if (train_ == nullptr || test_ == nullptr) {
     throw std::invalid_argument("DecentralizedTrainer: null dataset");
   }
+  if (config_.stale.enabled()) {
+    throw std::invalid_argument(
+        "DecentralizedTrainer: stale= bounded staleness applies to the "
+        "centralized trainer only (there is no server version to be stale "
+        "against); use topology=centralized or stale=none");
+  }
 }
 
 TrainingResult DecentralizedTrainer::run() {
@@ -77,6 +83,18 @@ TrainingResult DecentralizedTrainer::run() {
   agreement.pool = config_.pool;
   agreement.net = config_.net;
 
+  // Liveness schedule (faults= dimension).  Membership is frozen per
+  // learning round: every agreement sub-round of round r runs against the
+  // plan's round-r live set (AgreementConfig::fault_round), and the plan
+  // advances between learning rounds.  An empty plan keeps agreement.faults
+  // null and every path below bitwise-identical to the pre-fault trainer.
+  const FaultPlan plan(config_.faults, n, config_.rounds, config_.seed);
+  const bool faulty = config_.faults.any();
+  if (faulty) agreement.faults = &plan;
+  auto live = [&](std::size_t i, std::size_t round) {
+    return !faulty || plan.alive(i, round);
+  };
+
   std::vector<std::size_t> byzantine_ids;
   for (std::size_t i = n - f; i < n; ++i) byzantine_ids.push_back(i);
 
@@ -104,9 +122,17 @@ TrainingResult DecentralizedTrainer::run() {
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
+    if (faulty) agreement.fault_round = round;
     // Phase 1: local stochastic gradients at each honest client's own
-    // parameters (parallel; disjoint rows and model replicas).
+    // parameters (parallel; disjoint rows and model replicas).  Down
+    // clients compute nothing this round: their row is zeroed (the engine
+    // suppresses their broadcast anyway) and their loss excluded below.
     auto compute = [&](std::size_t i) {
+      if (!live(i, round)) {
+        losses[i] = 0.0;
+        std::fill(gradients.row(i), gradients.row(i) + dim, 0.0);
+        return;
+      }
       const Vector& at = i < honest_count ? params_[i] : params_[0];
       losses[i] = clients[i]->stochastic_gradient_into(at, gradients.row(i));
     };
@@ -117,13 +143,35 @@ TrainingResult DecentralizedTrainer::run() {
     }
 
     double honest_loss = 0.0;
-    for (std::size_t i = 0; i < honest_count; ++i) honest_loss += losses[i];
-    honest_loss /= static_cast<double>(honest_count);
+    std::size_t live_honest = 0;
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      if (!live(i, round)) continue;
+      honest_loss += losses[i];
+      ++live_honest;
+    }
+    honest_loss = live_honest > 0
+                      ? honest_loss / static_cast<double>(live_honest)
+                      : 0.0;
     // Pairwise spread of the honest gradients entering agreement: the
     // Gram-trick build over the batch's honest prefix (pool-parallel).
-    const double gradient_diameter =
-        DistanceMatrix(gradients.row(0), honest_count, dim, config_.pool)
-            .diameter();
+    // Under faults the zeroed down rows would fake spread, so the live
+    // honest gradients are compacted first (faults=none keeps the
+    // in-place prefix path, bitwise).
+    double gradient_diameter = 0.0;
+    if (!faulty) {
+      gradient_diameter =
+          DistanceMatrix(gradients.row(0), honest_count, dim, config_.pool)
+              .diameter();
+    } else if (live_honest > 0) {
+      VectorList live_rows;
+      live_rows.reserve(live_honest);
+      for (std::size_t i = 0; i < honest_count; ++i) {
+        if (live(i, round)) live_rows.push_back(gradients.row_copy(i));
+      }
+      gradient_diameter =
+          DistanceMatrix(GradientBatch::from(live_rows), config_.pool)
+              .diameter();
+    }
 
     // EF-compress the honest gradients in place: agreement (and the
     // attack, which observes wire traffic) runs on the lossy decodes.
@@ -137,6 +185,9 @@ TrainingResult DecentralizedTrainer::run() {
     if (codec != nullptr) {
       input_wire.assign(n, HonestProcess::kDenseWire);
       for (std::size_t i = 0; i < honest_count; ++i) {
+        // A down client keeps its EF residual untouched: it carries the
+        // dropped mass forward to the round it recovers in.
+        if (!live(i, round)) continue;
         const CompressedGradient encoded = error_feedback.compress(
             *codec, config_.seed, i, round, gradients.row(i), dim);
         encoded.decode_into(gradients.row(i));
@@ -151,13 +202,25 @@ TrainingResult DecentralizedTrainer::run() {
     for (std::size_t i = 0; i < honest_count; ++i) {
       honest_gradients.push_back(gradients.row_copy(i));
     }
+    // The omniscient attacker only sees gradients that will actually be
+    // broadcast: down clients' zeroed rows are filtered from its view.
+    VectorList live_view;
+    if (faulty) {
+      live_view.reserve(live_honest);
+      for (std::size_t i = 0; i < honest_count; ++i) {
+        if (live(i, round)) live_view.push_back(honest_gradients[i]);
+      }
+    }
+    const VectorList& attack_view = faulty ? live_view : honest_gradients;
 
     // Phase 2: Byzantine clients fix their corrupted gradients for the
-    // whole agreement phase of this learning round.
+    // whole agreement phase of this learning round (down attackers are
+    // silenced by the engine; skip the craft).
     std::vector<std::optional<Vector>> byz_values(n);
     for (std::size_t i = honest_count; i < n; ++i) {
+      if (!live(i, round)) continue;
       byz_values[i] = config_.attack->corrupt(gradients.row_copy(i),
-                                              honest_gradients, round,
+                                              attack_view, round,
                                               attack_rng);
     }
     PerNodeFixedAdversary fixed_adversary(byzantine_ids, byz_values);
@@ -189,15 +252,19 @@ TrainingResult DecentralizedTrainer::run() {
     const AgreementResult agreed =
         run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
 
-    // Phase 4: every honest client applies its own agreed vector.
+    // Phase 4: every live honest client applies its own agreed vector; a
+    // down client's parameters freeze until it rejoins (it then resumes
+    // from its frozen model, one epoch behind its peers).
     const double lr = config_.schedule.rate(round);
     for (std::size_t i = 0; i < honest_count; ++i) {
+      if (!live(i, round)) continue;
       ml::sgd_step(params_[i], agreed.outputs[i], lr);
     }
 
-    // Phase 5: evaluate every honest local model.
+    // Phase 5: evaluate every live honest local model.
     std::vector<double> accuracies(honest_count, 0.0);
     auto evaluate = [&](std::size_t i) {
+      if (!live(i, round)) return;
       accuracies[i] = clients[i]->evaluate(params_[i], *test_,
                                            config_.eval_max_examples);
     };
@@ -214,14 +281,17 @@ TrainingResult DecentralizedTrainer::run() {
     double sum = 0.0;
     double lo = 1.0;
     double hi = 0.0;
-    for (double a : accuracies) {
+    for (std::size_t i = 0; i < honest_count; ++i) {
+      if (!live(i, round)) continue;
+      const double a = accuracies[i];
       sum += a;
       lo = std::min(lo, a);
       hi = std::max(hi, a);
     }
-    metrics.accuracy = sum / static_cast<double>(honest_count);
-    metrics.accuracy_min = lo;
-    metrics.accuracy_max = hi;
+    metrics.accuracy =
+        live_honest > 0 ? sum / static_cast<double>(live_honest) : 0.0;
+    metrics.accuracy_min = live_honest > 0 ? lo : 0.0;
+    metrics.accuracy_max = live_honest > 0 ? hi : 0.0;
     metrics.disagreement = agreed.trace.honest_diameter.back();
     metrics.gradient_diameter = gradient_diameter;
     metrics.seconds = round_watch.seconds();
@@ -230,6 +300,10 @@ TrainingResult DecentralizedTrainer::run() {
         static_cast<double>(agreed.network.bytes_delivered);
     metrics.bytes_dense =
         static_cast<double>(agreed.network.bytes_dense_delivered);
+    metrics.live_clients = faulty
+                               ? static_cast<double>(plan.live_count(round))
+                               : static_cast<double>(n);
+    metrics.degraded = agreed.network.rounds_degraded > 0 ? 1.0 : 0.0;
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

@@ -29,14 +29,6 @@ std::size_t get_size(const std::map<std::string, std::string>& params,
       parse_strict_u64(it->second, "NetConfig: key '" + key + "'"));
 }
 
-void check_probability(double value, const char* key) {
-  if (value < 0.0 || value > 1.0) {
-    throw std::invalid_argument(std::string("NetConfig: '") + key +
-                                "' must be a probability in [0, 1], got " +
-                                format_g(value));
-  }
-}
-
 }  // namespace
 
 const std::vector<std::string>& delay_family_names() {
@@ -128,9 +120,9 @@ NetConfig NetConfig::parse(const std::string& text) {
   config.until = get_size(params, "until", config.until);
   config.boundary = get_size(params, "boundary", config.boundary);
 
-  check_probability(config.drop, "drop");
-  check_probability(config.p01, "p01");
-  check_probability(config.p10, "p10");
+  check_probability(config.drop, "drop", "NetConfig");
+  check_probability(config.p01, "p01", "NetConfig");
+  check_probability(config.p10, "p10", "NetConfig");
   if (config.mean < 0.0 || config.min < 0.0 || config.max < 0.0 ||
       config.mean2 < 0.0 || config.bw < 0.0 || config.timeout < 0.0 ||
       config.adv < 0.0) {

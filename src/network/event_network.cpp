@@ -5,6 +5,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "faults/fault_plan.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -48,6 +49,25 @@ EventNetwork::EventNetwork(std::vector<HonestProcess*> processes,
       honest_ids_.push_back(i);
     }
   }
+}
+
+std::size_t EventNetwork::plan_round(std::size_t round) const {
+  return config_.fault_membership_frozen
+             ? config_.fault_round_offset
+             : config_.fault_round_offset + round;
+}
+
+bool EventNetwork::is_down(std::size_t node, std::size_t round) const {
+  return config_.faults != nullptr &&
+         !config_.faults->alive(node, plan_round(round));
+}
+
+std::size_t EventNetwork::effective_quorum(std::size_t round) const {
+  if (config_.quorum == kNoQuorum || config_.faults == nullptr) {
+    return config_.quorum;
+  }
+  return std::min(config_.quorum,
+                  config_.faults->live_count(plan_round(round)));
 }
 
 EventNetwork::RoundBook& EventNetwork::book_for(std::size_t round) {
@@ -128,10 +148,17 @@ void EventNetwork::append_event(Shard& shard, double time, EventKind kind,
 void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
   if (entering.empty()) return;
 
+  // A node down for the round it enters broadcasts nothing and collects
+  // nothing: it skips production, commits no value, and gets a single
+  // self wake event so it flows through the normal ready/seal machinery
+  // (a round of all-down nodes still seals — the no-hang guarantee).
+  for (Entering& e : entering) e.down = is_down(e.node, e.round);
+
   // Phase 1 (parallel over entering nodes): produce each broadcast.  Each
   // task touches only its own process and Entering slot.
   auto produce = [&](std::size_t k) {
     Entering& e = entering[k];
+    if (e.down) return;
     e.value = processes_[e.node]->outgoing(e.round);
     e.wire = processes_[e.node]->outgoing_wire_bytes(e.round);
     if (e.wire == HonestProcess::kDenseWire) {
@@ -158,8 +185,23 @@ void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
     st.inbox.clear();
     const auto buffered = st.future.find(e.round);
     if (buffered != st.future.end()) {
-      st.inbox = std::move(buffered->second);
+      if (e.down) {
+        // A down node's buffered arrivals are lost, like any delivery to
+        // a down endpoint; they already hit the wire, so count them late.
+        shards_[e.node].delta.late += buffered->second.size();
+      } else {
+        st.inbox = std::move(buffered->second);
+      }
       st.future.erase(buffered);
+    }
+
+    if (e.down) {
+      RoundBook& down_book = book_for(e.round);
+      st.book = &down_book;
+      ++down_book.honest_entered;  // the adversary view keeps nullopt here
+      down_book.max_entry = std::max(down_book.max_entry, e.entry);
+      ++stats_.broadcasts_skipped;
+      continue;
     }
 
     RoundBook& book = book_for(e.round);
@@ -196,6 +238,12 @@ void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
     Shard& shard = shards_[receiver];
     for (const Entering& e : entering) {
       if (e.node == receiver) {
+        if (e.down) {
+          // Sole wake event of a down node's round: ready via timed_out,
+          // empty inbox, sealed with everyone else.
+          append_event(shard, e.entry, EventKind::Timeout, e.node, e.round);
+          continue;
+        }
         append_event(shard, e.entry, EventKind::Delivery, e.node, e.round);
         if (config_.timeout >= 0.0) {
           append_event(shard, e.entry + config_.timeout, EventKind::Timeout,
@@ -203,6 +251,9 @@ void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
         }
         continue;
       }
+      // Links with a down endpoint carry nothing: a down sender committed
+      // no value, and a down receiver's inbox does not exist this round.
+      if (e.down || is_down(receiver, e.round)) continue;
       shard.delta.bytes_sent += e.wire;
       Rng rng = message_stream(config_.seed, e.node, receiver, e.round);
       if (config_.drop_probability > 0.0 &&
@@ -219,6 +270,12 @@ void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
         continue;
       }
       latency += e.transmission;
+      if (config_.faults != nullptr) {
+        // Stragglers push their whole link term (propagation + wire time)
+        // out by the configured factor; the adversary's extra delay stays
+        // separately clamped to the partial-synchrony bound.
+        latency *= config_.faults->slowdown(e.node);
+      }
       if (adversarial_scheduling) {
         latency += clamp_extra_delay(
             adversary_.scheduling_delay(e.node, receiver, e.round),
@@ -267,6 +324,10 @@ void EventNetwork::fix_byzantine_values(std::size_t round) {
   std::vector<Fixed> fixed;
   for (std::size_t i = 0; i < processes_.size(); ++i) {
     if (processes_[i] != nullptr) continue;
+    if (is_down(i, round)) {  // the fault plan crashes Byzantine ids too
+      ++stats_.broadcasts_skipped;
+      continue;
+    }
     auto value = adversary_.byzantine_value(i, round, book.adversary_view);
     if (!value) {
       ++stats_.broadcasts_skipped;
@@ -307,6 +368,7 @@ void EventNetwork::fix_byzantine_values(std::size_t round) {
   const bool adversarial_scheduling = config_.adversary_delay_bound > 0.0;
   auto schedule_for = [&](std::size_t k) {
     const std::size_t receiver = honest_ids_[k];
+    if (is_down(receiver, round)) return;  // no inbox to poison this round
     Shard& shard = shards_[receiver];
     for (const Fixed& f : fixed) {
       if (!adversary_.delivers(f.sender, receiver, round)) {
@@ -347,6 +409,15 @@ void EventNetwork::process_event(std::size_t receiver,
   const bool past = st.done ? event.round <= st.round : event.round < st.round;
   if (past) {
     ++shard.delta.late;
+    if (config_.staleness_bound > 0) {
+      // Bounded-staleness bookkeeping: would this arrival still have been
+      // usable under a tau-version acceptance window?
+      if (event.round + config_.staleness_bound >= st.round) {
+        ++shard.delta.stale_ok;
+      } else {
+        ++shard.delta.stale_old;
+      }
+    }
     return;
   }
   // Not past => this receiver has not completed `event.round`, so the
@@ -367,7 +438,8 @@ void EventNetwork::process_event(std::size_t receiver,
 bool EventNetwork::node_ready(const NodeState& node) const {
   if (node.done) return false;
   if (node.timed_out) return true;
-  return config_.quorum != kNoQuorum && node.inbox.size() >= config_.quorum;
+  const std::size_t quorum = effective_quorum(node.round);
+  return quorum != kNoQuorum && node.inbox.size() >= quorum;
 }
 
 void EventNetwork::HeadIndex::init(std::size_t n) {
@@ -538,13 +610,20 @@ void EventNetwork::advance_ready_nodes() {
   auto finalize = [&](std::size_t k) {
     const std::size_t i = ready[k];
     NodeState& st = nodes_[i];
+    if (is_down(i, st.round)) {
+      // A down node makes no progress this round: nothing arrived, nothing
+      // is delivered, and its process is not called.
+      st.inbox.clear();
+      return;
+    }
     Shard& shard = shards_[i];
+    const std::size_t quorum = effective_quorum(st.round);
     std::sort(st.inbox.begin(), st.inbox.end(),
               [](const Message& a, const Message& b) {
                 return a.sender < b.sender;
               });
-    if (config_.quorum != kNoQuorum && st.inbox.size() > config_.quorum) {
-      std::size_t droppable = st.inbox.size() - config_.quorum;
+    if (quorum != kNoQuorum && st.inbox.size() > quorum) {
+      std::size_t droppable = st.inbox.size() - quorum;
       std::vector<Message> kept;
       kept.reserve(st.inbox.size());
       for (const Message& message : st.inbox) {
@@ -565,7 +644,7 @@ void EventNetwork::advance_ready_nodes() {
       shard.delta.bytes_dense += message.payload.size() * sizeof(double);
     }
     if (st.timed_out && config_.timeout != 0.0 &&
-        (config_.quorum == kNoQuorum || st.inbox.size() < config_.quorum)) {
+        (quorum == kNoQuorum || st.inbox.size() < quorum)) {
       ++shard.delta.timeouts;
     }
     processes_[i]->receive(st.round, std::move(st.inbox));
@@ -604,6 +683,21 @@ void EventNetwork::advance_ready_nodes() {
     done->second.arena.reset();
     arena_pool_.push_back(std::move(done->second.arena));
     rounds_.erase(done);
+    if (config_.faults != nullptr && config_.faults->any()) {
+      if (!config_.fault_membership_frozen) {
+        // Frozen membership = the caller drives the plan round by round
+        // and accounts transitions itself (the decentralized trainer).
+        const FaultPlan::RoundTransitions& moved =
+            config_.faults->transitions(plan_round(completed_rounds_));
+        stats_.crashes += moved.crashes;
+        stats_.recoveries += moved.recoveries;
+        stats_.joins += moved.joins;
+      }
+      const std::size_t quorum = effective_quorum(completed_rounds_);
+      if (config_.quorum != kNoQuorum && quorum < config_.quorum) {
+        ++stats_.rounds_degraded;
+      }
+    }
     ++completed_rounds_;
     stats_.rounds = completed_rounds_;
   }
@@ -632,6 +726,8 @@ void EventNetwork::reduce_shard_deltas(const std::vector<std::size_t>& ids) {
     stats_.bytes_sent += d.bytes_sent;
     stats_.bytes_delivered += d.bytes_delivered;
     stats_.bytes_dense_delivered += d.bytes_dense;
+    stats_.stale_accepted += d.stale_ok;
+    stats_.stale_rejected += d.stale_old;
     d = ShardStats{};
   }
 }

@@ -95,6 +95,7 @@
 namespace bcl {
 
 class ThreadPool;
+class FaultPlan;
 
 /// Behaviour of one honest protocol participant (unchanged from the
 /// synchronous engine: broadcast one vector per round, receive the round's
@@ -151,6 +152,17 @@ struct NetworkStats {
   std::size_t bytes_sent = 0;
   std::size_t bytes_delivered = 0;
   std::size_t bytes_dense_delivered = 0;
+  // Membership accounting under a FaultPlan (all zero without one).  A
+  // down node neither sends nor receives; links to a down endpoint carry
+  // no traffic, so the sent/delivered invariant above is over live links.
+  std::size_t crashes = 0;      // up -> down transitions observed
+  std::size_t recoveries = 0;   // down -> up under crash-recover
+  std::size_t joins = 0;        // down -> up under churn
+  std::size_t rounds_degraded = 0;  // rounds run below the configured quorum
+  // Late-arrival split when `staleness_bound` is set: within the bound
+  // (stale but fresh enough) vs older.  Both still count as messages_late.
+  std::size_t stale_accepted = 0;
+  std::size_t stale_rejected = 0;
 };
 
 /// Engine knobs.  The defaults reproduce full synchrony: zero delays,
@@ -192,6 +204,19 @@ struct EventNetworkConfig {
   std::uint64_t codec_seed = 0;
   /// Link latency model; nullptr = zero delay.  Not owned.
   DelayModel* delay = nullptr;
+  /// Deterministic liveness schedule (src/faults); nullptr = every node is
+  /// always up, and the engine's behaviour is bit-for-bit the pre-fault
+  /// path (every fault branch is behind this pointer).  Not owned.
+  const FaultPlan* faults = nullptr;
+  /// Maps engine rounds onto plan rounds: plan round = offset + round, or
+  /// just offset when membership is frozen (the decentralized trainer runs
+  /// one agreement per learning round and freezes membership across its
+  /// sub-rounds; transitions are then accounted by the trainer, not here).
+  std::size_t fault_round_offset = 0;
+  bool fault_membership_frozen = false;
+  /// When > 0, classify each late arrival by how many rounds late it is:
+  /// within the bound counts stale_accepted, older counts stale_rejected.
+  std::size_t staleness_bound = 0;
   /// Optional pool for the three parallel phases (broadcast production,
   /// per-shard scheduling/draining, ready-node finalize + receive).  Runs
   /// are bitwise identical with and without it.  Not owned.
@@ -264,6 +289,8 @@ class EventNetwork {
     std::size_t bytes_sent = 0;
     std::size_t bytes_delivered = 0;
     std::size_t bytes_dense = 0;
+    std::size_t stale_ok = 0;   // late within staleness_bound
+    std::size_t stale_old = 0;  // late beyond it
   };
   /// One sorted run of a shard: ascending (time, seq), consumed from the
   /// front.  Consumed prefixes are reclaimed when the run empties.
@@ -328,8 +355,19 @@ class EventNetwork {
     double entry = 0.0;
     double transmission = 0.0;  // wire / bandwidth
     std::size_t wire = 0;
+    bool down = false;  // node is down for this round (FaultPlan)
     Vector value;  // broadcast, produced in the parallel phase
   };
+
+  /// The FaultPlan round an engine round maps to (identity without a
+  /// plan; see EventNetworkConfig::fault_round_offset).
+  std::size_t plan_round(std::size_t round) const;
+  /// Is this node down for the given engine round?  Always false without
+  /// a FaultPlan.
+  bool is_down(std::size_t node, std::size_t round) const;
+  /// The configured quorum clamped to the round's live membership, so a
+  /// thin round resolves over who is actually up instead of hanging.
+  std::size_t effective_quorum(std::size_t round) const;
 
   RoundBook& book_for(std::size_t round);
   static void append_event(Shard& shard, double time, EventKind kind,

@@ -85,6 +85,49 @@ std::uint64_t spec_param_u64(const SpecParams& params, const std::string& key,
   return parse_strict_u64(it->second, context + ": parameter '" + key + "'");
 }
 
+SpecParams split_param_list(const std::string& text,
+                            const std::string& context) {
+  SpecParams params;
+  std::stringstream rest(text);
+  std::string token;
+  while (std::getline(rest, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      throw std::invalid_argument(context + ": malformed parameter '" + token +
+                                  "' in '" + text + "' (expected key=value)");
+    }
+    params[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return params;
+}
+
+void check_positive(double value, const std::string& key,
+                    const std::string& context) {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument(context + ": '" + key + "' must be > 0, got " +
+                                format_double_g(value));
+  }
+}
+
+void check_probability(double value, const std::string& key,
+                       const std::string& context) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(context + ": '" + key +
+                                "' must be a probability in [0, 1], got " +
+                                format_double_g(value));
+  }
+}
+
+void check_positive_fraction(double value, const std::string& key,
+                             const std::string& context) {
+  if (!(value > 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(context + ": '" + key +
+                                "' must be a fraction in (0, 1], got " +
+                                format_double_g(value));
+  }
+}
+
 void reject_unknown_spec_params(const std::string& family,
                                 const SpecParams& params,
                                 const std::vector<std::string>& allowed,

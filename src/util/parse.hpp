@@ -62,4 +62,28 @@ void reject_unknown_spec_params(const std::string& family,
                                 const std::vector<std::string>& allowed,
                                 const std::string& context);
 
+/// Splits a bare comma-separated "key=val,key=val" list (the tail of the
+/// stale= grammar, which leads with a value instead of a family name) into
+/// a parameter map, with split_spec_grammar's malformed-token contract.
+SpecParams split_param_list(const std::string& text,
+                            const std::string& context);
+
+// --- shared range validation ------------------------------------------------
+//
+// The faults=/stale=/net= grammars all reject out-of-range rates with the
+// same message shape; one implementation keeps the wording (and the
+// strictness — zero is not a valid rate) identical across registries.
+
+/// Throws "<context>: '<key>' must be > 0, got <value>" unless value > 0.
+void check_positive(double value, const std::string& key,
+                    const std::string& context);
+
+/// Throws unless value is a probability in [0, 1].
+void check_probability(double value, const std::string& key,
+                       const std::string& context);
+
+/// Throws unless 0 < value <= 1 (a strictly positive fraction).
+void check_positive_fraction(double value, const std::string& key,
+                             const std::string& context);
+
 }  // namespace bcl

@@ -32,10 +32,26 @@ import shutil
 import sys
 
 
-def load(path):
+def fail(message):
+    """One-line actionable error on stderr, exit 2 (never a traceback:
+    the CI log should show what to do, not where the script broke)."""
+    print(f"check_bench_regression: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path, role):
     """Returns (meta dict, records list) from either JSON shape."""
-    with open(path) as fh:
-        data = json.load(fh)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        fail(f"{role} record missing: {path} — run the bench to emit it, "
+             f"or record a baseline with: "
+             f"python3 tools/check_bench_regression.py {path} "
+             f"<current.json> --update")
+    except json.JSONDecodeError as error:
+        fail(f"{role} record unreadable: {path} is not valid JSON "
+             f"({error}) — re-emit it from the bench binary")
     if isinstance(data, list):  # legacy: bare record list, no metadata
         return {}, data
     return data.get("meta", {}), data.get("records", [])
@@ -62,8 +78,13 @@ def main():
         print(f"baseline refreshed: {args.current} -> {args.baseline}")
         return 0
 
-    base_meta, base_records = load(args.baseline)
-    cur_meta, cur_records = load(args.current)
+    base_meta, base_records = load(args.baseline, "baseline")
+    cur_meta, cur_records = load(args.current, "current")
+    if not base_meta.get("machine"):
+        fail(f"baseline {args.baseline} has no meta.machine (legacy "
+             f"bare-list shape?) — absolute-time checks cannot anchor; "
+             f"refresh it with: python3 tools/check_bench_regression.py "
+             f"{args.baseline} {args.current} --update")
     base_by_key = {key(r): r for r in base_records}
     cur_by_key = {key(r): r for r in cur_records}
 
