@@ -33,10 +33,14 @@
 //   ./bcl_run --rules BOX-GEOM --stale 2 \
 //       --faults "none;churn:leave=0.2,join=0.5,cap=0.3"
 //
+//   # streaming cohort subsampling + sharded aggregation at scale
+//   ./bcl_run --scenario "n=100000 f=1000 rule=CW-MEDIAN \
+//       cohort=0.01,shards=16 rounds=5"
+//
 // Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets,
 // --comps, --faults.  Shared scalar overrides: --n, --t, --model, --full,
 // --rounds, --batch, --lr, --subrounds, --delay, --net, --comp, --stale,
-// --seed, --eval-max.
+// --cohort, --seed, --eval-max.
 // Artifacts: --csv <base>, --json <file>.  --threads attaches a worker
 // pool; --jobs N runs independent sweep cells concurrently (artifact row
 // order stays deterministic — cells are replayed through the emitters in
@@ -108,6 +112,9 @@ void print_registries() {
   std::cout << "\n\nbounded staleness (stale=none | stale=<tau>[,key=...]):"
                "\n  keys:";
   for (const auto& key : bcl::stale_config_keys()) std::cout << " " << key;
+  std::cout << "\n\ncohort subsampling (cohort=none | "
+               "cohort=<frac>[,key=...]):\n  keys:";
+  for (const auto& key : bcl::cohort_config_keys()) std::cout << " " << key;
   std::cout << "\n\nSee docs/scenarios.md for the full reference.\n";
 }
 
@@ -120,8 +127,9 @@ int main(int argc, char** argv) {
                      {"list", "scenario", "rules", "attacks", "topologies",
                       "hets", "fs", "nets", "comps", "faults", "n", "t",
                       "model", "full", "rounds", "batch", "lr", "subrounds",
-                      "delay", "net", "comp", "stale", "seed", "eval-max",
-                      "csv", "json", "threads", "jobs", "dry-run"});
+                      "delay", "net", "comp", "stale", "cohort", "seed",
+                      "eval-max", "csv", "json", "threads", "jobs",
+                      "dry-run"});
   if (args.get_bool("list", false)) {
     print_registries();
     return 0;
@@ -131,7 +139,8 @@ int main(int argc, char** argv) {
   // the spec grammar's own strict validation (flag name == spec key).
   const std::vector<std::string> scalar_keys = {
       "n",  "t",     "model",     "rounds", "batch",    "lr",
-      "subrounds", "delay", "net", "comp", "stale", "seed", "eval-max"};
+      "subrounds", "delay", "net", "comp", "stale", "cohort", "seed",
+      "eval-max"};
 
   std::vector<ScenarioSpec> specs;
   try {

@@ -1,0 +1,191 @@
+// bench_scale: the client-scale sweep (ISSUE 8 tentpole artifact).
+//
+// Runs the streaming cohort trainer at m = 10^3..10^5 clients with a fixed
+// cohort size, so the per-round cost and the resident set stay O(cohort*d)
+// while the membership axis grows by two orders of magnitude.  Emits
+// BENCH_scale.json (bench_json.hpp shape) with two record kinds per cell:
+//
+//   cohort_round   ns_op = wall nanoseconds per training round.
+//                  speedup_vs_naive compares against the full-upload path
+//                  (cohort=1, every client computes and uploads, one
+//                  O(m*d) round batch) at the same m, measured in the same
+//                  process — only while that reference is still reasonable
+//                  to run (--compare-max, default 2000), 0 elsewhere.
+//                  (The pre-cohort lockstep loop itself cannot be the
+//                  reference here: it builds a Client per id and refuses
+//                  empty shards, so it does not run past the dataset
+//                  size.)
+//   peak_rss_kb    ns_op carries getrusage(RUSAGE_SELF).ru_maxrss in KiB
+//                  (the schema has one numeric slot; the op name declares
+//                  the unit).  ru_maxrss is a process-lifetime high-water
+//                  mark, so the cohort cells run first in ascending m —
+//                  a flat profile across them is the bounded-memory
+//                  evidence — and the O(m*d) full-upload references run
+//                  only after every RSS sample is taken.
+//
+// The committed baseline lives at bench/baseline/scale.json; CI runs a
+// reduced sweep (--ms with smaller values), whose records deliberately do
+// not pair with the baseline keys — the sweep documents the trajectory, it
+// is not a same-machine timing gate.
+//
+//   ./bench_scale                         # full sweep: m = 1000,10000,100000
+//   ./bench_scale --ms 500,5000 --rounds 2   # CI smoke
+//   ./bench_scale --threads 8 --shards 16
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "figure_harness.hpp"
+
+namespace {
+
+using namespace bcl;
+using experiments::ScenarioSpec;
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoull(token));
+  }
+  return out;
+}
+
+double peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // Linux reports ru_maxrss in KiB already; macOS reports bytes.
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#else
+  return static_cast<double>(usage.ru_maxrss);
+#endif
+}
+
+/// One sweep cell: m clients, a fixed-size cohort, sharded aggregation.
+ScenarioSpec make_spec(std::size_t m, std::size_t cohort_target,
+                       std::size_t shards, const std::string& rule,
+                       std::size_t rounds) {
+  ScenarioSpec spec;
+  spec.set("n", std::to_string(m));
+  // ~1% Byzantine, at least one, and within the 3t < n validity bound.
+  spec.set("f", std::to_string(std::max<std::size_t>(1, m / 100)));
+  spec.set("rule", rule);
+  spec.set("attack", "sign-flip");
+  spec.set("rounds", std::to_string(rounds));
+  spec.set("eval-max", "64");
+  const double frac =
+      std::min(1.0, static_cast<double>(cohort_target) /
+                        static_cast<double>(m));
+  char cohort[64];
+  std::snprintf(cohort, sizeof(cohort), "%.6g,shards=%zu", frac, shards);
+  spec.set("cohort", cohort);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"ms", "rounds", "cohort-size", "shards", "rule",
+                      "compare-max", "json", "threads"});
+  const std::vector<std::size_t> ms =
+      parse_sizes(args.get_string("ms", "1000,10000,100000"));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 3));
+  const std::size_t cohort_target =
+      static_cast<std::size_t>(args.get_int("cohort-size", 256));
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 8));
+  const std::string rule = args.get_string("rule", "CW-MEDIAN");
+  const std::size_t compare_max =
+      static_cast<std::size_t>(args.get_int("compare-max", 2000));
+  const std::string json_path =
+      args.get_string("json", "BENCH_scale.json");
+
+  ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+  experiments::ScenarioRunner runner(&pool);
+
+  // Warm the shared dataset cache (and the allocator) outside the timed
+  // cells: every cell reuses the same (mlp, reduced, seed) dataset.
+  {
+    ScenarioSpec warm = make_spec(10, 4, 1, rule, 1);
+    const auto summary = runner.run(warm);
+    if (!summary.error.empty()) {
+      std::fprintf(stderr, "bench_scale: warmup failed: %s\n",
+                   summary.error.c_str());
+      return 1;
+    }
+  }
+
+  // d of the reduced MLP every cell trains (reported in the records).
+  const std::size_t dim = ml::make_mlp(100, 16, 8, 10).parameter_count();
+
+  std::vector<benchjson::Record> records;
+  std::printf("=== bench_scale: cohort=%zu shards=%zu rule=%s rounds=%zu "
+              "===\n\n",
+              cohort_target, shards, rule.c_str(), rounds);
+  // Pass 1: the cohort cells, ascending m, RSS sampled after each — the
+  // memory profile must not be polluted by the O(m*d) references below.
+  std::vector<double> cohort_seconds(ms.size(), 0.0);
+  std::vector<std::size_t> cohort_record_at(ms.size(), 0);
+  for (std::size_t cell = 0; cell < ms.size(); ++cell) {
+    const std::size_t m = ms[cell];
+    const ScenarioSpec spec =
+        make_spec(m, cohort_target, shards, rule, rounds);
+    const auto summary = runner.run(spec);
+    if (!summary.error.empty()) {
+      std::fprintf(stderr, "bench_scale: m=%zu failed: %s\n", m,
+                   summary.error.c_str());
+      return 1;
+    }
+    cohort_seconds[cell] = summary.seconds;
+    const double cohort_ns =
+        summary.seconds * 1e9 / static_cast<double>(rounds);
+    cohort_record_at[cell] = records.size();
+    records.push_back({"cohort_round", m, dim, cohort_ns, 0.0});
+    const double rss = peak_rss_kb();
+    records.push_back({"peak_rss_kb", m, dim, rss, 0.0});
+    std::printf("  m=%-7zu cohort_round %12.0f ns/op  peak rss %8.0f KiB\n",
+                m, cohort_ns, rss);
+  }
+
+  // Pass 2: full-upload references (cohort=1, every client computes and
+  // uploads into one O(m*d) round batch) at the same m — only while that
+  // is small enough to be a fair single-process reference.
+  for (std::size_t cell = 0; cell < ms.size(); ++cell) {
+    const std::size_t m = ms[cell];
+    if (m > compare_max || cohort_seconds[cell] <= 0.0) continue;
+    ScenarioSpec full = make_spec(m, cohort_target, shards, rule, rounds);
+    full.set("cohort", "1,shards=1");
+    const auto reference = runner.run(full);
+    if (!reference.error.empty()) {
+      std::fprintf(stderr, "bench_scale: full-upload m=%zu failed: %s\n", m,
+                   reference.error.c_str());
+      return 1;
+    }
+    const double speedup = reference.seconds / cohort_seconds[cell];
+    records[cohort_record_at[cell]].speedup_vs_naive = speedup;
+    records.push_back({"full_upload_round", m, dim,
+                       reference.seconds * 1e9 / static_cast<double>(rounds),
+                       0.0});
+    std::printf("  m=%-7zu full_upload  %12.0f ns/op  (cohort %.2fx faster)\n",
+                m, reference.seconds * 1e9 / static_cast<double>(rounds),
+                speedup);
+  }
+
+  if (!benchjson::write(json_path, records)) {
+    std::fprintf(stderr, "bench_scale: failed to write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu records)\n", json_path.c_str(),
+              records.size());
+  return 0;
+}

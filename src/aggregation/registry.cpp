@@ -9,8 +9,27 @@
 #include "aggregation/minimum_diameter_rules.hpp"
 #include "aggregation/robust_baselines.hpp"
 #include "aggregation/simple_rules.hpp"
+#include "aggregation/sketched.hpp"
 
 namespace bcl {
+
+namespace {
+
+// Strict suffix parse for the MULTIKRUM-<q> families: the whole suffix
+// must be a positive integer ("MULTIKRUM-3x" and "MULTIKRUM-1.9" are not
+// silently truncated, "MULTIKRUM-0" has no selection).  A malformed
+// suffix falls through to the unknown-name error so the caller always
+// sees the full menu.
+bool parse_rule_q(const std::string& q_str, std::size_t& q) {
+  try {
+    q = static_cast<std::size_t>(parse_strict_u64(q_str, "make_rule"));
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return q > 0;
+}
+
+}  // namespace
 
 AggregationRulePtr make_rule(const std::string& name) {
   if (name == "MEAN") return std::make_shared<MeanRule>();
@@ -26,16 +45,27 @@ AggregationRulePtr make_rule(const std::string& name) {
   if (name == "RFA") return std::make_shared<RfaRule>();
   if (name == "CCLIP") return std::make_shared<CenteredClippingRule>();
   if (name == "NORM-CLIP") return std::make_shared<NormClippingRule>();
+  if (name == "SKETCH-KRUM") return std::make_shared<SketchedKrumRule>();
+  if (name == "SKETCH-MD-MEAN") return std::make_shared<SketchedMdMeanRule>();
+  constexpr const char* kSketchMkPrefix = "SKETCH-MULTIKRUM-";
+  if (name.rfind(kSketchMkPrefix, 0) == 0) {
+    std::size_t q = 0;
+    if (parse_rule_q(name.substr(std::string(kSketchMkPrefix).size()), q)) {
+      return std::make_shared<SketchedMultiKrumRule>(q);
+    }
+  }
   constexpr const char* kPrefix = "MULTIKRUM-";
   if (name.rfind(kPrefix, 0) == 0) {
-    const std::string q_str = name.substr(std::string(kPrefix).size());
-    const std::size_t q = static_cast<std::size_t>(std::stoul(q_str));
-    return std::make_shared<MultiKrumRule>(q);
+    std::size_t q = 0;
+    if (parse_rule_q(name.substr(std::string(kPrefix).size()), q)) {
+      return std::make_shared<MultiKrumRule>(q);
+    }
   }
   std::vector<std::string> valid = all_rule_names();
   const auto extended = extended_rule_names();
   valid.insert(valid.end(), extended.begin(), extended.end());
   valid.push_back("MULTIKRUM-<q>");
+  valid.push_back("SKETCH-MULTIKRUM-<q>");
   throw std::invalid_argument("make_rule: unknown rule '" + name +
                               "' (valid: " + join_names(valid) + ")");
 }
@@ -47,7 +77,8 @@ std::vector<std::string> all_rule_names() {
 }
 
 std::vector<std::string> extended_rule_names() {
-  return {"RFA", "CCLIP", "NORM-CLIP"};
+  return {"RFA",         "CCLIP",              "NORM-CLIP",
+          "SKETCH-KRUM", "SKETCH-MULTIKRUM-3", "SKETCH-MD-MEAN"};
 }
 
 }  // namespace bcl

@@ -4,9 +4,10 @@
 // attack registry (attacks/registry.hpp) mirrors this interface, so rules
 // and attacks are selected with the same string-keyed idiom everywhere.
 //
-// Name grammar: a canonical upper-case name, plus the parameterized family
-// MULTIKRUM-<q> where <q> is the selection size (a positive integer, e.g.
-// MULTIKRUM-3, the paper's configuration).
+// Name grammar: a canonical upper-case name, plus the parameterized
+// families MULTIKRUM-<q> / SKETCH-MULTIKRUM-<q> where <q> is the selection
+// size (a strictly-parsed positive integer, e.g. MULTIKRUM-3, the paper's
+// configuration; malformed suffixes reject with the full menu).
 
 #include <string>
 #include <vector>
@@ -28,8 +29,10 @@ AggregationRulePtr make_rule(const std::string& name);
 /// n returned.
 std::vector<std::string> all_rule_names();
 
-/// The additional robust baselines from the wider literature (RFA, CCLIP,
-/// NORM-CLIP), used by the ablation benches.  NORM-CLIP is intentionally
+/// The additional rules beyond the paper's set: robust baselines from the
+/// wider literature (RFA, CCLIP, NORM-CLIP), used by the ablation benches,
+/// and the sketched-distance variants (SKETCH-KRUM, SKETCH-MULTIKRUM-<q>,
+/// SKETCH-MD-MEAN) for the large-cohort path.  NORM-CLIP is intentionally
 /// not translation-equivariant (it clips norms measured from the origin),
 /// so it is kept out of all_rule_names().
 std::vector<std::string> extended_rule_names();

@@ -1,0 +1,172 @@
+#include "aggregation/sketched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "aggregation/krum.hpp"
+#include "geometry/min_diameter.hpp"
+#include "linalg/sketch.hpp"
+
+namespace bcl {
+namespace {
+
+// C_i of Equation 3: the n - t - 1 closest neighbours, clamped to m - 1.
+std::size_t closest_count(std::size_t m, const AggregationContext& ctx) {
+  return std::min(m - 1, ctx.keep() > 0 ? ctx.keep() - 1 : 0);
+}
+
+// Whether the sketch path applies at all: a k-dimensional projection of a
+// <= k dimensional input saves nothing, and degenerate inboxes (m < 3)
+// have no selection to approximate.
+bool sketchable(const GradientBatch& batch, const SketchOptions& options) {
+  return !options.force_fallback && batch.dim() > options.k &&
+         batch.rows() >= 3;
+}
+
+// Indices 0..m-1 sorted ascending by score (stable, like multikrum_order).
+std::vector<std::size_t> score_order(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  return order;
+}
+
+// The sketch certifies a selection cut when the score gap across it
+// exceeds the error the bound allows on either side.
+bool margin_resolved(double below, double above, double eps, double factor) {
+  if (!std::isfinite(below) || !std::isfinite(above)) return false;
+  return (above - below) > factor * eps * std::max(std::abs(below),
+                                                   std::abs(above));
+}
+
+}  // namespace
+
+// The list forms repack into the contiguous layout and reuse the batch
+// implementation: sketch application wants flat rows, and on fallback a
+// fresh exact workspace over the packed batch costs the same O(m^2 * d)
+// the borrowed one would.
+Vector SketchedKrumRule::aggregate(const VectorList& received,
+                                   AggregationWorkspace& workspace,
+                                   const AggregationContext& ctx) const {
+  (void)workspace;
+  const GradientBatch batch = GradientBatch::from(received);
+  AggregationWorkspace batch_ws(batch, ctx.pool);
+  return aggregate(batch, batch_ws, ctx);
+}
+
+Vector SketchedMultiKrumRule::aggregate(const VectorList& received,
+                                        AggregationWorkspace& workspace,
+                                        const AggregationContext& ctx) const {
+  (void)workspace;
+  const GradientBatch batch = GradientBatch::from(received);
+  AggregationWorkspace batch_ws(batch, ctx.pool);
+  return aggregate(batch, batch_ws, ctx);
+}
+
+Vector SketchedMdMeanRule::aggregate(const VectorList& received,
+                                     AggregationWorkspace& workspace,
+                                     const AggregationContext& ctx) const {
+  (void)workspace;
+  const GradientBatch batch = GradientBatch::from(received);
+  AggregationWorkspace batch_ws(batch, ctx.pool);
+  return aggregate(batch, batch_ws, ctx);
+}
+
+Vector SketchedKrumRule::aggregate(const GradientBatch& batch,
+                                   AggregationWorkspace& workspace,
+                                   const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  const std::size_t m = batch.rows();
+  const std::size_t closest = closest_count(m, ctx);
+  if (closest == 0) return batch.row_copy(0);
+
+  const auto exact = [&]() {
+    const auto scores =
+        krum_scores(workspace.distances(), closest, KrumScore::Euclidean);
+    return batch.row_copy(static_cast<std::size_t>(
+        std::min_element(scores.begin(), scores.end()) - scores.begin()));
+  };
+  if (!sketchable(batch, options_)) return exact();
+
+  const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
+  const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
+  const auto scores = krum_scores(approx, closest, KrumScore::Euclidean);
+  const auto order = score_order(scores);
+  if (!margin_resolved(scores[order[0]], scores[order[1]],
+                       sketch.relative_error(m), options_.margin_factor)) {
+    return exact();
+  }
+  return batch.row_copy(order[0]);
+}
+
+Vector SketchedMultiKrumRule::aggregate(const GradientBatch& batch,
+                                        AggregationWorkspace& workspace,
+                                        const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  if (q_ == 0) {
+    throw std::invalid_argument("SketchedMultiKrum: q must be positive");
+  }
+  const std::size_t m = batch.rows();
+  const std::size_t closest = closest_count(m, ctx);
+  if (closest == 0) return batch.row_copy(0);
+  const std::size_t take = std::min(q_, m);
+
+  const auto select = [&](const std::vector<double>& scores) {
+    auto order = score_order(scores);
+    order.resize(take);
+    return mean_of_rows(batch, order);
+  };
+  const auto exact = [&]() {
+    return select(
+        krum_scores(workspace.distances(), closest, KrumScore::Euclidean));
+  };
+  if (!sketchable(batch, options_)) return exact();
+
+  const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
+  const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
+  const auto scores = krum_scores(approx, closest, KrumScore::Euclidean);
+  const auto order = score_order(scores);
+  // The cut sits between the q-th and (q+1)-th best; a full selection
+  // (take == m) has no cut to certify.
+  if (take < m &&
+      !margin_resolved(scores[order[take - 1]], scores[order[take]],
+                       sketch.relative_error(m), options_.margin_factor)) {
+    return exact();
+  }
+  auto selection = order;
+  selection.resize(take);
+  return mean_of_rows(batch, selection);
+}
+
+Vector SketchedMdMeanRule::aggregate(const GradientBatch& batch,
+                                     AggregationWorkspace& workspace,
+                                     const AggregationContext& ctx) const {
+  check_batch_workspace(batch, workspace);
+  validate(batch, ctx);
+  const std::size_t keep = ctx.keep();
+
+  const auto exact = [&]() {
+    const auto md = min_diameter_subset(workspace.distances(), keep);
+    return mean_of_rows(batch, md.indices);
+  };
+  if (!sketchable(batch, options_) || keep >= batch.rows()) return exact();
+
+  const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
+  const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
+  // Every subset's exact diameter lies within (1 +- eps) of its sketched
+  // diameter, so if more than one subset is within the doubled band of the
+  // sketched optimum the exact argmin is not certified.
+  const double eps = sketch.relative_error(batch.rows());
+  const auto candidates = min_diameter_subsets(
+      approx, keep, options_.margin_factor * eps);
+  if (candidates.size() != 1) return exact();
+  return mean_of_rows(batch, candidates.front().indices);
+}
+
+}  // namespace bcl

@@ -69,7 +69,7 @@ void ConsoleEmitter::end_scenario(const ScenarioSummary& summary) {
 
 void ConsoleEmitter::finish() {
   Table series({"scenario", "round", "accuracy", "loss", "grad diameter",
-                "live", "sim s"});
+                "live", "cohort", "sim s"});
   for (const auto& [name, rounds] : series_) {
     if (rounds.empty()) continue;
     const std::size_t stride =
@@ -83,6 +83,7 @@ void ConsoleEmitter::finish() {
           .add_num(rounds[i].mean_honest_loss, 4)
           .add_num(rounds[i].gradient_diameter, 4)
           .add_num(rounds[i].live_clients, 0)
+          .add_num(rounds[i].cohort, 0)
           .add_num(rounds[i].sim_seconds, 3);
     }
   }
@@ -98,14 +99,14 @@ CsvEmitter::CsvEmitter(std::string base_path)
     : base_path_(std::move(base_path)),
       series_({"scenario", "round", "accuracy", "accuracy_min",
                "accuracy_max", "loss", "lr", "disagreement",
-               "gradient_diameter", "live_clients", "stale_accepted",
-               "stale_rejected", "degraded", "seconds", "sim_seconds",
-               "bytes", "compression_ratio"}),
+               "gradient_diameter", "live_clients", "cohort", "shards",
+               "stale_accepted", "stale_rejected", "degraded", "seconds",
+               "sim_seconds", "bytes", "compression_ratio"}),
       summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
-                "f", "net", "comp", "faults", "stale", "best_accuracy",
-                "final_accuracy", "rounds_degraded", "stale_accepted",
-                "stale_rejected", "seconds", "sim_seconds", "bytes",
-                "compression_ratio", "error"}) {}
+                "f", "net", "comp", "faults", "stale", "cohort",
+                "best_accuracy", "final_accuracy", "rounds_degraded",
+                "stale_accepted", "stale_rejected", "seconds", "sim_seconds",
+                "bytes", "compression_ratio", "error"}) {}
 
 void CsvEmitter::emit_round(const ScenarioSpec& spec,
                             const RoundMetrics& m) {
@@ -122,6 +123,8 @@ void CsvEmitter::emit_round(const ScenarioSpec& spec,
       .add_num(m.disagreement, 6)
       .add_num(m.gradient_diameter, 6)
       .add_num(m.live_clients, 0)
+      .add_num(m.cohort, 0)
+      .add_num(m.shards, 0)
       .add_num(m.stale_accepted, 0)
       .add_num(m.stale_rejected, 0)
       .add_num(m.degraded, 0)
@@ -144,6 +147,7 @@ void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
       .add(summary.spec.comp)
       .add(summary.spec.faults)
       .add(summary.spec.stale)
+      .add(summary.spec.cohort)
       .add_num(summary.result.best_accuracy(), 6)
       .add_num(summary.result.final_accuracy, 6)
       .add_num(summary.result.rounds_degraded_total(), 0)
@@ -234,9 +238,12 @@ void JsonEmitter::finish() {
                  ml::heterogeneity_name(e.spec.heterogeneity),
                  e.spec.byzantine, escape_json(e.spec.net).c_str(),
                  escape_json(e.spec.comp).c_str());
-    std::fprintf(f, "   \"faults\": \"%s\", \"stale\": \"%s\",\n",
+    std::fprintf(f,
+                 "   \"faults\": \"%s\", \"stale\": \"%s\", "
+                 "\"cohort\": \"%s\",\n",
                  escape_json(e.spec.faults).c_str(),
-                 escape_json(e.spec.stale).c_str());
+                 escape_json(e.spec.stale).c_str(),
+                 escape_json(e.spec.cohort).c_str());
     std::fprintf(f,
                  "   \"best_accuracy\": %.6f, \"final_accuracy\": %.6f, "
                  "\"seconds\": %.3f, \"sim_seconds\": %.4f, "
@@ -257,11 +264,13 @@ void JsonEmitter::finish() {
                    "\"disagreement\": %.6g, "
                    "\"gradient_diameter\": %.6g, \"seconds\": %.4f, "
                    "\"sim_seconds\": %.4f, \"bytes\": %.0f, "
-                   "\"live\": %.0f, \"stale_acc\": %.0f, "
+                   "\"live\": %.0f, \"cohort\": %.0f, \"shards\": %.0f, "
+                   "\"stale_acc\": %.0f, "
                    "\"stale_rej\": %.0f, \"degraded\": %.0f}%s\n",
                    m.round, m.accuracy, m.mean_honest_loss, m.learning_rate,
                    m.disagreement, m.gradient_diameter, m.seconds,
                    m.sim_seconds, m.bytes_delivered, m.live_clients,
+                   m.cohort, m.shards,
                    m.stale_accepted, m.stale_rejected, m.degraded,
                    r + 1 < e.rounds.size() ? "," : "");
     }

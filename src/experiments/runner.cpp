@@ -129,6 +129,7 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
   cfg.honest_delay_probability = spec.delay;
   cfg.faults = FaultConfig::parse(spec.faults);
   cfg.stale = StaleConfig::parse(spec.stale);
+  cfg.cohort = CohortConfig::parse(spec.cohort);
   cfg.net = NetConfig::parse(spec.net);
   cfg.net.seed = spec.seed;
   cfg.seed = spec.seed;
@@ -143,6 +144,11 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
     CentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
     summary.result = trainer.run();
   } else {
+    if (cfg.cohort.enabled()) {
+      throw std::invalid_argument(
+          "ScenarioRunner: cohort= requires topology=centralized (the "
+          "decentralized agreement has no server-side cohort)");
+    }
     DecentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
     summary.result = trainer.run();
   }

@@ -7,6 +7,7 @@
 #include "compression/registry.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/staleness.hpp"
+#include "learning/cohort.hpp"
 #include "network/delay_model.hpp"
 #include "util/parse.hpp"
 
@@ -56,7 +57,7 @@ const std::vector<std::string>& scenario_keys() {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
       "lr",    "subrounds", "delay", "net",    "comp",   "faults",
-      "stale", "seed",  "eval-max"};
+      "stale", "cohort", "seed",  "eval-max"};
   return keys;
 }
 
@@ -126,6 +127,9 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   } else if (key == "stale") {
     (void)StaleConfig::parse(value);
     stale = value;
+  } else if (key == "cohort") {
+    (void)CohortConfig::parse(value);
+    cohort = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -177,6 +181,7 @@ std::string ScenarioSpec::to_string() const {
   out += " comp=" + comp;
   out += " faults=" + faults;
   out += " stale=" + stale;
+  out += " cohort=" + cohort;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -195,6 +200,7 @@ std::string ScenarioSpec::name() const {
   if (comp != "identity") out += "/" + comp;
   if (faults != "none") out += "/" + faults;
   if (stale != "none") out += "/stale:" + stale;
+  if (cohort != "none") out += "/cohort:" + cohort;
   return out;
 }
 

@@ -46,6 +46,10 @@
 //   stale     bounded-staleness server (StaleConfig
 //             grammar: none | "<tau>[,decay=D,quorum=Q]";
 //             centralized topology only)                 [none]
+//   cohort    per-round client subsampling + sharded
+//             aggregation (CohortConfig grammar: none |
+//             "<frac>[,shards=S,root=RULE]"; centralized
+//             topology only)                             [none]
 //   seed      root RNG seed (drives data + training +
 //             network delays + codec randomness + fault
 //             schedules)                                 [11]
@@ -122,6 +126,13 @@ struct ScenarioSpec {
   /// rejects it on decentralized specs).  Validated eagerly, stored
   /// verbatim.
   std::string stale = "none";
+  /// Cohort-subsampling grammar string (CohortConfig::parse: "none" or
+  /// "<frac>[,shards=S,root=RULE]").  Centralized topology only (the
+  /// runner rejects it on decentralized specs).  Validated eagerly,
+  /// stored verbatim.  "none" = every client uploads, bitwise the
+  /// pre-cohort path; "1.0,shards=1" routes the full membership through
+  /// the streaming cohort path, also bitwise identical (test-enforced).
+  std::string cohort = "none";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

@@ -6,6 +6,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "aggregation/budget.hpp"
+#include "aggregation/registry.hpp"
+#include "aggregation/sharded.hpp"
 #include "compression/codec.hpp"
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
@@ -30,6 +33,7 @@ CentralizedTrainer::CentralizedTrainer(TrainingConfig config,
 }
 
 TrainingResult CentralizedTrainer::run() {
+  if (config_.cohort.enabled()) return run_cohort();
   if (config_.faults.any() || config_.stale.enabled()) return run_elastic();
   return run_lockstep();
 }
@@ -277,6 +281,7 @@ TrainingResult CentralizedTrainer::run_lockstep() {
     metrics.bytes_delivered = bytes;
     metrics.bytes_dense = bytes_dense;
     metrics.live_clients = static_cast<double>(n);  // lockstep: all up
+    metrics.cohort = static_cast<double>(n);        // everyone uploads
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }
@@ -491,8 +496,7 @@ TrainingResult CentralizedTrainer::run_elastic() {
       // must stay meaningful at thin membership.
       AggregationContext ctx;
       ctx.n = submitted.rows();
-      ctx.t = std::min(t, submitted.rows() > 1 ? (submitted.rows() - 1) / 3
-                                               : 0);
+      ctx.t = clamp_byzantine_budget(t, submitted.rows());
       ctx.pool = config_.pool;
       AggregationWorkspace workspace(submitted, ctx.pool);
       Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
@@ -532,6 +536,7 @@ TrainingResult CentralizedTrainer::run_elastic() {
     metrics.live_clients = static_cast<double>(live);
     metrics.stale_accepted = static_cast<double>(stale_accepted);
     metrics.stale_rejected = static_cast<double>(stale_rejected);
+    metrics.cohort = static_cast<double>(submissions.size());
     metrics.degraded = (need < configured_quorum || !advanced) ? 1.0 : 0.0;
     metrics.seconds = round_watch.seconds();
 
@@ -566,6 +571,287 @@ TrainingResult CentralizedTrainer::run_elastic() {
     }
     metrics.bytes_delivered = bytes;
     metrics.bytes_dense = bytes_dense;
+    result.history.push_back(metrics);
+    if (config_.on_round) config_.on_round(result.history.back());
+  }
+  result.final_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().accuracy;
+  return result;
+}
+
+TrainingResult CentralizedTrainer::run_cohort() {
+  const std::size_t n = config_.num_clients;
+  const std::size_t f = config_.num_byzantine;
+  const std::size_t t = config_.resolved_t();
+  Rng root(config_.seed);
+
+  // Setup mirrors run_lockstep (same split indices, so cohort=1.0 sees the
+  // identical partition, initial parameters and attack stream) — but no
+  // per-client Client objects: a model replica per client is exactly the
+  // O(m * model) footprint this path exists to avoid.  Per-client state is
+  // the shard index list and an 8-byte RNG stream.
+  Rng partition_rng = root.split(1);
+  const auto shards =
+      ml::partition_dataset(*train_, n, config_.heterogeneity, partition_rng);
+  ml::Dataset poisoned_train;
+  const ml::Dataset* byz_train = poison_byzantine_shards(
+      *config_.attack, *train_, shards, f, poisoned_train);
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) client_rngs.push_back(root.split(100 + i));
+
+  // Beyond the dataset size the partition leaves shards empty (Client would
+  // refuse to construct); at hyper-scale those clients sample the whole
+  // training set instead — the documented cohort-path semantics.
+  std::vector<std::size_t> fallback_shard;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shards[i].empty()) {
+      fallback_shard.resize(train_->size());
+      for (std::size_t j = 0; j < fallback_shard.size(); ++j)
+        fallback_shard[j] = j;
+      break;
+    }
+  }
+  const auto shard_of = [&](std::size_t i) -> const std::vector<std::size_t>& {
+    return shards[i].empty() ? fallback_shard : shards[i];
+  };
+
+  // One scratch model per worker lane (plus the calling thread): the
+  // gradient arithmetic fully overwrites model state, so lane identity
+  // never affects the numbers (see stochastic_gradient_with).
+  const std::size_t lanes =
+      config_.pool != nullptr ? config_.pool->size() + 1 : 1;
+  std::vector<ml::Model> lane_models;
+  lane_models.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) lane_models.push_back(factory_());
+
+  ml::Model server_model = factory_();
+  Rng init_rng = root.split(2);
+  server_model.initialize(init_rng);
+  global_params_ = server_model.parameters();
+  Rng attack_rng = root.split(3);
+
+  std::unique_ptr<DelayModel> delay_model;
+  if (config_.net.async) delay_model = make_delay_model(config_.net, n);
+  const Codec* codec =
+      config_.codec != nullptr && !config_.codec->identity()
+          ? config_.codec.get()
+          : nullptr;
+  ErrorFeedback error_feedback(n + 1);
+  const std::size_t dim = server_model.parameter_count();
+
+  // Shard-rule / root-rule pair of the hierarchical aggregation; an empty
+  // root means "same rule at both levels".
+  const AggregationRulePtr root_rule = config_.cohort.root.empty()
+                                           ? config_.rule
+                                           : make_rule(config_.cohort.root);
+
+  TrainingResult result;
+  result.history.reserve(config_.rounds);
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    Stopwatch round_watch;
+    // This round's uploaders, ascending (honest cohort members form the
+    // batch prefix because Byzantine ids are the last f).
+    const std::vector<std::size_t> cohort =
+        sample_cohort(config_.cohort, n, config_.seed, round);
+    const std::size_t k = cohort.size();
+    const std::size_t honest_k = static_cast<std::size_t>(
+        std::lower_bound(cohort.begin(), cohort.end(), n - f) -
+        cohort.begin());
+    const std::size_t byz_k = k - honest_k;
+    const std::size_t t_k = clamp_byzantine_budget(t, k);
+
+    // Round memory is O(k * d): one batch row per cohort member, written
+    // in cohort order by the lane that owns the member's contiguous chunk.
+    GradientBatch gradients(k, dim);
+    std::vector<double> losses(k, 0.0);
+    const auto compute_member = [&](ml::Model& scratch, std::size_t c) {
+      const std::size_t i = cohort[c];
+      losses[c] = stochastic_gradient_with(
+          scratch, i < n - f ? *train_ : *byz_train, shard_of(i),
+          config_.batch_size, client_rngs[i], global_params_,
+          gradients.row(c));
+    };
+    if (config_.pool != nullptr && k > 1) {
+      // Contiguous member chunks per lane, so a lane's scratch model is
+      // touched by exactly one worker.
+      const std::size_t chunk = (k + lanes - 1) / lanes;
+      config_.pool->parallel_for(0, lanes, [&](std::size_t l) {
+        const std::size_t begin = l * chunk;
+        const std::size_t end = std::min(k, begin + chunk);
+        for (std::size_t c = begin; c < end; ++c) {
+          compute_member(lane_models[l], c);
+        }
+      });
+    } else {
+      for (std::size_t c = 0; c < k; ++c) compute_member(lane_models[0], c);
+    }
+
+    double honest_loss = 0.0;
+    for (std::size_t c = 0; c < honest_k; ++c) honest_loss += losses[c];
+    if (honest_k > 0) honest_loss /= static_cast<double>(honest_k);
+
+    // EF-compression, Byzantine corruption, compaction, aggregation and
+    // broadcast mirror run_lockstep over the cohort rows; codec and attack
+    // streams key off the member's global client id.
+    std::vector<CompressedGradient> encoded_uploads;
+    bool sparse_uploads = false;
+    if (codec != nullptr) {
+      encoded_uploads.reserve(honest_k);
+      sparse_uploads = true;
+      for (std::size_t c = 0; c < honest_k; ++c) {
+        encoded_uploads.push_back(error_feedback.compress(
+            *codec, config_.seed, cohort[c], round, gradients.row(c), dim));
+        encoded_uploads.back().decode_into(gradients.row(c));
+        sparse_uploads = sparse_uploads && encoded_uploads.back().sparse();
+      }
+    }
+
+    VectorList corrupted_submissions;
+    std::vector<CompressedGradient> encoded_byz;
+    std::vector<std::size_t> upload_wire(k, dense_wire_bytes(dim));
+    if (codec != nullptr) {
+      for (std::size_t c = 0; c < honest_k; ++c) {
+        upload_wire[c] = encoded_uploads[c].wire_bytes();
+      }
+    }
+    if (byz_k > 0) {
+      VectorList honest;
+      honest.reserve(honest_k);
+      for (std::size_t c = 0; c < honest_k; ++c) {
+        honest.push_back(gradients.row_copy(c));
+      }
+      for (std::size_t c = honest_k; c < k; ++c) {
+        auto corrupted = config_.attack->corrupt(gradients.row_copy(c),
+                                                 honest, round, attack_rng);
+        if (!corrupted) {  // silent round: nothing on the wire
+          upload_wire[c] = 0;
+          continue;
+        }
+        if (codec != nullptr) {
+          CompressedGradient encoded = codec->encode(
+              corrupted->data(), dim, config_.seed, cohort[c], round);
+          upload_wire[c] = encoded.wire_bytes();
+          corrupted_submissions.push_back(encoded.decode());
+          sparse_uploads = sparse_uploads && encoded.sparse();
+          encoded_byz.push_back(std::move(encoded));
+        } else {
+          corrupted_submissions.push_back(std::move(*corrupted));
+        }
+      }
+    }
+
+    GradientBatch compacted;
+    if (byz_k > 0) {
+      compacted = GradientBatch(honest_k + corrupted_submissions.size(), dim);
+      std::copy(gradients.row(0), gradients.row(0) + honest_k * dim,
+                compacted.row(0));
+      for (std::size_t c = 0; c < corrupted_submissions.size(); ++c) {
+        compacted.set_row(honest_k + c, corrupted_submissions[c]);
+      }
+    }
+    const GradientBatch& submitted = byz_k > 0 ? compacted : gradients;
+
+    // The round's nominal membership is the cohort, with the Byzantine
+    // budget clamped by the thin-cohort rule shared with the elastic loop.
+    AggregationContext ctx;
+    ctx.n = k;
+    ctx.t = t_k;
+    ctx.pool = config_.pool;
+
+    const double lr = config_.schedule.rate(round);
+    std::size_t downlink_wire = 0;
+    double diameter = 0.0;
+    std::size_t effective_shards = 1;
+    // A cohort drawn almost entirely Byzantine-and-silent can leave fewer
+    // rows than the rules trust to exist; the server skips (degraded),
+    // like the elastic loop's below-quorum rounds.
+    const bool advanced = submitted.rows() >= ctx.keep() && !submitted.empty();
+    if (advanced) {
+      std::optional<AggregationWorkspace> workspace;
+      if (sparse_uploads) {
+        SparseRows sparse(dim);
+        for (const auto& encoded : encoded_uploads) {
+          encoded.append_row_to(sparse);
+        }
+        for (const auto& encoded : encoded_byz) {
+          encoded.append_row_to(sparse);
+        }
+        workspace.emplace(submitted, DistanceMatrix(sparse, ctx.pool),
+                          ctx.pool);
+      } else {
+        workspace.emplace(submitted, ctx.pool);
+      }
+      effective_shards =
+          std::min(std::max<std::size_t>(config_.cohort.shards, 1),
+                   submitted.rows());
+      Vector aggregate =
+          aggregate_sharded(submitted, *workspace, *config_.rule, *root_rule,
+                            config_.cohort.shards, ctx);
+      downlink_wire = dense_wire_bytes(dim);
+      if (codec != nullptr) {
+        const CompressedGradient encoded = error_feedback.compress(
+            *codec, config_.seed, n, round, aggregate.data(), dim);
+        encoded.decode_into(aggregate.data());
+        downlink_wire = encoded.wire_bytes();
+      }
+      ml::sgd_step(global_params_, aggregate, lr);
+      if (workspace->has_distances() && honest_k >= 2) {
+        std::vector<std::size_t> honest_ids(honest_k);
+        for (std::size_t c = 0; c < honest_k; ++c) honest_ids[c] = c;
+        diameter = workspace->distances().subset_diameter(honest_ids);
+      } else if (honest_k >= 2) {
+        diameter = DistanceMatrix(gradients.row(0), honest_k, dim, ctx.pool)
+                       .diameter();
+      }
+    }
+
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.learning_rate = lr;
+    metrics.mean_honest_loss = honest_loss;
+    metrics.accuracy = evaluate_with(lane_models[0], global_params_, *test_,
+                                     config_.eval_max_examples);
+    metrics.accuracy_min = metrics.accuracy;
+    metrics.accuracy_max = metrics.accuracy;
+    metrics.gradient_diameter = diameter;
+    metrics.seconds = round_watch.seconds();
+
+    // Star pricing over the cohort (member c is star id c, the virtual
+    // server is id k): with a full cohort this is exactly the lockstep
+    // pricing; at frac < 1 only the members' messages exist.
+    StarWire star_wire;
+    star_wire.uplink_bytes = upload_wire;
+    star_wire.downlink_bytes = downlink_wire;
+    StarDelivery delivery;
+    if (delay_model != nullptr) {
+      metrics.sim_seconds =
+          star_round_latency(*delay_model, config_.net, k, byz_k, k - t_k,
+                             round, star_wire, &delivery);
+    }
+    const double dense = static_cast<double>(dense_wire_bytes(dim));
+    double bytes = 0.0;
+    double bytes_dense = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (upload_wire[c] == 0) continue;
+      if (!delivery.uplink.empty() && !delivery.uplink[c]) continue;
+      bytes += static_cast<double>(upload_wire[c]);
+      bytes_dense += dense;
+    }
+    if (advanced) {
+      for (std::size_t c = 0; c < honest_k; ++c) {
+        if (!delivery.downlink.empty() && !delivery.downlink[c]) continue;
+        bytes += static_cast<double>(downlink_wire);
+        bytes_dense += dense;
+      }
+    }
+    metrics.bytes_delivered = bytes;
+    metrics.bytes_dense = bytes_dense;
+    metrics.live_clients = static_cast<double>(n);
+    metrics.cohort = static_cast<double>(k);
+    metrics.shards = static_cast<double>(effective_shards);
+    metrics.degraded = advanced ? 0.0 : 1.0;
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

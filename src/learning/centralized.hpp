@@ -20,8 +20,9 @@ class CentralizedTrainer {
 
   /// Runs the full training loop; returns the per-round accuracy history of
   /// the global model.  Dispatches on the config: the default lockstep
-  /// barrier loop, or the elastic bounded-staleness loop when faults= or
-  /// stale= is set (run_elastic below).
+  /// barrier loop, the elastic bounded-staleness loop when faults= or
+  /// stale= is set (run_elastic below), or the streaming cohort loop when
+  /// cohort= is set (run_cohort below).
   TrainingResult run();
 
   /// The global parameter vector (valid after run()).
@@ -39,6 +40,16 @@ class CentralizedTrainer {
   /// on a quorum of arrivals at most tau versions old and skips (degraded)
   /// rounds below it — fixed round loop, so it can never hang.
   TrainingResult run_elastic();
+
+  /// Streaming cohort loop (the cohort= dimension, built for the 10^4-10^6
+  /// client axis): per-client state is O(1) each (a private RNG stream and
+  /// the shard index list — no per-client model replica), each round draws
+  /// its uploaders from cohort_stream, gradients stream through one
+  /// O(cohort * d) batch computed by per-lane scratch models, and
+  /// aggregation runs through the sharded hierarchy.  Mirrors
+  /// run_lockstep's RNG-split and operation order exactly, so
+  /// cohort=1.0,shards=1 replays it bitwise (test-enforced).
+  TrainingResult run_cohort();
 
   TrainingConfig config_;
   ModelFactory factory_;

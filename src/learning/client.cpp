@@ -30,27 +30,41 @@ GradientEstimate Client::stochastic_gradient(const Vector& parameters) {
 
 double Client::stochastic_gradient_into(const Vector& parameters,
                                         double* out_gradient) {
-  model_.set_parameters(parameters);
-  const std::size_t batch = std::min(batch_size_, shard_.size());
-  std::vector<std::size_t> indices(batch);
-  for (std::size_t i = 0; i < batch; ++i) {
-    indices[i] = shard_[rng_.uniform_u64(shard_.size())];
-  }
-  const double loss = model_.compute_loss_and_gradient(
-      data_->batch(indices), data_->batch_labels(indices));
-  model_.read_gradients(out_gradient);
-  return loss;
+  return stochastic_gradient_with(model_, *data_, shard_, batch_size_, rng_,
+                                  parameters, out_gradient);
 }
 
 double Client::evaluate(const Vector& parameters, const ml::Dataset& eval_set,
                         std::size_t max_examples) {
-  model_.set_parameters(parameters);
+  return evaluate_with(model_, parameters, eval_set, max_examples);
+}
+
+double stochastic_gradient_with(ml::Model& scratch, const ml::Dataset& data,
+                                const std::vector<std::size_t>& shard,
+                                std::size_t batch_size, Rng& rng,
+                                const Vector& parameters,
+                                double* out_gradient) {
+  scratch.set_parameters(parameters);
+  const std::size_t batch = std::min(batch_size, shard.size());
+  std::vector<std::size_t> indices(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    indices[i] = shard[rng.uniform_u64(shard.size())];
+  }
+  const double loss = scratch.compute_loss_and_gradient(
+      data.batch(indices), data.batch_labels(indices));
+  scratch.read_gradients(out_gradient);
+  return loss;
+}
+
+double evaluate_with(ml::Model& scratch, const Vector& parameters,
+                     const ml::Dataset& eval_set, std::size_t max_examples) {
+  scratch.set_parameters(parameters);
   std::size_t count = eval_set.size();
   if (max_examples > 0) count = std::min(count, max_examples);
   std::vector<std::size_t> indices(count);
   std::iota(indices.begin(), indices.end(), 0);
-  return model_.accuracy(eval_set.batch(indices),
-                         eval_set.batch_labels(indices));
+  return scratch.accuracy(eval_set.batch(indices),
+                          eval_set.batch_labels(indices));
 }
 
 }  // namespace bcl

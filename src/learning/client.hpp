@@ -22,6 +22,25 @@ struct GradientEstimate {
   double loss = 0.0;
 };
 
+/// The arithmetic of Client::stochastic_gradient_into as a free function
+/// over a caller-provided scratch model: sets `parameters` on `scratch`,
+/// samples one mini-batch of `shard` from `rng` (with replacement) and
+/// writes the gradient into out_gradient[0..parameter_count).  Returns the
+/// mini-batch loss.  The scratch model's state is fully overwritten, so
+/// which replica computes a given (parameters, shard, rng) triple never
+/// affects the result — the streaming cohort trainer runs one replica per
+/// worker lane over many clients and stays bitwise identical to the
+/// replica-per-client path (test-enforced).
+double stochastic_gradient_with(ml::Model& scratch, const ml::Dataset& data,
+                                const std::vector<std::size_t>& shard,
+                                std::size_t batch_size, Rng& rng,
+                                const Vector& parameters, double* out_gradient);
+
+/// Client::evaluate as a free function over a scratch model (stateless
+/// given `parameters`; same sharing rationale as stochastic_gradient_with).
+double evaluate_with(ml::Model& scratch, const Vector& parameters,
+                     const ml::Dataset& eval_set, std::size_t max_examples = 0);
+
 class Client {
  public:
   /// `shard` indexes into `data` (not owned; must outlive the client).

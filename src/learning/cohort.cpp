@@ -1,0 +1,96 @@
+#include "learning/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "aggregation/registry.hpp"
+#include "util/parse.hpp"
+
+namespace bcl {
+namespace {
+const char* kContext = "CohortConfig::parse";
+
+// Distinct from message_stream's 0xD6E8FEB86659FD93, codec_stream's
+// 0xC0DEC0DEC0DEC0DE and the fault stream's salt: the cohort sample must
+// not correlate with (or be perturbed by) any other subsystem's draws.
+constexpr std::uint64_t kCohortStreamSalt = 0xA3C59AC1B2E01763ull;
+}  // namespace
+
+const std::vector<std::string>& cohort_config_keys() {
+  static const std::vector<std::string> keys = {"shards", "root"};
+  return keys;
+}
+
+CohortConfig CohortConfig::parse(const std::string& text) {
+  CohortConfig out;
+  if (text == "none") return out;
+
+  // Leading token is the cohort fraction itself; the optional tail is a
+  // comma-separated key=val list sharing the registries' strict parsing.
+  const std::size_t comma = text.find(',');
+  const std::string head = text.substr(0, comma);
+  out.fraction = parse_strict_double(head, std::string(kContext) + ": frac");
+  check_positive_fraction(out.fraction, "frac", kContext);
+  if (comma != std::string::npos) {
+    const SpecParams params =
+        split_param_list(text.substr(comma + 1), kContext);
+    reject_unknown_spec_params("cohort", params, cohort_config_keys(),
+                               kContext);
+    out.shards = spec_param_u64(params, "shards", out.shards, kContext);
+    if (out.shards == 0) {
+      throw std::invalid_argument(std::string(kContext) +
+                                  ": shards must be >= 1");
+    }
+    if (const auto it = params.find("root"); it != params.end()) {
+      out.root = it->second;
+      // Eager validation with the registry's own menu-listing error.
+      (void)make_rule(out.root);
+    }
+  }
+  return out;
+}
+
+std::string CohortConfig::to_string() const {
+  if (!enabled()) return "none";
+  std::string out = format_double_g(fraction);
+  if (shards != 1) out += ",shards=" + std::to_string(shards);
+  if (!root.empty()) out += ",root=" + root;
+  return out;
+}
+
+std::size_t CohortConfig::cohort_size(std::size_t n) const {
+  if (!enabled() || n == 0) return n;
+  const auto k = static_cast<std::size_t>(std::llround(
+      fraction * static_cast<double>(n)));
+  return std::min(n, std::max<std::size_t>(1, k));
+}
+
+Rng cohort_stream(std::uint64_t seed, std::size_t round) {
+  std::uint64_t state = splitmix64(seed ^ kCohortStreamSalt);
+  state = splitmix64(state ^ static_cast<std::uint64_t>(round));
+  return Rng(state);
+}
+
+std::vector<std::size_t> sample_cohort(const CohortConfig& config,
+                                       std::size_t n, std::uint64_t seed,
+                                       std::size_t round) {
+  std::vector<std::size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  const std::size_t k = config.cohort_size(n);
+  if (k < n) {
+    // Partial Fisher-Yates: after i swaps the prefix ids[0..i) is a
+    // uniform i-subset, so only k draws are consumed regardless of n.
+    Rng rng = cohort_stream(seed, round);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + rng.uniform_u64(n - i);
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(k);
+    std::sort(ids.begin(), ids.end());
+  }
+  return ids;
+}
+
+}  // namespace bcl

@@ -77,6 +77,14 @@ void validate_config(const TrainingConfig& config) {
   if (config.batch_size == 0) {
     throw std::invalid_argument("TrainingConfig: batch_size must be > 0");
   }
+  if (config.cohort.enabled() &&
+      (config.faults.any() || config.stale.enabled())) {
+    // The streaming cohort loop replaces the lockstep barrier; composing
+    // it with the elastic fault/staleness loop (which owns its own
+    // membership sampling) is unspecified — reject instead of guessing.
+    throw std::invalid_argument(
+        "TrainingConfig: cohort= cannot be combined with faults= or stale=");
+  }
 }
 
 }  // namespace bcl

@@ -11,6 +11,7 @@
 #include "compression/codec.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/staleness.hpp"
+#include "learning/cohort.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/partition.hpp"
 #include "network/delay_model.hpp"
@@ -81,6 +82,16 @@ struct TrainingConfig {
   /// old (see faults/staleness.hpp).  "none" keeps the lockstep barrier.
   StaleConfig stale;
 
+  /// Cohort subsampling + sharded aggregation (the scenario `cohort=`
+  /// dimension), centralized only: a fraction > 0 makes each round sample
+  /// its uploaders from cohort_stream and keeps round memory at
+  /// O(cohort * d) via the streaming gradient path; `shards` > 1 splits
+  /// the robust aggregation hierarchically (see aggregation/sharded.hpp).
+  /// Disabled (fraction 0) keeps the lockstep path; fraction 1.0 with one
+  /// shard runs the streaming path with bitwise-identical results
+  /// (test-enforced).  Mutually exclusive with faults/stale.
+  CohortConfig cohort;
+
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
 
@@ -145,6 +156,12 @@ struct RoundMetrics {
   double stale_accepted = 0.0;
   double stale_rejected = 0.0;
   double degraded = 0.0;
+  /// Cohort accounting (cohort= dimension; doubles for uniform emitter
+  /// formatting).  cohort is the number of clients that uploaded this
+  /// round (n when subsampling is off), shards the shard-aggregator count
+  /// applied to the round's inbox (1 = flat aggregation).
+  double cohort = 0.0;
+  double shards = 1.0;
 };
 
 struct TrainingResult {

@@ -1,0 +1,73 @@
+#include "linalg/sketch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcl {
+namespace {
+// Salt for the sign-matrix stream; mixed with the caller's sketch seed so
+// two sketches with different seeds are independent.
+constexpr std::uint64_t kSketchSalt = 0x5E7C4B1D9A03F6E5ull;
+}  // namespace
+
+RademacherSketch::RademacherSketch(std::size_t dim, std::size_t k,
+                                   std::uint64_t seed)
+    : dim_(dim),
+      k_(k),
+      words_per_row_((k + 63) / 64),
+      scale_(1.0 / std::sqrt(static_cast<double>(k))) {
+  if (dim == 0 || k == 0) {
+    throw std::invalid_argument("RademacherSketch: dim and k must be > 0");
+  }
+  signs_.resize(dim_ * words_per_row_);
+  Rng rng(splitmix64(seed ^ kSketchSalt));
+  for (auto& word : signs_) word = rng.next_u64();
+}
+
+void RademacherSketch::apply_row(const double* row, double* out) const {
+  for (std::size_t j = 0; j < k_; ++j) out[j] = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double x = row[i];
+    if (x == 0.0) continue;  // sparse-ish gradients skip the inner loop
+    const std::uint64_t* bits = signs_.data() + i * words_per_row_;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const bool plus = (bits[j >> 6] >> (j & 63)) & 1u;
+      out[j] += plus ? x : -x;
+    }
+  }
+  for (std::size_t j = 0; j < k_; ++j) out[j] *= scale_;
+}
+
+GradientBatch RademacherSketch::apply(const GradientBatch& batch,
+                                      ThreadPool* pool) const {
+  if (batch.dim() != dim_) {
+    throw std::invalid_argument("RademacherSketch::apply: dimension mismatch");
+  }
+  GradientBatch out(batch.rows(), k_);
+  const auto sketch_row = [&](std::size_t i) {
+    apply_row(batch.row(i), out.row(i));
+  };
+  if (pool != nullptr && batch.rows() > 1) {
+    pool->parallel_for(0, batch.rows(), sketch_row);
+  } else {
+    for (std::size_t i = 0; i < batch.rows(); ++i) sketch_row(i);
+  }
+  return out;
+}
+
+double RademacherSketch::relative_error(std::size_t m) const {
+  const double logm = std::log(static_cast<double>(m < 2 ? 2 : m));
+  return std::sqrt(8.0 * logm / static_cast<double>(k_));
+}
+
+DistanceMatrix sketched_distances(const GradientBatch& batch,
+                                  const RademacherSketch& sketch,
+                                  ThreadPool* pool) {
+  const GradientBatch projected = sketch.apply(batch, pool);
+  return DistanceMatrix(projected, pool);
+}
+
+}  // namespace bcl

@@ -1,0 +1,67 @@
+#pragma once
+// Johnson-Lindenstrauss distance sketches for sub-quadratic robust
+// aggregation.
+//
+// The exact pairwise-distance build is O(m^2 * d); at production cohort
+// sizes d dominates.  A Rademacher (random-sign) JL projection maps each
+// row x in R^d to (1/sqrt(k)) * S^T x in R^k, and pairwise distances of
+// the sketched rows estimate the exact ones within relative error
+// ~sqrt(log m / k) with high probability.  Distance-based rules (Krum,
+// Multi-Krum, MD-*) then run over the k-dimensional Gram build —
+// O(m * d * k + m^2 * k) — and fall back to the exact matrix only when
+// the sketch cannot separate the decision (see aggregation/sketched.hpp).
+//
+// The sign matrix is derived deterministically from the sketch seed
+// (bit-packed, one splitmix64-seeded stream), so sketched runs replay
+// bitwise like everything else in the library.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
+
+namespace bcl {
+
+class ThreadPool;
+
+/// A fixed d -> k Rademacher projection: out = (1/sqrt(k)) * signs^T * x.
+class RademacherSketch {
+ public:
+  /// Builds the bit-packed d x k sign matrix from `seed`.  Throws
+  /// std::invalid_argument when dim or k is 0.
+  RademacherSketch(std::size_t dim, std::size_t k, std::uint64_t seed);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t k() const { return k_; }
+
+  /// Sketches one row (`row` has dim() entries, `out` has k() entries).
+  void apply_row(const double* row, double* out) const;
+
+  /// Sketches every row of `batch` (whose dim must match) into an m x k
+  /// batch; rows are independent, so a non-null pool splits them across
+  /// workers with a bitwise-identical result.
+  GradientBatch apply(const GradientBatch& batch, ThreadPool* pool) const;
+
+  /// The default JL error bound carried by this sketch: an estimate of
+  /// the relative error of sketched distances over m points,
+  /// sqrt(8 ln(max(m, 2)) / k).  Consumers treat any decision margin
+  /// below ~2x this as unresolved and fall back to exact distances.
+  double relative_error(std::size_t m) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t k_ = 0;
+  std::size_t words_per_row_ = 0;  // ceil(k / 64)
+  double scale_ = 1.0;             // 1 / sqrt(k)
+  std::vector<std::uint64_t> signs_;  // dim_ rows of k_ bits each
+};
+
+/// Approximate pairwise distances: sketch the batch, then run the exact
+/// Gram-trick build over the k-dimensional rows.
+DistanceMatrix sketched_distances(const GradientBatch& batch,
+                                  const RademacherSketch& sketch,
+                                  ThreadPool* pool);
+
+}  // namespace bcl

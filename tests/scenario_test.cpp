@@ -6,14 +6,19 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "aggregation/registry.hpp"
 #include "attacks/registry.hpp"
+#include "compression/registry.hpp"
 #include "experiments/emitters.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/sweep.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/staleness.hpp"
+#include "learning/cohort.hpp"
 
 namespace bcl {
 namespace {
@@ -107,6 +112,140 @@ TEST(ScenarioSpec, NetKeyRoundTripsAndValidatesEagerly) {
   EXPECT_THROW(ScenarioSpec::parse("net=async:delay=gamma"),
                std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("net=lossy"), std::invalid_argument);
+}
+
+// --- grammar fuzz ----------------------------------------------------------
+
+// One malformed input per row plus the substrings its rejection message
+// must carry.  The shared contract across every textual grammar in the
+// harness (scenario keys, attack/codec registries, faults/stale/cohort
+// configs): a rejection names the offending token AND either the valid
+// menu or the violated range, so a typo is always one error message away
+// from the fix.
+struct FuzzCase {
+  std::string input;
+  std::vector<std::string> expect;
+};
+
+void expect_menu_bearing_rejection(
+    const char* grammar, const std::function<void(const std::string&)>& parse,
+    const std::vector<FuzzCase>& cases) {
+  for (const auto& c : cases) {
+    try {
+      parse(c.input);
+      ADD_FAILURE() << grammar << " accepted malformed input '" << c.input
+                    << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      for (const auto& needle : c.expect) {
+        EXPECT_NE(message.find(needle), std::string::npos)
+            << grammar << " rejected '" << c.input << "' with '" << message
+            << "', which does not mention '" << needle << "'";
+      }
+    }
+  }
+}
+
+TEST(GrammarFuzz, ScenarioGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "ScenarioSpec::parse",
+      [](const std::string& s) { ScenarioSpec::parse(s); },
+      {
+          // Empty key: '=' at position 0 is a malformed token.
+          {"=1", {"malformed token", "key=value", "topology"}},
+          // Empty value on an integer key.
+          {"rounds=", {"rounds", "non-negative integer"}},
+          // Overflow numerics must not wrap silently.
+          {"n=999999999999999999999999",
+           {"n", "non-negative integer", "999999999999999999999999"}},
+          {"lr=1e999999", {"lr", "number"}},
+          // Unknown keys list the full key menu (including cohort).
+          {"bogus=1", {"bogus", "cohort", "eval-max"}},
+          {"cohort", {"malformed token", "key=value"}},
+      });
+}
+
+TEST(GrammarFuzz, AttackGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "make_attack", [](const std::string& s) { make_attack(s); },
+      {
+          {"", {"valid:", "sign-flip", "alie"}},
+          {"bogus:x=1", {"bogus", "valid:", "sign-flip"}},
+          // Empty parameter key and empty parameter value.
+          {"sign-flip:=2", {"malformed parameter", "key=value"}},
+          {"sign-flip:scale=", {"malformed parameter", "key=value"}},
+          {"mimic:target=999999999999999999999999",
+           {"target", "non-negative integer"}},
+          // Unknown parameter for a known family lists that family's keys.
+          {"alie:q=3", {"q", "alie", "valid:"}},
+      });
+}
+
+TEST(GrammarFuzz, CodecGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "make_codec", [](const std::string& s) { make_codec(s); },
+      {
+          {"gzip", {"gzip", "valid:", "topk"}},
+          {"topk:frac=abc", {"frac", "number"}},
+          {"topk:frac=0.5,extra=1", {"extra", "valid:"}},
+      });
+}
+
+TEST(GrammarFuzz, FaultGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "FaultConfig::parse",
+      [](const std::string& s) { FaultConfig::parse(s); },
+      {
+          {"meteor", {"meteor", "valid:", "churn", "crash-recover"}},
+          {"churn:leave=", {"malformed parameter", "key=value"}},
+          {"churn:leave=2", {"leave", "(0, 1]"}},
+          {"crash:at=1.5", {"at", "non-negative integer"}},
+          {"churn:bogus=1", {"bogus", "valid:", "leave"}},
+      });
+}
+
+TEST(GrammarFuzz, StaleGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "StaleConfig::parse",
+      [](const std::string& s) { StaleConfig::parse(s); },
+      {
+          {"abc", {"tau", "non-negative integer"}},
+          {"2,decay=0", {"decay", "(0, 1]"}},
+          {"2,bogus=1", {"bogus", "valid:", "decay"}},
+      });
+}
+
+TEST(GrammarFuzz, CohortGrammarRejectionsListTheMenu) {
+  expect_menu_bearing_rejection(
+      "CohortConfig::parse",
+      [](const std::string& s) { CohortConfig::parse(s); },
+      {
+          // The fraction itself: zero, above one, and non-numeric.
+          {"0", {"frac", "(0, 1]"}},
+          {"1.5", {"frac", "(0, 1]"}},
+          {"abc", {"frac", "number"}},
+          // Parameter tail.
+          {"0.5,shards=0", {"shards", ">= 1"}},
+          {"0.5,shards=", {"malformed parameter", "key=value"}},
+          {"0.5,shards=999999999999999999999999",
+           {"shards", "non-negative integer"}},
+          {"0.5,bogus=1", {"bogus", "valid:", "shards", "root"}},
+          // An unknown root rule surfaces the aggregation registry's own
+          // menu (eager validation, like net=/comp= in the spec grammar).
+          {"0.5,root=BOGUS", {"BOGUS", "MULTIKRUM-<q>"}},
+      });
+}
+
+TEST(GrammarFuzz, TrailingCommasAreTolerated) {
+  // The comma-separated parameter grammars skip empty tokens, so a
+  // trailing comma is not an error — fuzz inputs ending in ',' must parse
+  // to the same config as without it.
+  EXPECT_EQ(CohortConfig::parse("0.5,").fraction,
+            CohortConfig::parse("0.5").fraction);
+  EXPECT_EQ(CohortConfig::parse("0.5,shards=2,").shards,
+            CohortConfig::parse("0.5,shards=2").shards);
+  EXPECT_NO_THROW(FaultConfig::parse("churn:leave=0.2,"));
+  EXPECT_NO_THROW(StaleConfig::parse("2,decay=0.5,"));
 }
 
 // --- registry error contracts ----------------------------------------------
@@ -387,7 +526,13 @@ TEST(ScenarioRunner, ParallelJobsMatchSerialBitwiseInOrder) {
       ScenarioSpec::parse("topology=decentralized rule=BOX-GEOM "
                           "attack=sign-flip n=4 f=1 rounds=2 eval-max=40"),
       ScenarioSpec::parse("rule=CW-MEDIAN attack=zero n=4 f=1 rounds=2 "
-                          "eval-max=40")};
+                          "eval-max=40"),
+      // The scale= and cohort= keys must replay bitwise under --jobs too:
+      // an explicit scale= cell and a sampled-cohort + sharded cell.
+      ScenarioSpec::parse("scale=reduced rule=MEDOID attack=zero n=4 f=1 "
+                          "rounds=2 eval-max=40"),
+      ScenarioSpec::parse("rule=TRIM-MEAN attack=sign-flip n=12 f=2 "
+                          "rounds=2 eval-max=40 cohort=0.6,shards=2")};
   experiments::ScenarioRunner serial_runner;
   const auto serial = serial_runner.run_all(specs);
   experiments::ScenarioRunner parallel_runner;
@@ -413,6 +558,75 @@ TEST(ScenarioRunner, ParallelJobsMatchSerialBitwiseInOrder) {
   expect_parses_as_json_array(buffer.str(), specs.size());
   EXPECT_LT(buffer.str().find("MEAN"), buffer.str().find("KRUM"));
   std::remove("scenario_test_parallel.json");
+}
+
+// --- cohort determinism ----------------------------------------------------
+
+// ISSUE 8 acceptance criterion: cohort=1,shards=1 routes the full
+// membership through the streaming GradientBatch path, and that path must
+// be bitwise identical to the pre-cohort lockstep loop — same RNG splits,
+// same aggregation inputs in the same row order, same evaluation.
+TEST(ScenarioRunner, FullCohortIsBitwiseIdenticalToLockstep) {
+  const char* base =
+      "rule=CW-MEDIAN attack=sign-flip n=6 f=1 rounds=3 eval-max=40";
+  experiments::ScenarioRunner runner;
+  const auto lockstep = runner.run(ScenarioSpec::parse(base));
+  auto spec = ScenarioSpec::parse(base);
+  spec.set("cohort", "1,shards=1");
+  const auto streaming = runner.run(spec);
+  ASSERT_TRUE(lockstep.error.empty()) << lockstep.error;
+  ASSERT_TRUE(streaming.error.empty()) << streaming.error;
+  ASSERT_EQ(lockstep.result.history.size(), streaming.result.history.size());
+  for (std::size_t r = 0; r < lockstep.result.history.size(); ++r) {
+    const auto& a = lockstep.result.history[r];
+    const auto& b = streaming.result.history[r];
+    EXPECT_EQ(a.accuracy, b.accuracy) << r;
+    EXPECT_EQ(a.mean_honest_loss, b.mean_honest_loss) << r;
+    EXPECT_EQ(a.gradient_diameter, b.gradient_diameter) << r;
+    EXPECT_EQ(a.bytes_delivered, b.bytes_delivered) << r;
+    // Both paths report the full membership as the round's cohort.
+    EXPECT_EQ(a.cohort, b.cohort) << r;
+    EXPECT_EQ(b.cohort, 6.0) << r;
+  }
+  EXPECT_EQ(lockstep.result.final_accuracy, streaming.result.final_accuracy);
+}
+
+// Sharded-aggregation determinism: when shard rule and root rule are both
+// the exact mean, the hierarchy collapses to the global mean in input row
+// order, so the shard count must not perturb a single bit of the history.
+TEST(ScenarioRunner, MeanRootShardCountDoesNotChangeHistory) {
+  experiments::ScenarioRunner runner;
+  std::vector<experiments::ScenarioSummary> runs;
+  for (const char* shards : {"1", "4", "16"}) {
+    auto spec = ScenarioSpec::parse(
+        "rule=MEAN attack=none n=8 f=1 rounds=2 eval-max=40");
+    spec.set("cohort", std::string("1,shards=") + shards);
+    runs.push_back(runner.run(spec));
+    ASSERT_TRUE(runs.back().error.empty()) << runs.back().error;
+  }
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[0].result.history.size(), runs[v].result.history.size());
+    for (std::size_t r = 0; r < runs[0].result.history.size(); ++r) {
+      const auto& a = runs[0].result.history[r];
+      const auto& b = runs[v].result.history[r];
+      EXPECT_EQ(a.accuracy, b.accuracy) << v << "/" << r;
+      EXPECT_EQ(a.mean_honest_loss, b.mean_honest_loss) << v << "/" << r;
+      EXPECT_EQ(a.gradient_diameter, b.gradient_diameter) << v << "/" << r;
+      EXPECT_EQ(a.bytes_delivered, b.bytes_delivered) << v << "/" << r;
+    }
+  }
+}
+
+TEST(ScenarioRunner, CohortOnDecentralizedIsAnErrorSummary) {
+  // cohort= is a server-side mechanism; on the decentralized topology the
+  // runner records the mismatch as the cell's error (sweeps keep going).
+  experiments::ScenarioRunner runner;
+  const auto summary = runner.run(ScenarioSpec::parse(
+      "topology=decentralized rule=BOX-GEOM attack=none n=4 f=1 rounds=1 "
+      "eval-max=40 cohort=0.5"));
+  EXPECT_NE(summary.error.find("topology=centralized"), std::string::npos)
+      << summary.error;
+  EXPECT_TRUE(summary.result.history.empty());
 }
 
 TEST(ScenarioRunner, AsyncNetScenarioReportsSimulatedSeconds) {
