@@ -22,6 +22,12 @@
 //                  a flat profile across them is the bounded-memory
 //                  evidence — and the O(m*d) full-upload references run
 //                  only after every RSS sample is taken.
+//   sharded_exact / sharded_sketch
+//                  one aggregate_sharded call over a synthetic
+//                  sketch_m x d inbox (the >= 10^4-row regime where the
+//                  sketch=auto scenario dimension engages) with the exact
+//                  rule pair versus its SKETCH-* counterparts.
+//                  speedup_vs_naive on the sketch record = exact/sketch.
 //
 // The committed baseline lives at bench/baseline/scale.json; CI runs a
 // reduced sweep (--ms with smaller values), whose records deliberately do
@@ -34,11 +40,13 @@
 
 #include <sys/resource.h>
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "aggregation/sharded.hpp"
 #include "bench_json.hpp"
 #include "figure_harness.hpp"
 
@@ -94,7 +102,8 @@ ScenarioSpec make_spec(std::size_t m, std::size_t cohort_target,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"ms", "rounds", "cohort-size", "shards", "rule",
-                      "compare-max", "json", "threads"});
+                      "compare-max", "sketch-m", "sketch-rule", "json",
+                      "threads"});
   const std::vector<std::size_t> ms =
       parse_sizes(args.get_string("ms", "1000,10000,100000"));
   const std::size_t rounds =
@@ -106,6 +115,9 @@ int main(int argc, char** argv) {
   const std::string rule = args.get_string("rule", "CW-MEDIAN");
   const std::size_t compare_max =
       static_cast<std::size_t>(args.get_int("compare-max", 2000));
+  const std::size_t sketch_m =
+      static_cast<std::size_t>(args.get_int("sketch-m", 10000));
+  const std::string sketch_rule = args.get_string("sketch-rule", "MULTIKRUM");
   const std::string json_path =
       args.get_string("json", "BENCH_scale.json");
 
@@ -178,6 +190,70 @@ int main(int argc, char** argv) {
     std::printf("  m=%-7zu full_upload  %12.0f ns/op  (cohort %.2fx faster)\n",
                 m, reference.seconds * 1e9 / static_cast<double>(rounds),
                 speedup);
+  }
+
+  // Pass 3: the sketched shard-rule cell (the sketch= dimension).  A
+  // synthetic sketch_m x d inbox — the >= 10^4-row regime where
+  // sketch=auto engages — aggregated through aggregate_sharded with the
+  // exact rule pair versus its SKETCH-* counterparts, exactly the swap
+  // run_cohort performs.  Isolated from the trainer so the record
+  // measures the aggregation win alone, not gradient computation.
+  //
+  // The inbox mirrors the regime the sketch screen is for: a unit-scale
+  // honest cluster plus a far Byzantine block (~1% of rows, leading each
+  // shard slice so every shard sees the same cut).  The score gap across
+  // that cut dwarfs the JL error bound, so the screen certifies and the
+  // sketched path never pays the exact O((m/s)^2 * d) Gram per shard.  On
+  // near-tied data it would fall back and cost slightly more than exact —
+  // that regime is covered by the property tests, not timed here.  The
+  // default rule pair is MULTIKRUM-q with q = honest rows per shard (the
+  // selection cut sits exactly on the honest/Byzantine boundary);
+  // --sketch-rule overrides with a verbatim registry name.
+  if (sketch_m > 0) {
+    const std::size_t sketch_shards = std::min(shards, sketch_m);
+    const std::size_t per_shard = sketch_m / std::max<std::size_t>(1, sketch_shards);
+    const std::size_t outliers = std::max<std::size_t>(1, per_shard / 100);
+    Rng sketch_rng(33);
+    GradientBatch inbox(sketch_m, dim);
+    for (std::size_t i = 0; i < sketch_m; ++i) {
+      // aggregate_sharded slices contiguously, so row i's shard-local
+      // index is i % per_shard (exact when sketch_shards divides
+      // sketch_m; a remainder only shifts later shards' cuts onto
+      // honest/honest near-ties, which fall back and dilute the win).
+      const bool byzantine = (i % per_shard) < outliers;
+      const double offset = byzantine ? 100.0 : 0.0;
+      double* row = inbox.row(i);
+      for (std::size_t k = 0; k < dim; ++k) {
+        row[k] = offset + sketch_rng.uniform(-1.0, 1.0);
+      }
+    }
+    AggregationContext ctx;
+    ctx.n = sketch_m;
+    ctx.t = std::max<std::size_t>(1, sketch_m / 100);
+    ctx.pool = &pool;
+    std::string exact_name = sketch_rule;
+    if (exact_name == "MULTIKRUM") {
+      exact_name += "-" + std::to_string(per_shard - outliers);
+    }
+    const auto exact = make_rule(exact_name);
+    const auto sketched = make_rule("SKETCH-" + exact_name);
+    const auto time_pair = [&](const AggregationRule& rule) {
+      AggregationWorkspace ws(inbox, &pool);
+      const auto t0 = std::chrono::steady_clock::now();
+      const Vector out = aggregate_sharded(inbox, ws, rule, rule, shards, ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)out;
+      return std::chrono::duration<double, std::nano>(t1 - t0).count();
+    };
+    const double exact_ns = time_pair(*exact);
+    const double sketch_ns = time_pair(*sketched);
+    records.push_back({"sharded_exact", sketch_m, dim, exact_ns, 0.0});
+    records.push_back({"sharded_sketch", sketch_m, dim, sketch_ns,
+                       exact_ns / sketch_ns});
+    std::printf("\n  m=%-7zu sharded %s exact %12.0f ns  sketch %12.0f ns  "
+                "(%.2fx)\n",
+                sketch_m, exact_name.c_str(), exact_ns, sketch_ns,
+                exact_ns / sketch_ns);
   }
 
   if (!benchjson::write(json_path, records)) {

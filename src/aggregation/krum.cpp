@@ -27,12 +27,16 @@ std::vector<double> krum_scores_impl(std::size_t m, std::size_t closest,
       if (j == i) continue;
       dists.push_back(pair_score(i, j));
     }
-    std::partial_sort(dists.begin(),
-                      dists.begin() + static_cast<long>(closest),
-                      dists.end());
-    scores[i] = std::accumulate(dists.begin(),
-                                dists.begin() + static_cast<long>(closest),
-                                0.0);
+    // nth_element + introsort of the kept prefix produces the same
+    // ascending closest-distance order as a partial_sort, in ~1/4 the
+    // time when `closest` is most of the row (the Krum regime,
+    // closest = n - t - 1): partial_sort degenerates into a full
+    // heapsort there.  Same values in the same accumulation order, so
+    // scores are bit-identical.
+    auto kept = dists.begin() + static_cast<long>(closest);
+    std::nth_element(dists.begin(), kept, dists.end());
+    std::sort(dists.begin(), kept);
+    scores[i] = std::accumulate(dists.begin(), kept, 0.0);
   }
   return scores;
 }

@@ -95,12 +95,16 @@ std::size_t AggregationRule::validate(const GradientBatch& batch,
   validate_bounds(batch.rows(), ctx);
   const std::size_t d = batch.dim();
   if (d == 0) throw std::invalid_argument("aggregate: zero-dimensional input");
-  const double* data = batch.data();
-  const std::size_t total = batch.rows() * d;
-  for (std::size_t i = 0; i < total; ++i) {
-    if (!std::isfinite(data[i])) {
-      throw std::invalid_argument(
-          "aggregate: received vector contains a non-finite value");
+  // Row-based walk so borrowed view batches (no flat buffer) validate the
+  // same way as owned ones; for a contiguous batch this visits the same
+  // doubles in the same order as the flat scan it replaced.
+  for (std::size_t i = 0; i < batch.rows(); ++i) {
+    const double* row = batch.row(i);
+    for (std::size_t k = 0; k < d; ++k) {
+      if (!std::isfinite(row[k])) {
+        throw std::invalid_argument(
+            "aggregate: received vector contains a non-finite value");
+      }
     }
   }
   return d;

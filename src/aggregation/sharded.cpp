@@ -33,7 +33,11 @@ Vector aggregate_sharded(const GradientBatch& batch,
   for (std::size_t i = 0; i < s; ++i) {
     const std::size_t rows = base + (i < extra ? 1 : 0);
     GradientBatch slice(rows, d);
-    std::memcpy(slice.data(), batch.row(begin), rows * d * sizeof(double));
+    // Per-row copy so a borrowed view batch (non-contiguous rows) slices
+    // identically to an owned one; same bytes either way.
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::memcpy(slice.row(r), batch.row(begin + r), d * sizeof(double));
+    }
     AggregationContext shard_ctx;
     shard_ctx.n = rows;
     shard_ctx.t = clamp_byzantine_budget(ctx.t, rows);

@@ -35,12 +35,22 @@ std::vector<std::size_t> score_order(const std::vector<double>& scores) {
   return order;
 }
 
-// The sketch certifies a selection cut when the score gap across it
-// exceeds the error the bound allows on either side.
+// The sketch certifies the cut `below < above` when it holds for every
+// pair of exact scores consistent with the sketched values.  Each sketched
+// score lies within (1 +- eps) of its exact counterpart, so the worst
+// case pits below/(1 - eps) against above/(1 + eps); rearranged, the cut
+// is certified iff
+//     above - below > eps * (above + below).
+// (The previous form, gap > factor * eps * max(below, above), could never
+// hold for non-negative scores once factor * eps >= 1 — i.e. for every
+// m >= 8 at the default k — so the screen silently fell back on every
+// input and the sketch only ever added cost.)  margin_factor scales eps
+// for extra conservatism; an effective eps >= 1 still can never certify,
+// which is the correct degenerate behaviour when k is too small for m.
 bool margin_resolved(double below, double above, double eps, double factor) {
   if (!std::isfinite(below) || !std::isfinite(above)) return false;
-  return (above - below) > factor * eps * std::max(std::abs(below),
-                                                   std::abs(above));
+  const double err = factor * eps;
+  return (above - below) > err * (above + below);
 }
 
 }  // namespace
@@ -160,11 +170,14 @@ Vector SketchedMdMeanRule::aggregate(const GradientBatch& batch,
   const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
   const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
   // Every subset's exact diameter lies within (1 +- eps) of its sketched
-  // diameter, so if more than one subset is within the doubled band of the
-  // sketched optimum the exact argmin is not certified.
-  const double eps = sketch.relative_error(batch.rows());
-  const auto candidates = min_diameter_subsets(
-      approx, keep, options_.margin_factor * eps);
+  // diameter, so a competing subset could beat the sketched optimum
+  // whenever its sketched diameter is below opt * (1 + eps) / (1 - eps).
+  // The argmin is certified only when that band holds the optimum alone.
+  const double eps =
+      options_.margin_factor * sketch.relative_error(batch.rows());
+  if (eps >= 1.0) return exact();  // the band is unbounded: nothing certifies
+  const auto candidates =
+      min_diameter_subsets(approx, keep, 2.0 * eps / (1.0 - eps));
   if (candidates.size() != 1) return exact();
   return mean_of_rows(batch, candidates.front().indices);
 }

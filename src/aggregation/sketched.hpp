@@ -29,9 +29,12 @@ struct SketchOptions {
   /// Sketch dimension k.  Inputs with dim() <= k take the exact path
   /// outright (a projection cannot be cheaper than the data).
   std::size_t k = 64;
-  /// Decision margins within margin_factor * relative_error(m) * scale of
-  /// zero trigger the exact fallback.
-  double margin_factor = 2.0;
+  /// Scales relative_error(m) in the certification test (sketched.cpp's
+  /// margin_resolved).  The test already encodes the worst case the JL
+  /// bound permits, so 1.0 is sound; values > 1 add conservatism but an
+  /// effective error >= 1 (factor * relative_error(m) >= 1) can never
+  /// certify any cut and pins the exact fallback.
+  double margin_factor = 1.0;
   /// Seed of the deterministic sign matrix; fixed per rule instance so
   /// replays are bitwise stable.
   std::uint64_t seed = 0x6B1A52C87D94E03Full;

@@ -1,7 +1,13 @@
 #include "agreement/protocol.hpp"
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "linalg/distance_matrix.hpp"
 #include "linalg/hyperbox.hpp"
@@ -12,6 +18,79 @@ namespace bcl {
 
 namespace {
 
+/// Cross-node memoization of one sub-round's expensive work
+/// (AgreementConfig::share_subrounds).
+///
+/// Key: the inbox's exact row identity — the (sender, payload pointer,
+/// payload size) triple of every message, in the sender-sorted delivery
+/// order.  The event engine commits each sender's round value to the round
+/// book's arena exactly once per sub-round (Byzantine values included:
+/// fix_byzantine_values stores a single value per sender, rushing only
+/// changes *when* it is fixed), and every delivery carries a view into
+/// that storage.  Equal key therefore implies bitwise-equal inbox, and any
+/// divergence (drops, timeouts, omission faults, honored delays trimming a
+/// straggler) changes the key — the per-node fallback is automatic, not a
+/// heuristic.
+///
+/// Entries hold either the full step output (current-independent round
+/// functions: the step is a pure function of the inbox, so n Krum-family
+/// evaluations collapse to one) or just the shared DistanceMatrix
+/// (current-dependent functions like the sticky MD-GEOM tie-break, which
+/// still pay per-node selection but share the O(m^2 d) build).  The first
+/// node to arrive computes under std::call_once; the rest block briefly
+/// and reuse.  advance_ready_nodes() finalizes nodes in parallel on the
+/// engine's pool, so every path here is mutex/once-guarded (TSan-clean).
+///
+/// clear_round() must run between run_round() barriers: the arena recycles
+/// payload storage across rounds, so a stale key could alias a fresh
+/// payload at the same address.
+class SubroundShareCache {
+ public:
+  struct Entry {
+    std::once_flag once;
+    Vector output;             ///< current-independent: the shared step result
+    DistanceMatrix distances;  ///< current-dependent: the shared build
+  };
+
+  /// Returns the (created-if-absent) entry for this inbox.  `key` is
+  /// caller-owned scratch, recycled across sub-rounds.
+  std::shared_ptr<Entry> lookup(const std::vector<Message>& inbox,
+                                std::vector<std::uintptr_t>& key) {
+    key.clear();
+    key.reserve(inbox.size() * 3);
+    for (const Message& msg : inbox) {
+      key.push_back(static_cast<std::uintptr_t>(msg.sender));
+      key.push_back(reinterpret_cast<std::uintptr_t>(msg.payload.data()));
+      key.push_back(static_cast<std::uintptr_t>(msg.payload.size()));
+    }
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    return slot;
+  }
+
+  void count_build() { builds_.fetch_add(1, std::memory_order_relaxed); }
+
+  void clear_round() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  std::size_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+  std::size_t hits() const {
+    return lookups_.load(std::memory_order_relaxed) - builds();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::vector<std::uintptr_t>, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::size_t> lookups_{0};
+  std::atomic<std::size_t> builds_{0};
+};
+
 /// Honest participant: holds its current vector, broadcasts it (through
 /// the codec when one is configured), applies the round function to each
 /// inbox.
@@ -19,14 +98,17 @@ class AgreementNode final : public HonestProcess {
  public:
   AgreementNode(std::size_t id, Vector input, RoundFunctionPtr round_function,
                 AggregationContext ctx, const Codec* codec,
-                std::uint64_t codec_seed, std::size_t input_wire)
+                std::uint64_t codec_seed, std::size_t input_wire,
+                bool inbox_views, SubroundShareCache* cache)
       : id_(id),
         current_(std::move(input)),
         round_function_(std::move(round_function)),
         ctx_(ctx),
         codec_(codec != nullptr && !codec->identity() ? codec : nullptr),
         codec_seed_(codec_seed),
-        input_wire_(input_wire) {}
+        input_wire_(input_wire),
+        views_(inbox_views),
+        cache_(cache) {}
 
   Vector outgoing(std::size_t round) const override {
     // Sub-round 0 ships the input as the trainer encoded it (see
@@ -58,13 +140,43 @@ class AgreementNode final : public HonestProcess {
     // functions are only sound on >= n - t inputs, so the node skips its
     // update and keeps its current vector for this sub-round.
     if (inbox.size() < ctx_.n - ctx_.t) return;
-    // One contiguous batch + workspace per inbox: every distance consumer
-    // inside the round function (Krum scores, medoid, minimum-diameter
-    // search, tie enumeration) shares a single Gram-trick pairwise matrix
-    // for this sub-round, and batch-native rules run on the flat layout.
-    const GradientBatch received = payload_batch(std::move(inbox));
-    AggregationWorkspace workspace(received, ctx_.pool);
-    current_ = round_function_->step(received, workspace, current_, ctx_);
+    // One batch + workspace per inbox: every distance consumer inside the
+    // round function (Krum scores, medoid, minimum-diameter search, tie
+    // enumeration) shares a single Gram-trick pairwise matrix for this
+    // sub-round.  The view flavour borrows the engine's payload spans
+    // through the node's pooled row table — zero copies, zero allocations
+    // per receive() after the first — and is finished with before this
+    // call returns, per the Message ownership rule.  Both flavours feed
+    // identical bytes to identical kernels, so results are bitwise equal.
+    const GradientBatch received = views_ ? payload_batch_view(inbox, table_)
+                                          : payload_batch(inbox);
+    if (cache_ == nullptr) {
+      AggregationWorkspace workspace(received, ctx_.pool);
+      current_ = round_function_->step(received, workspace, current_, ctx_);
+      return;
+    }
+    const std::shared_ptr<SubroundShareCache::Entry> entry =
+        cache_->lookup(inbox, sig_);
+    if (round_function_->current_independent()) {
+      // The step ignores current_, so the whole output is shareable: the
+      // first node with this inbox computes it, everyone else copies.
+      std::call_once(entry->once, [&] {
+        AggregationWorkspace workspace(received, ctx_.pool);
+        entry->output =
+            round_function_->step(received, workspace, current_, ctx_);
+        cache_->count_build();
+      });
+      current_ = entry->output;
+    } else {
+      // Current-dependent round function: selection differs per node, but
+      // the O(m^2 d) distance build over an identical inbox does not.
+      std::call_once(entry->once, [&] {
+        entry->distances = DistanceMatrix(received, ctx_.pool);
+        cache_->count_build();
+      });
+      AggregationWorkspace workspace(received, &entry->distances, ctx_.pool);
+      current_ = round_function_->step(received, workspace, current_, ctx_);
+    }
   }
 
   const Vector& current() const { return current_; }
@@ -77,6 +189,12 @@ class AgreementNode final : public HonestProcess {
   const Codec* codec_;
   std::uint64_t codec_seed_;
   std::size_t input_wire_;
+  bool views_;
+  SubroundShareCache* cache_;
+  // Pooled scratch recycled across sub-rounds: the view batch's row table
+  // and the share cache's key buffer never re-allocate after round 0.
+  std::vector<const double*> table_;
+  std::vector<std::uintptr_t> sig_;
   // outgoing() is const in the HonestProcess contract but the wire size of
   // the encode it just performed must reach outgoing_wire_bytes(); cached
   // per round (the engine is single-threaded across these two calls).
@@ -113,6 +231,10 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   ctx.t = config.t;
   ctx.pool = nullptr;  // node-level parallelism is across nodes, not subsets
 
+  SubroundShareCache cache;
+  SubroundShareCache* const cache_ptr =
+      config.share_subrounds ? &cache : nullptr;
+
   std::vector<std::unique_ptr<AgreementNode>> nodes(config.n);
   std::vector<HonestProcess*> processes(config.n, nullptr);
   for (std::size_t i = 0; i < config.n; ++i) {
@@ -124,7 +246,9 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
                                                  config.round_function, ctx,
                                                  config.codec,
                                                  config.codec_seed,
-                                                 input_wire);
+                                                 input_wire,
+                                                 config.inbox_views,
+                                                 cache_ptr);
       processes[i] = nodes[i].get();
     }
   }
@@ -182,6 +306,10 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
       break;
     }
     network.run_round();
+    // run_round() is a barrier (no receive() in flight past it); drop the
+    // round's keys before the arena recycles the payload storage they
+    // point into.
+    cache.clear_round();
     ++result.rounds;
     result.trace.round_latency.push_back(network.last_round_latency());
     record_trace();
@@ -192,6 +320,8 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
 
   result.outputs = honest_vectors(nodes);
   result.network = network.stats();
+  result.sharing.gram_builds = cache.builds();
+  result.sharing.shared_hits = cache.hits();
   // The protocol is over when the last round completed; now() can sit past
   // that instant when beyond-quorum stragglers were processed late.
   result.simulated_seconds = network.round_end_times().empty()

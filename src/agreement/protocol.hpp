@@ -67,6 +67,22 @@ struct AgreementConfig {
   /// internally consistent.  nullptr = everyone up.
   const FaultPlan* faults = nullptr;
   std::size_t fault_round = 0;
+  /// Zero-copy inboxes: nodes aggregate directly over borrowed views of
+  /// the engine's round-book payload spans instead of materializing an
+  /// owned n x d copy per node per sub-round (memory O(n^2 d) -> O(n d)).
+  /// Same bytes reach the same kernels either way, so results are bitwise
+  /// identical; the knob exists for A/B benching and bisection.
+  bool inbox_views = true;
+  /// Cross-node sub-round sharing: nodes whose inboxes are exactly equal
+  /// (same senders delivering the same stored payload spans — the engine
+  /// commits each sender's round value exactly once, so pointer identity
+  /// is an exact content signature) share one distance build, and for
+  /// current-independent round functions the entire step output.  Under
+  /// net=sync with no faults every honest node sees the same inbox, so n
+  /// O(n^2 d) builds collapse to one; divergent inboxes (drops, timeouts,
+  /// omissions) mismatch the signature and fall back per node.  Bitwise
+  /// identical to the unshared path by construction.
+  bool share_subrounds = true;
 };
 
 /// Per-round convergence trace.
@@ -81,6 +97,15 @@ struct AgreementTrace {
   std::vector<double> round_latency;
 };
 
+/// Cross-node sub-round sharing counters (AgreementConfig::share_subrounds).
+struct SharingStats {
+  /// Distance/step builds actually executed across all sub-rounds.
+  std::size_t gram_builds = 0;
+  /// receive() calls that reused another node's build instead of paying
+  /// their own (lookups - builds).
+  std::size_t shared_hits = 0;
+};
+
 struct AgreementResult {
   /// Final vector of each honest node, ordered by node id.
   VectorList outputs;
@@ -92,6 +117,8 @@ struct AgreementResult {
   NetworkStats network;
   /// Total simulated time of the run (0 under the sync model).
   double simulated_seconds = 0.0;
+  /// Cross-node sharing effectiveness (zeros when share_subrounds is off).
+  SharingStats sharing;
 };
 
 /// Runs approximate agreement.  `inputs[i]` is the input vector of node i;

@@ -40,6 +40,14 @@ class RoundFunction {
   virtual Vector step(const GradientBatch& batch,
                       AggregationWorkspace& workspace, const Vector& current,
                       const AggregationContext& ctx) const;
+
+  /// True when step() ignores `current` (the node's own vector), i.e. the
+  /// output is a pure function of the inbox.  The agreement protocol then
+  /// memoizes the *entire* step result across nodes whose sub-round
+  /// inboxes coincide; current-dependent round functions (the sticky
+  /// MD-GEOM tie-break) share only the distance build.  Conservative
+  /// default: false.
+  virtual bool current_independent() const { return false; }
 };
 
 using RoundFunctionPtr = std::shared_ptr<const RoundFunction>;
@@ -57,6 +65,9 @@ class RuleRound final : public RoundFunction {
   Vector step(const GradientBatch& batch, AggregationWorkspace& workspace,
               const Vector& current,
               const AggregationContext& ctx) const override;
+  /// A stateless rule never reads `current`: the whole step output can be
+  /// shared across nodes with identical inboxes.
+  bool current_independent() const override { return true; }
 
  private:
   AggregationRulePtr rule_;

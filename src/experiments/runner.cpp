@@ -130,6 +130,7 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
   cfg.faults = FaultConfig::parse(spec.faults);
   cfg.stale = StaleConfig::parse(spec.stale);
   cfg.cohort = CohortConfig::parse(spec.cohort);
+  cfg.sketch = spec.sketch;
   cfg.net = NetConfig::parse(spec.net);
   cfg.net.seed = spec.seed;
   cfg.seed = spec.seed;

@@ -57,7 +57,7 @@ const std::vector<std::string>& scenario_keys() {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
       "lr",    "subrounds", "delay", "net",    "comp",   "faults",
-      "stale", "cohort", "seed",  "eval-max"};
+      "stale", "cohort", "sketch", "seed",  "eval-max"};
   return keys;
 }
 
@@ -130,6 +130,12 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   } else if (key == "cohort") {
     (void)CohortConfig::parse(value);
     cohort = value;
+  } else if (key == "sketch") {
+    if (value != "auto" && value != "on" && value != "off") {
+      throw std::invalid_argument("ScenarioSpec: unknown sketch '" + value +
+                                  "' (valid: auto, on, off)");
+    }
+    sketch = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -182,6 +188,7 @@ std::string ScenarioSpec::to_string() const {
   out += " faults=" + faults;
   out += " stale=" + stale;
   out += " cohort=" + cohort;
+  out += " sketch=" + sketch;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -201,6 +208,7 @@ std::string ScenarioSpec::name() const {
   if (faults != "none") out += "/" + faults;
   if (stale != "none") out += "/stale:" + stale;
   if (cohort != "none") out += "/cohort:" + cohort;
+  if (sketch != "auto") out += "/sketch:" + sketch;
   return out;
 }
 

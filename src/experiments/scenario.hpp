@@ -50,6 +50,9 @@
 //             aggregation (CohortConfig grammar: none |
 //             "<frac>[,shards=S,root=RULE]"; centralized
 //             topology only)                             [none]
+//   sketch    sketched shard rules on the cohort path
+//             (auto | on | off; auto switches at inboxes
+//             of >= 10^4 rows)                           [auto]
 //   seed      root RNG seed (drives data + training +
 //             network delays + codec randomness + fault
 //             schedules)                                 [11]
@@ -133,6 +136,13 @@ struct ScenarioSpec {
   /// pre-cohort path; "1.0,shards=1" routes the full membership through
   /// the streaming cohort path, also bitwise identical (test-enforced).
   std::string cohort = "none";
+  /// Sketched shard aggregation on the cohort path: "auto" (default)
+  /// swaps the shard/root rules for their SKETCH-* counterparts once the
+  /// round inbox reaches TrainingConfig::kSketchAutoThreshold rows; "on"
+  /// forces the swap at every size; "off" never sketches.  Only rules
+  /// with sketched counterparts (KRUM / MULTIKRUM-q / MD-MEAN) are
+  /// affected.  Validated eagerly by set().
+  std::string sketch = "auto";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

@@ -579,6 +579,22 @@ TrainingResult CentralizedTrainer::run_elastic() {
   return result;
 }
 
+namespace {
+
+/// SKETCH-* counterpart of a rule, or nullptr when the registry has none
+/// (the sketched screen only exists for the Krum family and MD-MEAN).
+AggregationRulePtr sketched_counterpart(const AggregationRulePtr& rule) {
+  if (rule == nullptr) return nullptr;
+  const std::string name = rule->name();
+  if (name == "KRUM" || name == "MD-MEAN" ||
+      name.rfind("MULTIKRUM-", 0) == 0) {
+    return make_rule("SKETCH-" + name);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 TrainingResult CentralizedTrainer::run_cohort() {
   const std::size_t n = config_.num_clients;
   const std::size_t f = config_.num_byzantine;
@@ -645,6 +661,15 @@ TrainingResult CentralizedTrainer::run_cohort() {
   const AggregationRulePtr root_rule = config_.cohort.root.empty()
                                            ? config_.rule
                                            : make_rule(config_.cohort.root);
+  // Sketched counterparts (the scenario sketch= dimension), resolved once:
+  // swapped in per round when sketch=on, or when sketch=auto and the round
+  // inbox reaches the threshold where the JL screen's O(m^2 k) beats the
+  // exact O(m^2 d) build.  Rules without a SKETCH-* registry entry keep
+  // the exact pair at every size; sketch=off is the escape hatch.
+  const AggregationRulePtr sketch_shard =
+      config_.sketch != "off" ? sketched_counterpart(config_.rule) : nullptr;
+  const AggregationRulePtr sketch_root =
+      config_.sketch != "off" ? sketched_counterpart(root_rule) : nullptr;
 
   TrainingResult result;
   result.history.reserve(config_.rounds);
@@ -786,8 +811,16 @@ TrainingResult CentralizedTrainer::run_cohort() {
       effective_shards =
           std::min(std::max<std::size_t>(config_.cohort.shards, 1),
                    submitted.rows());
+      const bool use_sketch =
+          sketch_shard != nullptr &&
+          (config_.sketch == "on" ||
+           submitted.rows() >= TrainingConfig::kSketchAutoThreshold);
+      const AggregationRule& shard_rule =
+          use_sketch ? *sketch_shard : *config_.rule;
+      const AggregationRule& round_root =
+          use_sketch && sketch_root != nullptr ? *sketch_root : *root_rule;
       Vector aggregate =
-          aggregate_sharded(submitted, *workspace, *config_.rule, *root_rule,
+          aggregate_sharded(submitted, *workspace, shard_rule, round_root,
                             config_.cohort.shards, ctx);
       downlink_wire = dense_wire_bytes(dim);
       if (codec != nullptr) {

@@ -85,6 +85,11 @@ void validate_config(const TrainingConfig& config) {
     throw std::invalid_argument(
         "TrainingConfig: cohort= cannot be combined with faults= or stale=");
   }
+  if (config.sketch != "auto" && config.sketch != "on" &&
+      config.sketch != "off") {
+    throw std::invalid_argument("TrainingConfig: unknown sketch '" +
+                                config.sketch + "' (valid: auto, on, off)");
+  }
 }
 
 }  // namespace bcl

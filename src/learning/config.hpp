@@ -92,8 +92,24 @@ struct TrainingConfig {
   /// (test-enforced).  Mutually exclusive with faults/stale.
   CohortConfig cohort;
 
+  /// Sketched shard aggregation (the scenario `sketch=` dimension),
+  /// cohort path only.  "auto" (default) swaps the cohort round's shard
+  /// and root rules for their SKETCH-* counterparts (see
+  /// aggregation/sketched.hpp) once the round inbox reaches
+  /// kSketchAutoThreshold rows — the regime where the O(m^2 d) distance
+  /// build dominates and the JL sketch's O(m^2 k) screen wins; smaller
+  /// inboxes keep the exact rules, bitwise the pre-sketch path.  "on"
+  /// forces sketched rules at every size, "off" never sketches (the
+  /// escape hatch).  Rules without a sketched counterpart (anything
+  /// outside KRUM / MULTIKRUM-q / MD-MEAN) ignore the knob.
+  std::string sketch = "auto";
+
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
+
+  /// Inbox size at which sketch="auto" switches the cohort shard rules to
+  /// their sketched counterparts.
+  static constexpr std::size_t kSketchAutoThreshold = 10000;
 
   /// Cap on test examples per evaluation (0 = all).
   std::size_t eval_max_examples = 0;

@@ -120,6 +120,19 @@ TrainingResult DecentralizedTrainer::run() {
   GradientBatch gradients(n, dim);
   std::vector<double> losses(n, 0.0);
 
+  // The remaining per-round scratch, hoisted out of the loop: each buffer
+  // is refilled in place every round, so the O(n * d) allocations behind
+  // them happen once instead of config_.rounds times (assign/clear reuse
+  // the capacity left by earlier rounds).  inputs' Byzantine tail is
+  // written only here — the agreement engine substitutes the adversary's
+  // values without reading it — so the zeros survive across rounds.
+  std::vector<std::size_t> input_wire;
+  VectorList honest_gradients(honest_count);
+  VectorList live_view;
+  std::vector<std::optional<Vector>> byz_values(n);
+  VectorList inputs(n, zeros(dim));
+  std::vector<double> accuracies(honest_count, 0.0);
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
     if (faulty) agreement.fault_round = round;
@@ -181,7 +194,7 @@ TrainingResult DecentralizedTrainer::run() {
     // fresh stochastic stream would re-sparsify onto a different support,
     // outside error feedback's view) and only re-encodes the mixed
     // vectors of later sub-rounds.
-    std::vector<std::size_t> input_wire;
+    input_wire.clear();
     if (codec != nullptr) {
       input_wire.assign(n, HonestProcess::kDenseWire);
       for (std::size_t i = 0; i < honest_count; ++i) {
@@ -197,14 +210,12 @@ TrainingResult DecentralizedTrainer::run() {
 
     // The attack interface and the agreement protocol speak VectorList, so
     // the honest rows are materialized once per round for both.
-    VectorList honest_gradients;
-    honest_gradients.reserve(honest_count);
     for (std::size_t i = 0; i < honest_count; ++i) {
-      honest_gradients.push_back(gradients.row_copy(i));
+      honest_gradients[i].assign(gradients.row(i), gradients.row(i) + dim);
     }
     // The omniscient attacker only sees gradients that will actually be
     // broadcast: down clients' zeroed rows are filtered from its view.
-    VectorList live_view;
+    live_view.clear();
     if (faulty) {
       live_view.reserve(live_honest);
       for (std::size_t i = 0; i < honest_count; ++i) {
@@ -216,7 +227,7 @@ TrainingResult DecentralizedTrainer::run() {
     // Phase 2: Byzantine clients fix their corrupted gradients for the
     // whole agreement phase of this learning round (down attackers are
     // silenced by the engine; skip the craft).
-    std::vector<std::optional<Vector>> byz_values(n);
+    for (auto& value : byz_values) value.reset();
     for (std::size_t i = honest_count; i < n; ++i) {
       if (!live(i, round)) continue;
       byz_values[i] = config_.attack->corrupt(gradients.row_copy(i),
@@ -233,7 +244,6 @@ TrainingResult DecentralizedTrainer::run() {
 
     // Phase 3: approximate agreement on the gradients for the logarithmic
     // sub-round schedule.
-    VectorList inputs(n, zeros(dim));
     for (std::size_t i = 0; i < honest_count; ++i) {
       inputs[i] = honest_gradients[i];
     }
@@ -262,7 +272,7 @@ TrainingResult DecentralizedTrainer::run() {
     }
 
     // Phase 5: evaluate every live honest local model.
-    std::vector<double> accuracies(honest_count, 0.0);
+    accuracies.assign(honest_count, 0.0);
     auto evaluate = [&](std::size_t i) {
       if (!live(i, round)) return;
       accuracies[i] = clients[i]->evaluate(params_[i], *test_,

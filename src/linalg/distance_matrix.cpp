@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "linalg/kernels.hpp"
 #include "util/thread_pool.hpp"
@@ -37,6 +38,26 @@ double diff_norm2(const double* a, const double* b, std::size_t d) {
   return s0 + s1;
 }
 
+// Flat row-major rows of a batch for the Gram build: the owned buffer
+// directly, or — for a borrowed view batch (arena payload spans) — the rows
+// gathered once into a per-thread scratch recycled across builds and
+// rounds.  One O(m * d) gather per *build* (with cross-node sharing, one
+// per sub-round) replaces the per-node O(m * d) inbox copy the protocol
+// used to pay before the Gram build even started.  The scratch outlives
+// the delegated constructor call, which copies nothing but reads the rows
+// only during construction.
+const double* contiguous_rows(const GradientBatch& batch) {
+  if (batch.contiguous()) return batch.data();
+  static thread_local std::vector<double> gathered;
+  const std::size_t m = batch.rows();
+  const std::size_t d = batch.dim();
+  if (gathered.size() < m * d) gathered.resize(m * d);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::memcpy(gathered.data() + i * d, batch.row(i), d * sizeof(double));
+  }
+  return gathered.data();
+}
+
 }  // namespace
 
 DistanceMatrix::DistanceMatrix(const VectorList& points, ThreadPool* pool)
@@ -63,7 +84,8 @@ DistanceMatrix::DistanceMatrix(const VectorList& points, ThreadPool* pool)
 }
 
 DistanceMatrix::DistanceMatrix(const GradientBatch& batch, ThreadPool* pool)
-    : DistanceMatrix(batch.data(), batch.rows(), batch.dim(), pool) {}
+    : DistanceMatrix(contiguous_rows(batch), batch.rows(), batch.dim(),
+                     pool) {}
 
 DistanceMatrix::DistanceMatrix(const double* rows, std::size_t m,
                                std::size_t d, ThreadPool* pool)

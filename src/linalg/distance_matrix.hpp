@@ -69,7 +69,9 @@ class DistanceMatrix {
   /// With a non-null `pool` the row tiles of G are self-scheduled across
   /// the workers; the result is bitwise identical to the serial build
   /// (every G entry is one sequential dot regardless of which worker
-  /// computes it).
+  /// computes it).  A borrowed view batch (GradientBatch::view) is
+  /// gathered once into a per-thread scratch first — same values, same
+  /// kernel, bitwise the owned-batch build.
   explicit DistanceMatrix(const GradientBatch& batch,
                           ThreadPool* pool = nullptr);
 

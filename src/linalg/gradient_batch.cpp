@@ -17,6 +17,18 @@ GradientBatch GradientBatch::from(const VectorList& vs) {
   return batch;
 }
 
+GradientBatch GradientBatch::view(const double* const* rows, std::size_t m,
+                                  std::size_t dim) {
+  if (m > 0 && rows == nullptr) {
+    throw std::invalid_argument("GradientBatch::view: null row table");
+  }
+  GradientBatch batch;
+  batch.m_ = m;
+  batch.d_ = dim;
+  batch.view_rows_ = rows;
+  return batch;
+}
+
 void GradientBatch::set_row(std::size_t i, const Vector& v) {
   if (i >= m_) throw std::invalid_argument("GradientBatch: row out of range");
   if (v.size() != d_) {
@@ -35,7 +47,16 @@ VectorList GradientBatch::to_vectors() const {
 Vector mean(const GradientBatch& batch) {
   if (batch.empty()) throw std::invalid_argument("mean of empty batch");
   Vector r(batch.dim(), 0.0);
-  kernels::col_sum(batch.data(), batch.rows(), batch.dim(), r.data());
+  if (batch.contiguous()) {
+    kernels::col_sum(batch.data(), batch.rows(), batch.dim(), r.data());
+  } else {
+    // View batches have no flat buffer; the per-row accumulation visits the
+    // same values in the same per-coordinate row order as col_sum (its
+    // documented contract), so both branches are bitwise identical.
+    for (std::size_t i = 0; i < batch.rows(); ++i) {
+      kernels::add_inplace(r.data(), batch.row(i), batch.dim());
+    }
+  }
   kernels::scale_inplace(r.data(), 1.0 / static_cast<double>(batch.rows()),
                          r.size());
   return r;

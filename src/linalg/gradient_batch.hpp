@@ -14,8 +14,28 @@
 // row()); consumers that still speak VectorList convert explicitly with
 // to_vectors() / from().  The batch owns its storage; row pointers are
 // invalidated by resize().
+//
+// --- View mode --------------------------------------------------------------
+//
+// A batch can alternatively *borrow* its m rows through a caller-owned
+// pointer table (view()): row i is then an externally owned span of d
+// doubles — e.g. the event engine's round-arena payload views — and the
+// batch owns nothing, so building it costs m pointers instead of an m x d
+// copy.  This is what lets the agreement protocol consume an inbox
+// zero-copy: n receivers of one sub-round share the arena's single stored
+// copy of each broadcast instead of materializing n private m x d batches.
+//
+// A view batch is read-only (the rows belong to someone else): the
+// mutating accessors throw std::logic_error on it, and the flat data()
+// accessors require contiguous() — row-based consumers (row(), row_copy(),
+// to_vectors(), mean_of_rows(), the blocked column passes) work on either
+// representation unchanged, and the few flat-layout consumers (mean's
+// col_sum, the Gram build, sharded slicing) branch on contiguous().
+// Lifetime rule, mirroring network/message.hpp: both the rows and the
+// pointer table must outlive the view batch.
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "linalg/vector_ops.hpp"
@@ -35,17 +55,40 @@ class GradientBatch {
   /// dimension; throws std::invalid_argument otherwise).
   static GradientBatch from(const VectorList& vs);
 
+  /// Borrowed view over m rows of dimension `dim` owned elsewhere:
+  /// rows[i] points at row i's d contiguous doubles.  Both the row storage
+  /// and the `rows` table itself must outlive the returned batch (the
+  /// table is typically a caller scratch vector recycled across rounds).
+  static GradientBatch view(const double* const* rows, std::size_t m,
+                            std::size_t dim);
+
   std::size_t rows() const { return m_; }
   std::size_t dim() const { return d_; }
   bool empty() const { return m_ == 0; }
 
-  /// Zero-copy view of row i (d contiguous doubles).
-  double* row(std::size_t i) { return data_.data() + i * d_; }
-  const double* row(std::size_t i) const { return data_.data() + i * d_; }
+  /// True when the batch owns one flat row-major buffer (data() is then
+  /// valid); false for a borrowed row-table view.
+  bool contiguous() const { return view_rows_ == nullptr; }
 
-  /// The whole m x d buffer, row-major.
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  /// Zero-copy view of row i (d contiguous doubles).
+  double* row(std::size_t i) {
+    check_owned();
+    return data_.data() + i * d_;
+  }
+  const double* row(std::size_t i) const {
+    return view_rows_ == nullptr ? data_.data() + i * d_ : view_rows_[i];
+  }
+
+  /// The whole m x d buffer, row-major.  Owned batches only (a view has no
+  /// flat buffer): throws std::logic_error on a view batch.
+  double* data() {
+    check_owned();
+    return data_.data();
+  }
+  const double* data() const {
+    check_owned();
+    return data_.data();
+  }
 
   /// Copies `v` into row i (dimension-checked).
   void set_row(std::size_t i, const Vector& v);
@@ -59,9 +102,17 @@ class GradientBatch {
   VectorList to_vectors() const;
 
  private:
+  void check_owned() const {
+    if (view_rows_ != nullptr) {
+      throw std::logic_error(
+          "GradientBatch: mutable/flat access on a borrowed view batch");
+    }
+  }
+
   std::size_t m_ = 0;
   std::size_t d_ = 0;
-  std::vector<double> data_;  // m_ x d_, row-major
+  std::vector<double> data_;  // m_ x d_, row-major (owned mode)
+  const double* const* view_rows_ = nullptr;  // non-null = view mode
 };
 
 /// Arithmetic mean of a non-empty batch's rows, via one streaming column

@@ -29,7 +29,8 @@ class ThreadPool;
 /// A fixed d -> k Rademacher projection: out = (1/sqrt(k)) * signs^T * x.
 class RademacherSketch {
  public:
-  /// Builds the bit-packed d x k sign matrix from `seed`.  Throws
+  /// Builds the d x k sign matrix from `seed` (drawn bit-packed, stored
+  /// as +-1.0 doubles so application vectorizes).  Throws
   /// std::invalid_argument when dim or k is 0.
   RademacherSketch(std::size_t dim, std::size_t k, std::uint64_t seed);
 
@@ -53,9 +54,8 @@ class RademacherSketch {
  private:
   std::size_t dim_ = 0;
   std::size_t k_ = 0;
-  std::size_t words_per_row_ = 0;  // ceil(k / 64)
-  double scale_ = 1.0;             // 1 / sqrt(k)
-  std::vector<std::uint64_t> signs_;  // dim_ rows of k_ bits each
+  double scale_ = 1.0;         // 1 / sqrt(k)
+  std::vector<double> signs_;  // dim_ x k_ entries in {-1.0, +1.0}
 };
 
 /// Approximate pairwise distances: sketch the batch, then run the exact

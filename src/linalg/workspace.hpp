@@ -62,6 +62,18 @@ class AggregationWorkspace {
         matrix_(std::move(prebuilt)),
         built_(true) {}
 
+  /// Borrows `batch` AND a shared distance matrix owned elsewhere (which
+  /// must cover the same rows and outlive the workspace): the agreement
+  /// protocol builds one DistanceMatrix per distinct sub-round inbox and
+  /// lends it to every node whose inbox matches, so n nodes pay one
+  /// O(m^2 * d) build instead of n.  A pointer parameter (not a reference)
+  /// keeps this overload distinct from the owning by-value constructor
+  /// above; `shared` must be non-null.
+  AggregationWorkspace(const GradientBatch& batch,
+                       const DistanceMatrix* shared,
+                       ThreadPool* pool = nullptr)
+      : batch_(&batch), pool_(pool), shared_(shared), built_(true) {}
+
   AggregationWorkspace(const AggregationWorkspace&) = delete;
   AggregationWorkspace& operator=(const AggregationWorkspace&) = delete;
 
@@ -89,9 +101,11 @@ class AggregationWorkspace {
   /// True once distances() has been computed.
   bool has_distances() const { return built_; }
 
-  /// The pairwise distance matrix of the inbox, computed on first use
-  /// (pool-parallel when a pool is attached) and cached afterwards.
+  /// The pairwise distance matrix of the inbox: the borrowed shared matrix
+  /// when one was attached, else computed on first use (pool-parallel when
+  /// a pool is attached) and cached afterwards.
   const DistanceMatrix& distances() {
+    if (shared_ != nullptr) return *shared_;
     if (!built_) {
       matrix_ = batch_ != nullptr ? DistanceMatrix(*batch_, pool_)
                                   : DistanceMatrix(*points_, pool_);
@@ -104,6 +118,7 @@ class AggregationWorkspace {
   const VectorList* points_ = nullptr;
   const GradientBatch* batch_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  const DistanceMatrix* shared_ = nullptr;
   DistanceMatrix matrix_;
   bool built_ = false;
   VectorList materialized_;

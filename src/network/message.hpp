@@ -116,4 +116,28 @@ inline GradientBatch payload_batch(const std::vector<Message>& inbox) {
   return batch;
 }
 
+/// Zero-copy flavour of payload_batch(): the returned batch *borrows* the
+/// inbox's payload spans through `table` (filled here, one row pointer per
+/// message, reusable across calls) instead of copying n x d doubles.  Same
+/// dimension check, same row order.  Lifetime follows the payload ownership
+/// rule above: the view batch (and `table`) are valid only while the inbox's
+/// payloads are — i.e. for the duration of the receive() call — so a
+/// consumer must finish with the batch before returning, exactly as the
+/// agreement protocol does.
+inline GradientBatch payload_batch_view(const std::vector<Message>& inbox,
+                                        std::vector<const double*>& table) {
+  table.clear();
+  if (inbox.empty()) return GradientBatch();
+  const std::size_t dim = inbox.front().payload.size();
+  table.reserve(inbox.size());
+  for (const Message& msg : inbox) {
+    if (msg.payload.size() != dim) {
+      throw std::invalid_argument(
+          "payload_batch_view: payload dimensions disagree");
+    }
+    table.push_back(msg.payload.data());
+  }
+  return GradientBatch::view(table.data(), table.size(), dim);
+}
+
 }  // namespace bcl

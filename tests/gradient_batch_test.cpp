@@ -374,5 +374,53 @@ TEST(Im2colConv, DefaultModeIsIm2col) {
   EXPECT_EQ(conv.mode(), ml::Conv2D::Mode::Im2col);
 }
 
+// --- borrowed row-table views (inbox_views) --------------------------------
+
+TEST(GradientBatchView, ReadsMatchOwnedAndMeanIsBitwise) {
+  Rng rng(61);
+  const VectorList pts = random_points(rng, 6, 9);
+  const GradientBatch owned = GradientBatch::from(pts);
+  std::vector<const double*> table;
+  for (std::size_t i = 0; i < owned.rows(); ++i) table.push_back(owned.row(i));
+  const GradientBatch borrowed =
+      GradientBatch::view(table.data(), owned.rows(), owned.dim());
+
+  EXPECT_FALSE(borrowed.contiguous());
+  EXPECT_TRUE(owned.contiguous());
+  for (std::size_t i = 0; i < owned.rows(); ++i) {
+    // Borrowed rows alias the owned storage: identical pointers, not just
+    // identical values.
+    EXPECT_EQ(borrowed.row(i), owned.row(i)) << "row " << i;
+  }
+  const Vector owned_mean = mean(owned);
+  const Vector view_mean = mean(borrowed);
+  ASSERT_EQ(owned_mean.size(), view_mean.size());
+  for (std::size_t c = 0; c < owned_mean.size(); ++c) {
+    EXPECT_EQ(owned_mean[c], view_mean[c]) << "coordinate " << c;
+  }
+}
+
+TEST(GradientBatchView, MutationAndFlatAccessThrow) {
+  // A borrowed view must never silently hand out mutable or flat access:
+  // the rows belong to the engine's round book, and flat data() would
+  // read the wrong (empty) buffer.
+  Rng rng(67);
+  const VectorList pts = random_points(rng, 4, 5);
+  const GradientBatch owned = GradientBatch::from(pts);
+  std::vector<const double*> table;
+  for (std::size_t i = 0; i < owned.rows(); ++i) table.push_back(owned.row(i));
+  GradientBatch borrowed =
+      GradientBatch::view(table.data(), owned.rows(), owned.dim());
+
+  EXPECT_THROW(borrowed.row(0), std::logic_error);           // mutable row
+  EXPECT_THROW(borrowed.set_row(0, pts[0]), std::logic_error);
+  EXPECT_THROW(borrowed.data(), std::logic_error);           // flat access
+  EXPECT_THROW(
+      static_cast<const GradientBatch&>(borrowed).data(), std::logic_error);
+  // Const, row-based reads stay fully functional on the same object.
+  EXPECT_EQ(static_cast<const GradientBatch&>(borrowed).row(1), owned.row(1));
+  EXPECT_EQ(borrowed.row_copy(2), pts[2]);
+}
+
 }  // namespace
 }  // namespace bcl

@@ -20,6 +20,8 @@
 #include "aggregation/registry.hpp"
 #include "aggregation/sharded.hpp"
 #include "aggregation/sketched.hpp"
+#include "linalg/distance_matrix.hpp"
+#include "linalg/gradient_batch.hpp"
 #include "linalg/workspace.hpp"
 #include "util/rng.hpp"
 
@@ -239,6 +241,55 @@ TEST(SketchedRules, NearTieTriggersAutomaticFallback) {
   expect_bitwise("SKETCH-MD-MEAN",
                  make_rule("SKETCH-MD-MEAN")->aggregate(inputs, ctx),
                  make_rule("MD-MEAN")->aggregate(inputs, ctx));
+}
+
+// --- view batches and shared Gram (the sub-round sharing contract) ---------
+
+TEST(RuleProperties, ViewBatchMatchesOwnedBitwise) {
+  // The agreement protocol feeds every rule borrowed row-table views of
+  // the engine's payload spans (AgreementConfig::inbox_views).  Same
+  // bytes, same kernels: every registry rule must produce bit-identical
+  // output on a view of the rows it would get as an owned batch — or
+  // throw loudly (check_owned) instead of silently reading a stale flat
+  // buffer.
+  const std::size_t n = 9, t = 2, d = 24;
+  const AggregationContext ctx = ctx_of(n, t);
+  const VectorList inputs = clustered_inputs(n, t, d, 53);
+  const GradientBatch owned = GradientBatch::from(inputs);
+  std::vector<const double*> table;
+  table.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) table.push_back(owned.row(i));
+  const GradientBatch borrowed = GradientBatch::view(table.data(), n, d);
+
+  for (const auto& name : every_rule_name()) {
+    const auto rule = make_rule(name);
+    AggregationWorkspace owned_ws(owned);
+    AggregationWorkspace view_ws(borrowed);
+    expect_bitwise(name + " (view)",
+                   rule->aggregate(owned, owned_ws, ctx),
+                   rule->aggregate(borrowed, view_ws, ctx));
+  }
+}
+
+TEST(RuleProperties, SharedGramMatchesPrivateBitwise) {
+  // The cross-node sharing layer hands rules a workspace borrowing a
+  // distance matrix built by another node over the identical inbox.  The
+  // borrowed build must be indistinguishable from a private one for every
+  // registry rule (rules that never touch distances pass trivially).
+  const std::size_t n = 9, t = 2, d = 24;
+  const AggregationContext ctx = ctx_of(n, t);
+  const VectorList inputs = clustered_inputs(n, t, d, 59);
+  const GradientBatch batch = GradientBatch::from(inputs);
+  const DistanceMatrix shared(batch, nullptr);
+
+  for (const auto& name : every_rule_name()) {
+    const auto rule = make_rule(name);
+    AggregationWorkspace private_ws(batch);
+    AggregationWorkspace shared_ws(batch, &shared);
+    expect_bitwise(name + " (shared gram)",
+                   rule->aggregate(batch, private_ws, ctx),
+                   rule->aggregate(batch, shared_ws, ctx));
+  }
 }
 
 // --- the shared Byzantine-budget clamp -------------------------------------
