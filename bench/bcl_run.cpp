@@ -40,12 +40,15 @@
 // Sweep axes: --rules, --attacks, --topologies, --hets, --fs, --nets,
 // --comps, --faults.  Shared scalar overrides: --n, --t, --model, --full,
 // --rounds, --batch, --lr, --subrounds, --delay, --net, --comp, --stale,
-// --cohort, --seed, --eval-max.
-// Artifacts: --csv <base>, --json <file>.  --threads attaches a worker
-// pool; --jobs N runs independent sweep cells concurrently (artifact row
-// order stays deterministic — cells are replayed through the emitters in
-// spec order); --dry-run prints the grid in exactly the order the cells
-// would execute.
+// --cohort, --seed, --eval-max, --trace.
+// Artifacts: --csv <base>, --json <file>; --trace-dir <dir> writes one
+// Chrome-trace/Perfetto trace_<cell>.json per traced cell (implies
+// trace=full on cells still at the default, as does --profile, which
+// prints a per-phase self-time table at sweep end).  --threads attaches a
+// worker pool; --jobs N runs independent sweep cells concurrently
+// (artifact row order stays deterministic — cells are replayed through
+// the emitters in spec order; traced cells force jobs=1); --dry-run
+// prints the grid in exactly the order the cells would execute.
 
 #include <algorithm>
 #include <iostream>
@@ -129,7 +132,7 @@ int main(int argc, char** argv) {
                       "model", "full", "rounds", "batch", "lr", "subrounds",
                       "delay", "net", "comp", "stale", "cohort", "seed",
                       "eval-max", "csv", "json", "threads", "jobs",
-                      "dry-run"});
+                      "dry-run", "trace", "trace-dir", "profile"});
   if (args.get_bool("list", false)) {
     print_registries();
     return 0;
@@ -140,7 +143,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> scalar_keys = {
       "n",  "t",     "model",     "rounds", "batch",    "lr",
       "subrounds", "delay", "net", "comp", "stale", "cohort", "seed",
-      "eval-max"};
+      "eval-max", "trace"};
 
   std::vector<ScenarioSpec> specs;
   try {

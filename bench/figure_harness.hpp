@@ -23,7 +23,8 @@ namespace bcl::bench {
 inline const std::vector<std::string>& scenario_flags() {
   static const std::vector<std::string> flags = {
       "full",  "rounds",    "seed", "csv",     "json",
-      "threads", "delay", "subrounds", "net", "comp", "eval-max"};
+      "threads", "delay", "subrounds", "net", "comp", "eval-max",
+      "trace", "trace-dir", "profile"};
   return flags;
 }
 
@@ -39,6 +40,13 @@ inline void apply_scalar_flags(const CliArgs& args,
   if (args.get_bool("full", false)) spec.full_scale = true;
   for (const auto& key : keys) {
     if (args.has(key)) spec.set(key, args.get_string(key, ""));
+  }
+  // Asking for trace artifacts without picking a level means "record
+  // everything": --trace-dir/--profile imply trace=full on cells still at
+  // the default (an explicit --trace or per-spec trace= wins).
+  if ((args.has("trace-dir") || args.get_bool("profile", false)) &&
+      spec.trace == "off") {
+    spec.trace = "full";
   }
 }
 
@@ -60,6 +68,12 @@ struct EmitterSet {
       json.emplace(json_path);
       pointers.push_back(&*json);
     }
+    const bool profile = args.get_bool("profile", false);
+    if (args.has("trace-dir") || profile) {
+      trace_dir = args.get_string("trace-dir", "");
+      trace.emplace(trace_dir, profile, &os);
+      pointers.push_back(&*trace);
+    }
   }
 
   // `pointers` aliases this object's own members, so a copy/move would
@@ -72,13 +86,19 @@ struct EmitterSet {
   void report(std::ostream& os) const {
     if (csv) os << "\nCSV written to " << csv_base << "_{series,summary}.csv\n";
     if (json) os << "JSON written to " << json_path << "\n";
+    if (trace && !trace_dir.empty()) {
+      os << trace->written().size() << " trace file(s) written to "
+         << trace_dir << "/trace_<cell>.json\n";
+    }
   }
 
   experiments::ConsoleEmitter console;
   std::optional<experiments::CsvEmitter> csv;
   std::optional<experiments::JsonEmitter> json;
+  std::optional<experiments::TraceEmitter> trace;
   std::string csv_base;
   std::string json_path;
+  std::string trace_dir;
   std::vector<experiments::MetricsEmitter*> pointers;
 };
 
@@ -92,7 +112,7 @@ inline std::vector<experiments::ScenarioSummary> run_scenarios(
   const CliArgs args(argc, argv, scenario_flags());
   for (auto& spec : specs) {
     apply_scalar_flags(args, {"rounds", "seed", "delay", "subrounds", "net",
-                              "comp", "eval-max"},
+                              "comp", "eval-max", "trace"},
                        spec);
   }
 

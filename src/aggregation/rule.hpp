@@ -36,6 +36,10 @@ namespace bcl {
 
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// Static system parameters every rule needs: the nominal number of clients
 /// n and the Byzantine tolerance t (maximum faults designed for; the actual
 /// fault count f <= t is unknown to the rule).
@@ -44,6 +48,10 @@ struct AggregationContext {
   std::size_t t = 0;
   /// Optional worker pool for subset-parallel rules; nullptr runs serially.
   ThreadPool* pool = nullptr;
+  /// Optional per-scenario metrics registry; rules with data-dependent
+  /// control flow (sketched screens) publish counters here (for example
+  /// "sketch.certified" / "sketch.fallbacks").  nullptr publishes nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Number of vectors every rule trusts to exist: n - t.
   std::size_t keep() const { return n - t; }

@@ -8,6 +8,8 @@
 #include "aggregation/krum.hpp"
 #include "geometry/min_diameter.hpp"
 #include "linalg/sketch.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
 
 namespace bcl {
 namespace {
@@ -51,6 +53,19 @@ bool margin_resolved(double below, double above, double eps, double factor) {
   if (!std::isfinite(below) || !std::isfinite(above)) return false;
   const double err = factor * eps;
   return (above - below) > err * (above + below);
+}
+
+// Publishes one screen outcome to the scenario registry ("sketch.certified"
+// / "sketch.fallbacks") and, on fallback, the reason at Debug level so tests
+// and post-mortems can assert why the exact path ran.
+void publish_certified(const AggregationContext& ctx) {
+  if (ctx.metrics != nullptr) ctx.metrics->counter("sketch.certified").add();
+}
+
+void publish_fallback(const AggregationContext& ctx, const char* rule,
+                      const char* reason) {
+  if (ctx.metrics != nullptr) ctx.metrics->counter("sketch.fallbacks").add();
+  log_debug() << rule << ": sketch fallback (" << reason << ")";
 }
 
 }  // namespace
@@ -101,7 +116,10 @@ Vector SketchedKrumRule::aggregate(const GradientBatch& batch,
     return batch.row_copy(static_cast<std::size_t>(
         std::min_element(scores.begin(), scores.end()) - scores.begin()));
   };
-  if (!sketchable(batch, options_)) return exact();
+  if (!sketchable(batch, options_)) {
+    publish_fallback(ctx, "SKETCH-KRUM", "not sketchable");
+    return exact();
+  }
 
   const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
   const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
@@ -109,8 +127,10 @@ Vector SketchedKrumRule::aggregate(const GradientBatch& batch,
   const auto order = score_order(scores);
   if (!margin_resolved(scores[order[0]], scores[order[1]],
                        sketch.relative_error(m), options_.margin_factor)) {
+    publish_fallback(ctx, "SKETCH-KRUM", "uncertified margin");
     return exact();
   }
+  publish_certified(ctx);
   return batch.row_copy(order[0]);
 }
 
@@ -136,7 +156,10 @@ Vector SketchedMultiKrumRule::aggregate(const GradientBatch& batch,
     return select(
         krum_scores(workspace.distances(), closest, KrumScore::Euclidean));
   };
-  if (!sketchable(batch, options_)) return exact();
+  if (!sketchable(batch, options_)) {
+    publish_fallback(ctx, "SKETCH-MULTIKRUM", "not sketchable");
+    return exact();
+  }
 
   const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
   const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
@@ -147,8 +170,10 @@ Vector SketchedMultiKrumRule::aggregate(const GradientBatch& batch,
   if (take < m &&
       !margin_resolved(scores[order[take - 1]], scores[order[take]],
                        sketch.relative_error(m), options_.margin_factor)) {
+    publish_fallback(ctx, "SKETCH-MULTIKRUM", "uncertified margin");
     return exact();
   }
+  publish_certified(ctx);
   auto selection = order;
   selection.resize(take);
   return mean_of_rows(batch, selection);
@@ -165,7 +190,10 @@ Vector SketchedMdMeanRule::aggregate(const GradientBatch& batch,
     const auto md = min_diameter_subset(workspace.distances(), keep);
     return mean_of_rows(batch, md.indices);
   };
-  if (!sketchable(batch, options_) || keep >= batch.rows()) return exact();
+  if (!sketchable(batch, options_) || keep >= batch.rows()) {
+    publish_fallback(ctx, "SKETCH-MD-MEAN", "not sketchable");
+    return exact();
+  }
 
   const RademacherSketch sketch(batch.dim(), options_.k, options_.seed);
   const DistanceMatrix approx = sketched_distances(batch, sketch, ctx.pool);
@@ -175,10 +203,17 @@ Vector SketchedMdMeanRule::aggregate(const GradientBatch& batch,
   // The argmin is certified only when that band holds the optimum alone.
   const double eps =
       options_.margin_factor * sketch.relative_error(batch.rows());
-  if (eps >= 1.0) return exact();  // the band is unbounded: nothing certifies
+  if (eps >= 1.0) {  // the band is unbounded: nothing certifies
+    publish_fallback(ctx, "SKETCH-MD-MEAN", "margin band unbounded");
+    return exact();
+  }
   const auto candidates =
       min_diameter_subsets(approx, keep, 2.0 * eps / (1.0 - eps));
-  if (candidates.size() != 1) return exact();
+  if (candidates.size() != 1) {
+    publish_fallback(ctx, "SKETCH-MD-MEAN", "ambiguous subset");
+    return exact();
+  }
+  publish_certified(ctx);
   return mean_of_rows(batch, candidates.front().indices);
 }
 

@@ -1,5 +1,7 @@
 #include "agreement/protocol.hpp"
 
+#include "obs/trace.hpp"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -148,9 +150,13 @@ class AgreementNode final : public HonestProcess {
     // per receive() after the first — and is finished with before this
     // call returns, per the Message ownership rule.  Both flavours feed
     // identical bytes to identical kernels, so results are bitwise equal.
-    const GradientBatch received = views_ ? payload_batch_view(inbox, table_)
-                                          : payload_batch(inbox);
+    const GradientBatch received = [&] {
+      BCL_TRACE_SPAN("agreement.inbox_build");
+      return views_ ? payload_batch_view(inbox, table_)
+                    : payload_batch(inbox);
+    }();
     if (cache_ == nullptr) {
+      BCL_TRACE_SPAN("agreement.step");
       AggregationWorkspace workspace(received, ctx_.pool);
       current_ = round_function_->step(received, workspace, current_, ctx_);
       return;
@@ -160,20 +166,30 @@ class AgreementNode final : public HonestProcess {
     if (round_function_->current_independent()) {
       // The step ignores current_, so the whole output is shareable: the
       // first node with this inbox computes it, everyone else copies.
+      bool built = false;
       std::call_once(entry->once, [&] {
+        BCL_TRACE_SPAN("agreement.gram_build");
         AggregationWorkspace workspace(received, ctx_.pool);
         entry->output =
             round_function_->step(received, workspace, current_, ctx_);
         cache_->count_build();
+        built = true;
       });
-      current_ = entry->output;
+      if (built) {
+        current_ = entry->output;
+      } else {
+        BCL_TRACE_SPAN("agreement.shared_hit");
+        current_ = entry->output;
+      }
     } else {
       // Current-dependent round function: selection differs per node, but
       // the O(m^2 d) distance build over an identical inbox does not.
       std::call_once(entry->once, [&] {
+        BCL_TRACE_SPAN("agreement.gram_build");
         entry->distances = DistanceMatrix(received, ctx_.pool);
         cache_->count_build();
       });
+      BCL_TRACE_SPAN("agreement.step");
       AggregationWorkspace workspace(received, &entry->distances, ctx_.pool);
       current_ = round_function_->step(received, workspace, current_, ctx_);
     }
@@ -230,6 +246,7 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   ctx.n = config.n;
   ctx.t = config.t;
   ctx.pool = nullptr;  // node-level parallelism is across nodes, not subsets
+  ctx.metrics = config.metrics;
 
   SubroundShareCache cache;
   SubroundShareCache* const cache_ptr =
@@ -263,6 +280,7 @@ AgreementResult run_impl(const VectorList& inputs, Adversary& adversary,
   EventNetworkConfig net_config;
   net_config.quorum = config.n - config.t;
   net_config.pool = config.pool;
+  net_config.metrics = config.metrics;
   if (config.codec != nullptr && !config.codec->identity()) {
     net_config.codec = config.codec;
     net_config.codec_seed = config.codec_seed;

@@ -83,6 +83,11 @@ struct AgreementConfig {
   /// omissions) mismatch the signature and fall back per node.  Bitwise
   /// identical to the unshared path by construction.
   bool share_subrounds = true;
+  /// Optional per-scenario metrics registry: forwarded to the event
+  /// engine (per-message delay histogram) and the aggregation context
+  /// (sketch certification counters).  Not owned; nullptr records
+  /// nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-round convergence trace.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 #include <stdexcept>
 
@@ -105,8 +108,10 @@ CsvEmitter::CsvEmitter(std::string base_path)
       summary_({"scenario", "rule", "attack", "topology", "heterogeneity",
                 "f", "net", "comp", "faults", "stale", "cohort",
                 "best_accuracy", "final_accuracy", "rounds_degraded",
-                "stale_accepted", "stale_rejected", "seconds", "sim_seconds",
-                "bytes", "compression_ratio", "error"}) {}
+                "stale_accepted", "stale_rejected", "gram_builds",
+                "shared_hits", "sketch_certified", "sketch_fallbacks",
+                "seconds", "sim_seconds", "bytes", "compression_ratio",
+                "error"}) {}
 
 void CsvEmitter::emit_round(const ScenarioSpec& spec,
                             const RoundMetrics& m) {
@@ -153,6 +158,14 @@ void CsvEmitter::end_scenario(const ScenarioSummary& summary) {
       .add_num(summary.result.rounds_degraded_total(), 0)
       .add_num(summary.result.stale_accepted_total(), 0)
       .add_num(summary.result.stale_rejected_total(), 0)
+      .add_int(static_cast<long long>(
+          summary.metrics.counter_or("agreement.gram_builds")))
+      .add_int(static_cast<long long>(
+          summary.metrics.counter_or("agreement.shared_hits")))
+      .add_int(static_cast<long long>(
+          summary.metrics.counter_or("sketch.certified")))
+      .add_int(static_cast<long long>(
+          summary.metrics.counter_or("sketch.fallbacks")))
       .add_num(summary.seconds, 2)
       .add_num(sim_total, 3)
       .add_num(summary.result.bytes_total(), 0)
@@ -191,6 +204,7 @@ void JsonEmitter::end_scenario(const ScenarioSummary& summary) {
   entry.stale_accepted = summary.result.stale_accepted_total();
   entry.stale_rejected = summary.result.stale_rejected_total();
   entry.error = summary.error;
+  entry.metrics = summary.metrics;
 }
 
 namespace {
@@ -255,6 +269,53 @@ void JsonEmitter::finish() {
                  e.bytes, e.compression_ratio, e.rounds_degraded,
                  e.stale_accepted, e.stale_rejected,
                  escape_json(e.error).c_str());
+    std::fprintf(
+        f,
+        "   \"gram_builds\": %llu, \"shared_hits\": %llu, "
+        "\"sketch_certified\": %llu, \"sketch_fallbacks\": %llu,\n",
+        static_cast<unsigned long long>(
+            e.metrics.counter_or("agreement.gram_builds")),
+        static_cast<unsigned long long>(
+            e.metrics.counter_or("agreement.shared_hits")),
+        static_cast<unsigned long long>(
+            e.metrics.counter_or("sketch.certified")),
+        static_cast<unsigned long long>(
+            e.metrics.counter_or("sketch.fallbacks")));
+    std::fprintf(f, "   \"metrics\": {\"counters\": {");
+    {
+      bool first = true;
+      for (const auto& [name, value] : e.metrics.counters) {
+        std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                     escape_json(name).c_str(),
+                     static_cast<unsigned long long>(value));
+        first = false;
+      }
+    }
+    std::fprintf(f, "}, \"gauges\": {");
+    {
+      bool first = true;
+      for (const auto& [name, value] : e.metrics.gauges) {
+        std::fprintf(f, "%s\"%s\": %.6g", first ? "" : ", ",
+                     escape_json(name).c_str(), value);
+        first = false;
+      }
+    }
+    std::fprintf(f, "}, \"histograms\": {");
+    {
+      bool first = true;
+      for (const auto& [name, h] : e.metrics.histograms) {
+        std::fprintf(f,
+                     "%s\"%s\": {\"count\": %llu, \"sum\": %.6g, "
+                     "\"min\": %.6g, \"max\": %.6g, \"mean\": %.6g, "
+                     "\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g}",
+                     first ? "" : ", ", escape_json(name).c_str(),
+                     static_cast<unsigned long long>(h.count), h.sum, h.min,
+                     h.max, h.mean(), h.quantile(0.50), h.quantile(0.95),
+                     h.quantile(0.99));
+        first = false;
+      }
+    }
+    std::fprintf(f, "}},\n");
     std::fprintf(f, "   \"rounds\": [\n");
     for (std::size_t r = 0; r < e.rounds.size(); ++r) {
       const RoundMetrics& m = e.rounds[r];
@@ -278,6 +339,60 @@ void JsonEmitter::finish() {
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
+}
+
+// --- trace -----------------------------------------------------------------
+
+namespace {
+// Cell names embed '/' and ':' (e.g. "cen/mild/KRUM/sign-flip/f1"); map
+// anything unsafe in a filename to '_'.
+std::string sanitize_cell_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                      c == '=';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+TraceEmitter::TraceEmitter(std::string dir, bool profile, std::ostream* os)
+    : dir_(std::move(dir)), profile_(profile), os_(os) {}
+
+void TraceEmitter::end_scenario(const ScenarioSummary& summary) {
+  if (summary.trace.empty()) return;
+  all_records_.insert(all_records_.end(), summary.trace.begin(),
+                      summary.trace.end());
+  if (dir_.empty()) return;
+  std::filesystem::create_directories(dir_);
+  const std::string path =
+      dir_ + "/trace_" + sanitize_cell_name(summary.spec.name()) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceEmitter: cannot open '" + path + "'");
+  }
+  obs::TraceBuffer buffer;
+  buffer.records = summary.trace;
+  buffer.dropped = summary.trace_dropped;
+  obs::write_chrome_trace(out, buffer);
+  if (!out) {
+    throw std::runtime_error("TraceEmitter: write failed for '" + path + "'");
+  }
+  written_.push_back(path);
+}
+
+void TraceEmitter::finish() {
+  if (!profile_) return;
+  std::ostream& os = os_ != nullptr ? *os_ : std::cout;
+  const std::vector<obs::PhaseStat> stats = obs::self_time(all_records_);
+  if (stats.empty()) {
+    os << "--profile: no trace records (did every cell run trace=off?)\n";
+    return;
+  }
+  os << "\n--- per-phase self time (all traced cells) ---\n";
+  obs::write_profile(os, stats);
 }
 
 }  // namespace bcl::experiments

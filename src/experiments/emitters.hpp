@@ -18,6 +18,8 @@
 
 #include "experiments/scenario.hpp"
 #include "learning/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace bcl::experiments {
@@ -105,9 +107,37 @@ class JsonEmitter final : public MetricsEmitter {
     double stale_accepted = 0.0;     ///< stale-but-within-tau submissions
     double stale_rejected = 0.0;     ///< submissions older than tau
     std::string error;
+    /// Unified registry snapshot (net.* / agreement.* / sketch.* counters,
+    /// round.* histograms), emitted as a "metrics" block with p50/p95/p99
+    /// per histogram.
+    obs::MetricsSnapshot metrics;
   };
   std::string path_;
   std::vector<Entry> entries_;
+};
+
+/// Flight-recorder artifacts: one trace_<cell>.json (Chrome trace-event /
+/// Perfetto JSON) per traced scenario under `dir` (created on demand), plus
+/// an aggregate per-phase self-time table on finish() when `profile` is set
+/// (the bcl_run --profile report; validated by tools/check_trace.py).
+/// Scenarios with an empty trace (trace=off cells) write nothing.
+class TraceEmitter final : public MetricsEmitter {
+ public:
+  /// `os` receives the profile table (defaults to std::cout when null).
+  explicit TraceEmitter(std::string dir, bool profile = false,
+                        std::ostream* os = nullptr);
+  void end_scenario(const ScenarioSummary& summary) override;
+  void finish() override;
+
+  /// Paths written so far (tests and bcl_run's completion message).
+  const std::vector<std::string>& written() const { return written_; }
+
+ private:
+  std::string dir_;
+  bool profile_;
+  std::ostream* os_;
+  std::vector<obs::TraceRecord> all_records_;
+  std::vector<std::string> written_;
 };
 
 }  // namespace bcl::experiments

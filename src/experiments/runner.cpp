@@ -9,6 +9,7 @@
 #include "learning/centralized.hpp"
 #include "learning/decentralized.hpp"
 #include "ml/architectures.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace bcl::experiments {
@@ -80,6 +81,14 @@ ScenarioSummary ScenarioRunner::run(
   for (MetricsEmitter* e : emitters) e->begin_scenario(spec);
   ScenarioSummary summary;
   summary.spec = spec;
+  // Arm the flight recorder for traced cells.  The recorder is process
+  // global, so traced cells run one at a time (run_all forces jobs=1); a
+  // preparatory drain discards stale records from earlier cells.
+  const obs::TraceLevel cell_level = obs::parse_trace_level(spec.trace);
+  if (cell_level != obs::TraceLevel::Off) {
+    obs::drain_trace();
+    obs::set_trace_level(cell_level);
+  }
   Stopwatch watch;
   try {
     run_trained(spec, emitters, summary);
@@ -87,6 +96,16 @@ ScenarioSummary ScenarioRunner::run(
     summary.error = failure.what();
   }
   summary.seconds = watch.seconds();
+  if (cell_level != obs::TraceLevel::Off) {
+    obs::set_trace_level(obs::TraceLevel::Off);
+    obs::TraceBuffer buffer = obs::drain_trace();
+    summary.trace = std::move(buffer.records);
+    summary.trace_dropped = buffer.dropped;
+    if (summary.trace_dropped > 0) {
+      log_warn() << "scenario '" << spec.name() << "': trace ring overflow "
+                 << "dropped " << summary.trace_dropped << " records";
+    }
+  }
   for (MetricsEmitter* e : emitters) e->end_scenario(summary);
   return summary;
 }
@@ -141,6 +160,14 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
     for (MetricsEmitter* e : emitters) e->emit_round(spec, metrics);
   };
 
+  // Every cell gets a private registry (cheap when nothing publishes into
+  // a name): emitters can then surface the unified counters uniformly
+  // instead of special-casing traced cells.
+  obs::MetricsRegistry registry;
+  cfg.metrics = &registry;
+  const std::uint64_t warnings_before = log_count(LogLevel::Warn);
+  const std::uint64_t errors_before = log_count(LogLevel::Error);
+
   if (spec.topology == Topology::Centralized) {
     CentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
     summary.result = trainer.run();
@@ -153,6 +180,11 @@ void ScenarioRunner::run_trained(const ScenarioSpec& spec,
     DecentralizedTrainer trainer(cfg, factory, &data.train, &data.test);
     summary.result = trainer.run();
   }
+
+  registry.counter("log.warnings")
+      .add(log_count(LogLevel::Warn) - warnings_before);
+  registry.counter("log.errors").add(log_count(LogLevel::Error) - errors_before);
+  summary.metrics = registry.snapshot();
 }
 
 namespace {
@@ -177,6 +209,20 @@ class RecordingEmitter final : public MetricsEmitter {
 std::vector<ScenarioSummary> ScenarioRunner::run_all(
     const std::vector<ScenarioSpec>& specs,
     const std::vector<MetricsEmitter*>& emitters, std::size_t jobs) {
+  // The flight recorder is process-global: concurrent traced cells would
+  // interleave their spans in the shared rings.  Serialize the sweep
+  // whenever any cell traces.
+  if (jobs > 1) {
+    for (const auto& spec : specs) {
+      if (spec.trace != "off") {
+        log_warn() << "run_all: '" << spec.name() << "' sets trace="
+                   << spec.trace << "; forcing jobs=1 (the flight recorder "
+                   << "is process-global)";
+        jobs = 1;
+        break;
+      }
+    }
+  }
   std::vector<ScenarioSummary> summaries;
   if (jobs <= 1 || specs.size() <= 1) {
     summaries.reserve(specs.size());

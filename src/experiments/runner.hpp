@@ -19,6 +19,8 @@
 #include "experiments/scenario.hpp"
 #include "learning/config.hpp"
 #include "ml/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
 class ThreadPool;
@@ -39,6 +41,16 @@ struct ScenarioSummary {
   TrainingResult result;
   double seconds = 0.0;
   std::string error;
+  /// Snapshot of the cell's private MetricsRegistry: unified net.* /
+  /// agreement.* / sketch.* counters and round.* histograms (see
+  /// docs/observability.md for the name schema).  Always populated — the
+  /// runner wires a registry into every cell regardless of trace=.
+  obs::MetricsSnapshot metrics;
+  /// Flight-recorder records drained after the cell ran (empty unless
+  /// spec.trace != "off").  trace_dropped counts records lost to ring
+  /// overflow (the Chrome export repairs the resulting orphans).
+  std::vector<obs::TraceRecord> trace;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Drives scenarios (see file comment).  Drive a runner from one thread

@@ -57,7 +57,7 @@ const std::vector<std::string>& scenario_keys() {
       "label", "rule",  "attack", "n",         "f",     "t",
       "topology", "model", "het",  "scale",    "rounds", "batch",
       "lr",    "subrounds", "delay", "net",    "comp",   "faults",
-      "stale", "cohort", "sketch", "seed",  "eval-max"};
+      "stale", "cohort", "sketch", "trace", "seed",  "eval-max"};
   return keys;
 }
 
@@ -136,6 +136,12 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
                                   "' (valid: auto, on, off)");
     }
     sketch = value;
+  } else if (key == "trace") {
+    if (value != "off" && value != "spans" && value != "full") {
+      throw std::invalid_argument("ScenarioSpec: unknown trace '" + value +
+                                  "' (valid: off, spans, full)");
+    }
+    trace = value;
   } else if (key == "seed") {
     seed = static_cast<std::uint64_t>(parse_size(key, value));
   } else if (key == "eval-max") {
@@ -189,6 +195,7 @@ std::string ScenarioSpec::to_string() const {
   out += " stale=" + stale;
   out += " cohort=" + cohort;
   out += " sketch=" + sketch;
+  out += " trace=" + trace;
   out += " seed=" + std::to_string(seed);
   out += " eval-max=" + std::to_string(eval_max);
   return out;
@@ -209,6 +216,7 @@ std::string ScenarioSpec::name() const {
   if (stale != "none") out += "/stale:" + stale;
   if (cohort != "none") out += "/cohort:" + cohort;
   if (sketch != "auto") out += "/sketch:" + sketch;
+  if (trace != "off") out += "/trace:" + trace;
   return out;
 }
 

@@ -53,6 +53,9 @@
 //   sketch    sketched shard rules on the cohort path
 //             (auto | on | off; auto switches at inboxes
 //             of >= 10^4 rows)                           [auto]
+//   trace     flight-recorder level (off | spans | full;
+//             spans = trainer/agreement phases, full
+//             adds event-engine internals)               [off]
 //   seed      root RNG seed (drives data + training +
 //             network delays + codec randomness + fault
 //             schedules)                                 [11]
@@ -143,6 +146,14 @@ struct ScenarioSpec {
   /// with sketched counterparts (KRUM / MULTIKRUM-q / MD-MEAN) are
   /// affected.  Validated eagerly by set().
   std::string sketch = "auto";
+  /// Flight-recorder level (src/obs/): "off" (default, single relaxed
+  /// atomic check per span), "spans" (trainer/agreement phase spans), or
+  /// "full" (adds per-batch event-engine internals).  Metrics are
+  /// independent of the level: the runner wires a registry into every
+  /// cell.  Traced cells run serially — the runner drops --jobs
+  /// parallelism when any spec traces, because the recorder is
+  /// process-global.  Validated eagerly by set().
+  std::string trace = "off";
   std::uint64_t seed = 11;
   std::size_t eval_max = 0;
 

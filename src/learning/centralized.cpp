@@ -13,10 +13,26 @@
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
 #include "linalg/sparse_rows.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
+
+namespace {
+
+// Round distributions shared by the three centralized loops (lockstep /
+// elastic / cohort); no-op without a registry.
+void publish_round_histograms(obs::MetricsRegistry* registry,
+                              const RoundMetrics& metrics) {
+  if (registry == nullptr) return;
+  registry->histogram("round.wall_seconds").record(metrics.seconds);
+  registry->histogram("round.sim_seconds").record(metrics.sim_seconds);
+  registry->histogram("round.bytes").record(metrics.bytes_delivered);
+}
+
+}  // namespace
 
 CentralizedTrainer::CentralizedTrainer(TrainingConfig config,
                                        ModelFactory factory,
@@ -71,6 +87,7 @@ TrainingResult CentralizedTrainer::run_lockstep() {
   ctx.n = n;
   ctx.t = config_.resolved_t();
   ctx.pool = config_.pool;
+  ctx.metrics = config_.metrics;
 
   Rng attack_rng = root.split(3);
   TrainingResult result;
@@ -104,14 +121,18 @@ TrainingResult CentralizedTrainer::run_lockstep() {
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
+    BCL_TRACE_SPAN("round");
     auto compute = [&](std::size_t i) {
       losses[i] = clients[i]->stochastic_gradient_into(global_params_,
                                                        gradients.row(i));
     };
-    if (config_.pool != nullptr) {
-      config_.pool->parallel_for(0, n, compute);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) compute(i);
+    {
+      BCL_TRACE_SPAN("grad.compute");
+      if (config_.pool != nullptr) {
+        config_.pool->parallel_for(0, n, compute);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) compute(i);
+      }
     }
 
     double honest_loss = 0.0;
@@ -124,6 +145,7 @@ TrainingResult CentralizedTrainer::run_lockstep() {
     std::vector<CompressedGradient> encoded_uploads;
     bool sparse_uploads = false;
     if (codec != nullptr) {
+      BCL_TRACE_SPAN("codec.encode");
       encoded_uploads.reserve(n - f);
       sparse_uploads = true;
       for (std::size_t i = 0; i < n - f; ++i) {
@@ -149,6 +171,7 @@ TrainingResult CentralizedTrainer::run_lockstep() {
       }
     }
     if (f > 0) {
+      BCL_TRACE_SPAN("attack.corrupt");
       VectorList honest;
       honest.reserve(n - f);
       for (std::size_t i = 0; i < n - f; ++i) {
@@ -196,40 +219,50 @@ TrainingResult CentralizedTrainer::run_lockstep() {
     // O(pairwise nnz) instead of O(m^2 * d) — and handed to the workspace
     // prebuilt (Byzantine rows ride along dense).
     std::optional<AggregationWorkspace> workspace;
-    if (sparse_uploads) {
-      SparseRows sparse(dim);
-      for (const auto& encoded : encoded_uploads) {
-        encoded.append_row_to(sparse);
+    Vector aggregate = [&] {
+      BCL_TRACE_SPAN("aggregate.rule");
+      if (sparse_uploads) {
+        SparseRows sparse(dim);
+        for (const auto& encoded : encoded_uploads) {
+          encoded.append_row_to(sparse);
+        }
+        for (const auto& encoded : encoded_byz) {
+          encoded.append_row_to(sparse);
+        }
+        workspace.emplace(submitted, DistanceMatrix(sparse, ctx.pool),
+                          ctx.pool);
+      } else {
+        workspace.emplace(submitted, ctx.pool);
       }
-      for (const auto& encoded : encoded_byz) {
-        encoded.append_row_to(sparse);
-      }
-      workspace.emplace(submitted, DistanceMatrix(sparse, ctx.pool),
-                        ctx.pool);
-    } else {
-      workspace.emplace(submitted, ctx.pool);
-    }
-    Vector aggregate = config_.rule->aggregate(submitted, *workspace, ctx);
+      return config_.rule->aggregate(submitted, *workspace, ctx);
+    }();
 
     // The model update travels back over the same constrained links: the
     // server EF-compresses its broadcast (id n), and every client applies
     // the lossy decode — with the identity codec this is a bitwise no-op.
     std::size_t downlink_wire = dense_wire_bytes(dim);
     if (codec != nullptr) {
+      BCL_TRACE_SPAN("codec.encode");
       const CompressedGradient encoded = error_feedback.compress(
           *codec, config_.seed, n, round, aggregate.data(), dim);
       encoded.decode_into(aggregate.data());
       downlink_wire = encoded.wire_bytes();
     }
     const double lr = config_.schedule.rate(round);
-    ml::sgd_step(global_params_, aggregate, lr);
+    {
+      BCL_TRACE_SPAN("sgd.apply");
+      ml::sgd_step(global_params_, aggregate, lr);
+    }
 
     RoundMetrics metrics;
     metrics.round = round;
     metrics.learning_rate = lr;
     metrics.mean_honest_loss = honest_loss;
-    metrics.accuracy = clients[0]->evaluate(global_params_, *test_,
-                                            config_.eval_max_examples);
+    metrics.accuracy = [&] {
+      BCL_TRACE_SPAN("evaluate");
+      return clients[0]->evaluate(global_params_, *test_,
+                                  config_.eval_max_examples);
+    }();
     metrics.accuracy_min = metrics.accuracy;
     metrics.accuracy_max = metrics.accuracy;
     metrics.disagreement = 0.0;
@@ -282,6 +315,7 @@ TrainingResult CentralizedTrainer::run_lockstep() {
     metrics.bytes_dense = bytes_dense;
     metrics.live_clients = static_cast<double>(n);  // lockstep: all up
     metrics.cohort = static_cast<double>(n);        // everyone uploads
+    publish_round_histograms(config_.metrics, metrics);
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }
@@ -362,6 +396,7 @@ TrainingResult CentralizedTrainer::run_elastic() {
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
+    BCL_TRACE_SPAN("round");
     const std::size_t live = plan.live_count(round);
 
     // Start work: every live, idle client picks up the latest broadcast
@@ -381,10 +416,13 @@ TrainingResult CentralizedTrainer::run_elastic() {
       p.active = true;
       p.version = round;
     };
-    if (config_.pool != nullptr && starters.size() > 1) {
-      config_.pool->parallel_for(0, starters.size(), compute);
-    } else {
-      for (std::size_t k = 0; k < starters.size(); ++k) compute(k);
+    {
+      BCL_TRACE_SPAN("grad.compute");
+      if (config_.pool != nullptr && starters.size() > 1) {
+        config_.pool->parallel_for(0, starters.size(), compute);
+      } else {
+        for (std::size_t k = 0; k < starters.size(); ++k) compute(k);
+      }
     }
     for (const std::size_t i : starters) {
       Pending& p = pending[i];
@@ -455,6 +493,7 @@ TrainingResult CentralizedTrainer::run_elastic() {
       p.active = false;
     }
     const std::size_t honest_accepted = submissions.size();
+    BCL_TRACE_SPAN("attack.corrupt");
     for (const std::size_t i : byz_arrived) {
       Pending& p = pending[i];
       auto corrupted = config_.attack->corrupt(std::move(p.grad),
@@ -498,16 +537,24 @@ TrainingResult CentralizedTrainer::run_elastic() {
       ctx.n = submitted.rows();
       ctx.t = clamp_byzantine_budget(t, submitted.rows());
       ctx.pool = config_.pool;
+      ctx.metrics = config_.metrics;
       AggregationWorkspace workspace(submitted, ctx.pool);
-      Vector aggregate = config_.rule->aggregate(submitted, workspace, ctx);
+      Vector aggregate = [&] {
+        BCL_TRACE_SPAN("aggregate.rule");
+        return config_.rule->aggregate(submitted, workspace, ctx);
+      }();
       downlink_wire = dense_wire_bytes(dim);
       if (codec != nullptr) {
+        BCL_TRACE_SPAN("codec.encode");
         const CompressedGradient encoded = error_feedback.compress(
             *codec, config_.seed, n, round, aggregate.data(), dim);
         encoded.decode_into(aggregate.data());
         downlink_wire = encoded.wire_bytes();
       }
-      ml::sgd_step(global_params_, aggregate, lr);
+      {
+        BCL_TRACE_SPAN("sgd.apply");
+        ml::sgd_step(global_params_, aggregate, lr);
+      }
       if (workspace.has_distances() && honest_accepted >= 2) {
         std::vector<std::size_t> honest_ids(honest_accepted);
         for (std::size_t k = 0; k < honest_accepted; ++k) honest_ids[k] = k;
@@ -528,8 +575,11 @@ TrainingResult CentralizedTrainer::run_elastic() {
         cohort_losses.empty()
             ? 0.0
             : loss / static_cast<double>(cohort_losses.size());
-    metrics.accuracy = clients[0]->evaluate(global_params_, *test_,
-                                            config_.eval_max_examples);
+    metrics.accuracy = [&] {
+      BCL_TRACE_SPAN("evaluate");
+      return clients[0]->evaluate(global_params_, *test_,
+                                  config_.eval_max_examples);
+    }();
     metrics.accuracy_min = metrics.accuracy;
     metrics.accuracy_max = metrics.accuracy;
     metrics.gradient_diameter = diameter;
@@ -571,6 +621,7 @@ TrainingResult CentralizedTrainer::run_elastic() {
     }
     metrics.bytes_delivered = bytes;
     metrics.bytes_dense = bytes_dense;
+    publish_round_histograms(config_.metrics, metrics);
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }
@@ -676,6 +727,7 @@ TrainingResult CentralizedTrainer::run_cohort() {
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
+    BCL_TRACE_SPAN("round");
     // This round's uploaders, ascending (honest cohort members form the
     // batch prefix because Byzantine ids are the last f).
     const std::vector<std::size_t> cohort =
@@ -698,19 +750,24 @@ TrainingResult CentralizedTrainer::run_cohort() {
           config_.batch_size, client_rngs[i], global_params_,
           gradients.row(c));
     };
-    if (config_.pool != nullptr && k > 1) {
-      // Contiguous member chunks per lane, so a lane's scratch model is
-      // touched by exactly one worker.
-      const std::size_t chunk = (k + lanes - 1) / lanes;
-      config_.pool->parallel_for(0, lanes, [&](std::size_t l) {
-        const std::size_t begin = l * chunk;
-        const std::size_t end = std::min(k, begin + chunk);
-        for (std::size_t c = begin; c < end; ++c) {
-          compute_member(lane_models[l], c);
+    {
+      BCL_TRACE_SPAN("grad.compute");
+      if (config_.pool != nullptr && k > 1) {
+        // Contiguous member chunks per lane, so a lane's scratch model is
+        // touched by exactly one worker.
+        const std::size_t chunk = (k + lanes - 1) / lanes;
+        config_.pool->parallel_for(0, lanes, [&](std::size_t l) {
+          const std::size_t begin = l * chunk;
+          const std::size_t end = std::min(k, begin + chunk);
+          for (std::size_t c = begin; c < end; ++c) {
+            compute_member(lane_models[l], c);
+          }
+        });
+      } else {
+        for (std::size_t c = 0; c < k; ++c) {
+          compute_member(lane_models[0], c);
         }
-      });
-    } else {
-      for (std::size_t c = 0; c < k; ++c) compute_member(lane_models[0], c);
+      }
     }
 
     double honest_loss = 0.0;
@@ -723,6 +780,7 @@ TrainingResult CentralizedTrainer::run_cohort() {
     std::vector<CompressedGradient> encoded_uploads;
     bool sparse_uploads = false;
     if (codec != nullptr) {
+      BCL_TRACE_SPAN("codec.encode");
       encoded_uploads.reserve(honest_k);
       sparse_uploads = true;
       for (std::size_t c = 0; c < honest_k; ++c) {
@@ -742,6 +800,7 @@ TrainingResult CentralizedTrainer::run_cohort() {
       }
     }
     if (byz_k > 0) {
+      BCL_TRACE_SPAN("attack.corrupt");
       VectorList honest;
       honest.reserve(honest_k);
       for (std::size_t c = 0; c < honest_k; ++c) {
@@ -784,6 +843,7 @@ TrainingResult CentralizedTrainer::run_cohort() {
     ctx.n = k;
     ctx.t = t_k;
     ctx.pool = config_.pool;
+    ctx.metrics = config_.metrics;
 
     const double lr = config_.schedule.rate(round);
     std::size_t downlink_wire = 0;
@@ -819,17 +879,23 @@ TrainingResult CentralizedTrainer::run_cohort() {
           use_sketch ? *sketch_shard : *config_.rule;
       const AggregationRule& round_root =
           use_sketch && sketch_root != nullptr ? *sketch_root : *root_rule;
-      Vector aggregate =
-          aggregate_sharded(submitted, *workspace, shard_rule, round_root,
-                            config_.cohort.shards, ctx);
+      Vector aggregate = [&] {
+        BCL_TRACE_SPAN("aggregate.rule");
+        return aggregate_sharded(submitted, *workspace, shard_rule,
+                                 round_root, config_.cohort.shards, ctx);
+      }();
       downlink_wire = dense_wire_bytes(dim);
       if (codec != nullptr) {
+        BCL_TRACE_SPAN("codec.encode");
         const CompressedGradient encoded = error_feedback.compress(
             *codec, config_.seed, n, round, aggregate.data(), dim);
         encoded.decode_into(aggregate.data());
         downlink_wire = encoded.wire_bytes();
       }
-      ml::sgd_step(global_params_, aggregate, lr);
+      {
+        BCL_TRACE_SPAN("sgd.apply");
+        ml::sgd_step(global_params_, aggregate, lr);
+      }
       if (workspace->has_distances() && honest_k >= 2) {
         std::vector<std::size_t> honest_ids(honest_k);
         for (std::size_t c = 0; c < honest_k; ++c) honest_ids[c] = c;
@@ -844,8 +910,11 @@ TrainingResult CentralizedTrainer::run_cohort() {
     metrics.round = round;
     metrics.learning_rate = lr;
     metrics.mean_honest_loss = honest_loss;
-    metrics.accuracy = evaluate_with(lane_models[0], global_params_, *test_,
-                                     config_.eval_max_examples);
+    metrics.accuracy = [&] {
+      BCL_TRACE_SPAN("evaluate");
+      return evaluate_with(lane_models[0], global_params_, *test_,
+                           config_.eval_max_examples);
+    }();
     metrics.accuracy_min = metrics.accuracy;
     metrics.accuracy_max = metrics.accuracy;
     metrics.gradient_diameter = diameter;
@@ -885,6 +954,7 @@ TrainingResult CentralizedTrainer::run_cohort() {
     metrics.cohort = static_cast<double>(k);
     metrics.shards = static_cast<double>(effective_shards);
     metrics.degraded = advanced ? 0.0 : 1.0;
+    publish_round_histograms(config_.metrics, metrics);
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

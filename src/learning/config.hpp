@@ -107,6 +107,15 @@ struct TrainingConfig {
   std::uint64_t seed = 7;
   ThreadPool* pool = nullptr;
 
+  /// Optional per-scenario metrics registry (src/obs/metrics.hpp).  When
+  /// set, the trainers publish round histograms (round.wall_seconds /
+  /// round.sim_seconds / round.bytes), absorb the per-run counter structs
+  /// (NetworkStats, SharingStats, sketch certification) under unified
+  /// dotted names, and the event engine records a per-message delay
+  /// histogram.  nullptr (default) publishes nothing and keeps every hot
+  /// path branch-free.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// Inbox size at which sketch="auto" switches the cohort shard rules to
   /// their sketched counterparts.
   static constexpr std::size_t kSketchAutoThreshold = 10000;

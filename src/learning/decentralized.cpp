@@ -10,6 +10,8 @@
 #include "linalg/distance_matrix.hpp"
 #include "linalg/gradient_batch.hpp"
 #include "network/adversary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -82,6 +84,7 @@ TrainingResult DecentralizedTrainer::run() {
   agreement.round_function = std::make_shared<RuleRound>(config_.rule);
   agreement.pool = config_.pool;
   agreement.net = config_.net;
+  agreement.metrics = config_.metrics;
 
   // Liveness schedule (faults= dimension).  Membership is frozen per
   // learning round: every agreement sub-round of round r runs against the
@@ -135,6 +138,7 @@ TrainingResult DecentralizedTrainer::run() {
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     Stopwatch round_watch;
+    BCL_TRACE_SPAN("round");
     if (faulty) agreement.fault_round = round;
     // Phase 1: local stochastic gradients at each honest client's own
     // parameters (parallel; disjoint rows and model replicas).  Down
@@ -149,10 +153,13 @@ TrainingResult DecentralizedTrainer::run() {
       const Vector& at = i < honest_count ? params_[i] : params_[0];
       losses[i] = clients[i]->stochastic_gradient_into(at, gradients.row(i));
     };
-    if (config_.pool != nullptr) {
-      config_.pool->parallel_for(0, n, compute);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) compute(i);
+    {
+      BCL_TRACE_SPAN("grad.compute");
+      if (config_.pool != nullptr) {
+        config_.pool->parallel_for(0, n, compute);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) compute(i);
+      }
     }
 
     double honest_loss = 0.0;
@@ -196,6 +203,7 @@ TrainingResult DecentralizedTrainer::run() {
     // vectors of later sub-rounds.
     input_wire.clear();
     if (codec != nullptr) {
+      BCL_TRACE_SPAN("codec.encode");
       input_wire.assign(n, HonestProcess::kDenseWire);
       for (std::size_t i = 0; i < honest_count; ++i) {
         // A down client keeps its EF residual untouched: it carries the
@@ -228,11 +236,14 @@ TrainingResult DecentralizedTrainer::run() {
     // whole agreement phase of this learning round (down attackers are
     // silenced by the engine; skip the craft).
     for (auto& value : byz_values) value.reset();
-    for (std::size_t i = honest_count; i < n; ++i) {
-      if (!live(i, round)) continue;
-      byz_values[i] = config_.attack->corrupt(gradients.row_copy(i),
-                                              attack_view, round,
-                                              attack_rng);
+    {
+      BCL_TRACE_SPAN("attack.corrupt");
+      for (std::size_t i = honest_count; i < n; ++i) {
+        if (!live(i, round)) continue;
+        byz_values[i] = config_.attack->corrupt(gradients.row_copy(i),
+                                                attack_view, round,
+                                                attack_rng);
+      }
     }
     PerNodeFixedAdversary fixed_adversary(byzantine_ids, byz_values);
     DelayingAdversary delaying_adversary(fixed_adversary,
@@ -259,16 +270,22 @@ TrainingResult DecentralizedTrainer::run() {
     agreement.codec_seed =
         config_.seed ^ ((round + 1) * 0xC2B2AE3D27D4EB4Full);
     agreement.input_wire_bytes = input_wire;
-    const AgreementResult agreed =
-        run_fixed_rounds_agreement(inputs, adversary, subrounds, agreement);
+    const AgreementResult agreed = [&] {
+      BCL_TRACE_SPAN("agreement");
+      return run_fixed_rounds_agreement(inputs, adversary, subrounds,
+                                        agreement);
+    }();
 
     // Phase 4: every live honest client applies its own agreed vector; a
     // down client's parameters freeze until it rejoins (it then resumes
     // from its frozen model, one epoch behind its peers).
     const double lr = config_.schedule.rate(round);
-    for (std::size_t i = 0; i < honest_count; ++i) {
-      if (!live(i, round)) continue;
-      ml::sgd_step(params_[i], agreed.outputs[i], lr);
+    {
+      BCL_TRACE_SPAN("sgd.apply");
+      for (std::size_t i = 0; i < honest_count; ++i) {
+        if (!live(i, round)) continue;
+        ml::sgd_step(params_[i], agreed.outputs[i], lr);
+      }
     }
 
     // Phase 5: evaluate every live honest local model.
@@ -278,10 +295,13 @@ TrainingResult DecentralizedTrainer::run() {
       accuracies[i] = clients[i]->evaluate(params_[i], *test_,
                                            config_.eval_max_examples);
     };
-    if (config_.pool != nullptr) {
-      config_.pool->parallel_for(0, honest_count, evaluate);
-    } else {
-      for (std::size_t i = 0; i < honest_count; ++i) evaluate(i);
+    {
+      BCL_TRACE_SPAN("evaluate");
+      if (config_.pool != nullptr) {
+        config_.pool->parallel_for(0, honest_count, evaluate);
+      } else {
+        for (std::size_t i = 0; i < honest_count; ++i) evaluate(i);
+      }
     }
 
     RoundMetrics metrics;
@@ -314,6 +334,20 @@ TrainingResult DecentralizedTrainer::run() {
                                ? static_cast<double>(plan.live_count(round))
                                : static_cast<double>(n);
     metrics.degraded = agreed.network.rounds_degraded > 0 ? 1.0 : 0.0;
+    if (config_.metrics != nullptr) {
+      // Absorb the per-instance counter structs (dropped on AgreementResult
+      // until now) under the unified registry names.
+      publish_network_stats(agreed.network, *config_.metrics);
+      config_.metrics->counter("agreement.gram_builds")
+          .add(agreed.sharing.gram_builds);
+      config_.metrics->counter("agreement.shared_hits")
+          .add(agreed.sharing.shared_hits);
+      config_.metrics->counter("agreement.subrounds").add(agreed.rounds);
+      config_.metrics->histogram("round.wall_seconds").record(metrics.seconds);
+      config_.metrics->histogram("round.sim_seconds")
+          .record(metrics.sim_seconds);
+      config_.metrics->histogram("round.bytes").record(metrics.bytes_delivered);
+    }
     result.history.push_back(metrics);
     if (config_.on_round) config_.on_round(result.history.back());
   }

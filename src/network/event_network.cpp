@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "faults/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bcl {
@@ -147,6 +149,11 @@ void EventNetwork::append_event(Shard& shard, double time, EventKind kind,
 
 void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
   if (entering.empty()) return;
+  BCL_TRACE_SPAN_FINE("net.schedule");
+  obs::Histogram* delay_hist =
+      config_.metrics != nullptr
+          ? &config_.metrics->histogram("net.message_delay")
+          : nullptr;
 
   // A node down for the round it enters broadcasts nothing and collects
   // nothing: it skips production, commits no value, and gets a single
@@ -281,6 +288,7 @@ void EventNetwork::enter_rounds(std::vector<Entering>& entering) {
             adversary_.scheduling_delay(e.node, receiver, e.round),
             config_.adversary_delay_bound);
       }
+      if (delay_hist != nullptr) delay_hist->record(latency);
       append_event(shard, e.entry + latency, EventKind::Delivery, e.node,
                    e.round);
     }
@@ -519,6 +527,7 @@ void EventNetwork::refresh_heads(const std::vector<std::size_t>& ids) {
 }
 
 void EventNetwork::drain_next_batch() {
+  BCL_TRACE_SPAN_FINE("net.drain");
   touched_.clear();
   if (heads_.empty()) {
     // Every shard is empty: stalled below quorum with no timeout
@@ -575,6 +584,7 @@ void EventNetwork::drain_next_batch() {
   // stay in (time, seq) order, reproducing the old global queue's
   // per-receiver FIFO exactly.
   auto drain_shard = [&](std::size_t k) {
+    BCL_TRACE_SPAN_FINE("net.drain_shard");
     const std::size_t i = touched_[k];
     Shard& shard = shards_[i];
     while (!shard.empty() && shard.front().time == batch_time_) {
@@ -592,6 +602,7 @@ void EventNetwork::drain_next_batch() {
 }
 
 void EventNetwork::advance_ready_nodes() {
+  BCL_TRACE_SPAN_FINE("net.deliver");
   // Readiness can only have changed for nodes whose shard the batch
   // touched (delivery grew the inbox or a timeout fired) — the stall path
   // marks every shard touched.
@@ -769,6 +780,28 @@ double EventNetwork::last_round_latency() const {
   if (round_end_times_.size() == 1) return round_end_times_.front();
   return round_end_times_.back() -
          round_end_times_[round_end_times_.size() - 2];
+}
+
+void publish_network_stats(const NetworkStats& stats,
+                           obs::MetricsRegistry& registry) {
+  registry.counter("net.rounds").add(stats.rounds);
+  registry.counter("net.messages_delivered").add(stats.messages_delivered);
+  registry.counter("net.messages_omitted").add(stats.messages_omitted);
+  registry.counter("net.broadcasts_skipped").add(stats.broadcasts_skipped);
+  registry.counter("net.messages_delayed").add(stats.messages_delayed);
+  registry.counter("net.messages_dropped").add(stats.messages_dropped);
+  registry.counter("net.messages_late").add(stats.messages_late);
+  registry.counter("net.timeouts_fired").add(stats.timeouts_fired);
+  registry.counter("net.bytes_sent").add(stats.bytes_sent);
+  registry.counter("net.bytes_delivered").add(stats.bytes_delivered);
+  registry.counter("net.bytes_dense_delivered")
+      .add(stats.bytes_dense_delivered);
+  registry.counter("net.crashes").add(stats.crashes);
+  registry.counter("net.recoveries").add(stats.recoveries);
+  registry.counter("net.joins").add(stats.joins);
+  registry.counter("net.rounds_degraded").add(stats.rounds_degraded);
+  registry.counter("net.stale_accepted").add(stats.stale_accepted);
+  registry.counter("net.stale_rejected").add(stats.stale_rejected);
 }
 
 }  // namespace bcl

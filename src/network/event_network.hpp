@@ -97,6 +97,10 @@ namespace bcl {
 class ThreadPool;
 class FaultPlan;
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// Behaviour of one honest protocol participant (unchanged from the
 /// synchronous engine: broadcast one vector per round, receive the round's
 /// inbox sorted by sender id, touch only your own state).
@@ -165,6 +169,13 @@ struct NetworkStats {
   std::size_t stale_rejected = 0;
 };
 
+/// Adds every NetworkStats field into `registry` under unified dotted names
+/// ("net.messages_delivered", "net.bytes_sent", ...).  Trainers call this
+/// once per engine run so scattered per-run structs surface through one
+/// MetricsSnapshot.
+void publish_network_stats(const NetworkStats& stats,
+                           obs::MetricsRegistry& registry);
+
 /// Engine knobs.  The defaults reproduce full synchrony: zero delays,
 /// timeout 0 (a node's round resolves at the instant it started) and an
 /// infinite quorum (never honor adversarial delay requests).
@@ -221,6 +232,10 @@ struct EventNetworkConfig {
   /// per-shard scheduling/draining, ready-node finalize + receive).  Runs
   /// are bitwise identical with and without it.  Not owned.
   ThreadPool* pool = nullptr;
+  /// Optional per-scenario metrics registry: when set the engine records
+  /// every scheduled delivery's latency into the "net.message_delay"
+  /// histogram (simulated seconds).  nullptr records nothing.  Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The discrete-event engine (see file comment).  Node ids are [0, n);

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace bcl::obs {
+
+namespace {
+
+// Upper bound of bucket i, i in [0, kBuckets).  Bucket 0 (underflow) holds
+// v < 2^kMinOctave including non-positives; the last bucket (overflow) holds
+// v >= 2^kMaxOctave and reports +inf as its upper bound.
+std::array<double, Histogram::kBuckets> make_upper_bounds() {
+  std::array<double, Histogram::kBuckets> ub{};
+  for (int i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    ub[i] = std::exp2(Histogram::kMinOctave +
+                      static_cast<double>(i) / Histogram::kBucketsPerOctave);
+  }
+  ub[Histogram::kBuckets - 1] = std::numeric_limits<double>::infinity();
+  return ub;
+}
+
+const std::array<double, Histogram::kBuckets>& upper_bounds() {
+  static const std::array<double, Histogram::kBuckets> ub = make_upper_bounds();
+  return ub;
+}
+
+void atomic_add_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  const auto& ub = upper_bounds();
+  // First bucket whose exclusive upper bound exceeds v.
+  const auto it = std::upper_bound(ub.begin(), ub.end() - 1, v);
+  return static_cast<int>(it - ub.begin());
+}
+
+double Histogram::bucket_upper_bound(int i) { return upper_bounds()[i]; }
+
+double Histogram::bucket_lower_bound(int i) {
+  return i == 0 ? -std::numeric_limits<double>::infinity()
+                : upper_bounds()[i - 1];
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  snap.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      const double ub = Histogram::bucket_upper_bound(static_cast<int>(i));
+      // Clamp the open-ended overflow / underflow buckets to observed range.
+      return std::min(std::max(ub, min), max);
+    }
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : fallback;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h.snapshot();
+  return snap;
+}
+
+}  // namespace bcl::obs

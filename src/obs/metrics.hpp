@@ -1,0 +1,119 @@
+#pragma once
+// MetricsRegistry: named counters, gauges, and log-bucketed histograms behind
+// one snapshot interface.
+//
+// The registry absorbs the per-subsystem counter structs that used to die on
+// internal state (NetworkStats, SharingStats, sketch fallback flags, fault
+// counters): trainers and the event engine publish into a per-scenario
+// registry, the runner snapshots it into the ScenarioSummary, and the
+// emitters (and the future bcl_serve sink) read one structure.
+//
+// Concurrency: metric objects are updated with relaxed atomics and are safe
+// to hit from ThreadPool workers; name lookup takes a mutex, so hot paths
+// should resolve `Counter&` / `Histogram&` once and cache the reference
+// (references stay valid for the registry's lifetime).
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bcl::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Immutable histogram state: per-bucket counts plus count/sum/min/max.
+/// Bucket i covers [bucket_lower_bound(i), bucket_upper_bound(i)); the first
+/// and last buckets catch under/overflow.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Upper bound of the first bucket whose cumulative count reaches q*count
+  /// (q in [0,1]); the relative error is bounded by the bucket width
+  /// (2^(1/4) ~ 19%).  Returns 0 on an empty histogram.
+  double quantile(double q) const;
+};
+
+/// Log-bucketed histogram: 4 buckets per octave over [2^-30, 2^34) — covers
+/// nanoseconds-as-seconds up to tens of gigabytes — plus under/overflow
+/// buckets.  record() is wait-free (one binary search + one relaxed add).
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kMinOctave = -30;
+  static constexpr int kMaxOctave = 34;
+  static constexpr int kBuckets =
+      (kMaxOctave - kMinOctave) * kBucketsPerOctave + 2;
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+
+  /// Inclusive lower / exclusive upper value bound of bucket i.
+  static double bucket_lower_bound(int i);
+  static double bucket_upper_bound(int i);
+  /// Index of the bucket that record(v) increments.
+  static int bucket_index(double v);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Ordered so emitters produce deterministic column/key order.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value by name, `fallback` when absent (emitters use 0).
+  std::uint64_t counter_or(const std::string& name,
+                           std::uint64_t fallback = 0) const;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace bcl::obs

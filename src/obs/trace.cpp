@@ -1,0 +1,248 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bcl::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_level{0};
+
+// Fixed-capacity single-writer ring.  The owning thread is the only writer;
+// drain_trace() reads from another thread after the writer has gone quiet
+// (no open spans), synchronizing on the release/acquire pair on `count`.
+struct TraceRing {
+  static constexpr std::size_t kCapacity = 1u << 16;
+
+  std::uint32_t tid = 0;
+  std::atomic<std::uint64_t> count{0};  // total records ever pushed
+  std::uint64_t drained = 0;            // records consumed by drain_trace()
+  std::unique_ptr<TraceRecord[]> slots{new TraceRecord[kCapacity]};
+
+  void push(const char* name, char phase) {
+    const std::uint64_t n = count.load(std::memory_order_relaxed);
+    TraceRecord& r = slots[n % kCapacity];
+    r.name = name;
+    r.ts_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    r.tid = tid;
+    r.phase = phase;
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::mutex g_rings_mu;
+std::vector<std::unique_ptr<TraceRing>>& all_rings() {
+  static auto* rings = new std::vector<std::unique_ptr<TraceRing>>();
+  return *rings;
+}
+
+}  // namespace
+
+TraceRing* ring_for_this_thread() {
+  thread_local TraceRing* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(g_rings_mu);
+    auto& rings = all_rings();
+    auto owned = std::make_unique<TraceRing>();
+    owned->tid = static_cast<std::uint32_t>(rings.size());
+    ring = owned.get();
+    rings.push_back(std::move(owned));
+  }
+  return ring;
+}
+
+void record(TraceRing* ring, const char* name, char phase) {
+  ring->push(name, phase);
+}
+
+}  // namespace detail
+
+void set_trace_level(TraceLevel level) {
+  detail::g_trace_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+TraceLevel trace_level() {
+  return static_cast<TraceLevel>(
+      detail::g_trace_level.load(std::memory_order_relaxed));
+}
+
+TraceLevel parse_trace_level(const std::string& text) {
+  if (text == "off") return TraceLevel::Off;
+  if (text == "spans") return TraceLevel::Spans;
+  if (text == "full") return TraceLevel::Full;
+  throw std::invalid_argument("trace level must be off|spans|full, got '" +
+                              text + "'");
+}
+
+const char* to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off:
+      return "off";
+    case TraceLevel::Spans:
+      return "spans";
+    case TraceLevel::Full:
+      return "full";
+  }
+  return "off";
+}
+
+TraceBuffer drain_trace() {
+  TraceBuffer out;
+  std::lock_guard<std::mutex> lock(detail::g_rings_mu);
+  for (auto& ring : detail::all_rings()) {
+    const std::uint64_t count = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        count > detail::TraceRing::kCapacity
+            ? count - detail::TraceRing::kCapacity
+            : 0;
+    const std::uint64_t begin = std::max(first, ring->drained);
+    if (begin > ring->drained) out.dropped += begin - ring->drained;
+    for (std::uint64_t i = begin; i < count; ++i) {
+      out.records.push_back(ring->slots[i % detail::TraceRing::kCapacity]);
+    }
+    ring->drained = count;
+  }
+  return out;
+}
+
+std::size_t trace_thread_count() {
+  std::lock_guard<std::mutex> lock(detail::g_rings_mu);
+  return detail::all_rings().size();
+}
+
+namespace {
+
+// Pairs up B/E records per thread.  Ring overflow can orphan an E (its B was
+// overwritten); those are skipped.  Returns indices of records that form
+// matched pairs, preserving input order.
+std::vector<char> matched_mask(const std::vector<TraceRecord>& records) {
+  std::vector<char> keep(records.size(), 0);
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> stacks;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    auto& stack = stacks[r.tid];
+    if (r.phase == 'B') {
+      stack.push_back(i);
+    } else if (!stack.empty() && records[stack.back()].name == r.name) {
+      keep[stack.back()] = 1;
+      keep[i] = 1;
+      stack.pop_back();
+    }
+    // E with no matching B: orphan from overflow, dropped.  Unclosed B
+    // records (still-open spans) stay unmarked and are dropped too.
+  }
+  return keep;
+}
+
+void write_json_escaped(std::ostream& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceBuffer& buffer) {
+  const std::vector<TraceRecord>& records = buffer.records;
+  const std::vector<char> keep = matched_mask(records);
+  std::uint64_t epoch = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (keep[i]) epoch = std::min(epoch, records[i].ts_ns);
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!keep[i]) continue;
+    const TraceRecord& r = records[i];
+    if (!first) out << ",";
+    first = false;
+    const std::uint64_t rel = r.ts_ns - epoch;
+    out << "\n{\"name\":\"";
+    write_json_escaped(out, r.name);
+    out << "\",\"cat\":\"bcl\",\"ph\":\"" << r.phase << "\",\"ts\":" << rel / 1000
+        << "." << (rel % 1000 < 100 ? (rel % 1000 < 10 ? "00" : "0") : "")
+        << rel % 1000 << ",\"pid\":0,\"tid\":" << r.tid << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::vector<PhaseStat> self_time(const std::vector<TraceRecord>& records) {
+  const std::vector<char> keep = matched_mask(records);
+  struct Frame {
+    const char* name;
+    std::uint64_t begin_ns;
+    std::uint64_t child_ns;
+  };
+  std::unordered_map<std::uint32_t, std::vector<Frame>> stacks;
+  std::unordered_map<std::string, PhaseStat> by_name;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!keep[i]) continue;
+    const TraceRecord& r = records[i];
+    auto& stack = stacks[r.tid];
+    if (r.phase == 'B') {
+      stack.push_back(Frame{r.name, r.ts_ns, 0});
+      continue;
+    }
+    // matched_mask guarantees the E closes the top frame.
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const std::uint64_t total = r.ts_ns - frame.begin_ns;
+    PhaseStat& stat = by_name[frame.name];
+    stat.name = frame.name;
+    stat.count += 1;
+    stat.total_ns += total;
+    stat.self_ns += total - std::min(total, frame.child_ns);
+    if (!stack.empty()) stack.back().child_ns += total;
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) out.push_back(std::move(stat));
+  std::sort(out.begin(), out.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    return a.self_ns != b.self_ns ? a.self_ns > b.self_ns : a.name < b.name;
+  });
+  return out;
+}
+
+void write_profile(std::ostream& out, const std::vector<PhaseStat>& stats) {
+  if (stats.empty()) return;
+  std::uint64_t self_sum = 0;
+  for (const PhaseStat& s : stats) self_sum += s.self_ns;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %12s %7s\n", "phase",
+                "count", "total_ms", "self_ms", "self%");
+  out << line;
+  for (const PhaseStat& s : stats) {
+    std::snprintf(line, sizeof(line), "%-28s %10llu %12.3f %12.3f %6.1f%%\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) * 1e-6,
+                  static_cast<double>(s.self_ns) * 1e-6,
+                  self_sum > 0
+                      ? 100.0 * static_cast<double>(s.self_ns) /
+                            static_cast<double>(self_sum)
+                      : 0.0);
+    out << line;
+  }
+}
+
+}  // namespace bcl::obs

@@ -1,0 +1,139 @@
+#pragma once
+// Flight recorder: RAII trace spans recording Chrome-trace-event B/E pairs
+// into per-thread ring buffers.
+//
+// Design constraints (see docs/observability.md):
+//  - A disabled span costs exactly one relaxed atomic load and a branch, so
+//    instrumentation stays compiled into release builds.  Building with
+//    -DBCL_OBS_DISABLED compiles the macros away entirely; artifacts must be
+//    bitwise identical either way (enforced by obs_test and CI).
+//  - Each thread appends to its own fixed-capacity ring, so recording is
+//    lock-free and records within one thread are already in timestamp order.
+//    On overflow the oldest records are dropped (counted, never blocking).
+//  - Span labels must be string literals (the ring stores the pointer).
+//
+// Levels: Off records nothing; Spans records trainer / agreement phase spans
+// (BCL_TRACE_SPAN); Full additionally records event-engine internals
+// (BCL_TRACE_SPAN_FINE), which fire per safe-window batch and are too hot
+// for the default level.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bcl::obs {
+
+enum class TraceLevel : int { Off = 0, Spans = 1, Full = 2 };
+
+/// Sets / reads the process-wide level.  Scenario cells that trace must run
+/// serially (the runner enforces this): the recorder is global state.
+void set_trace_level(TraceLevel level);
+TraceLevel trace_level();
+
+/// Parses "off" | "spans" | "full"; throws std::invalid_argument otherwise.
+TraceLevel parse_trace_level(const std::string& text);
+const char* to_string(TraceLevel level);
+
+/// One B or E event.  `name` points at the span's string literal; `ts_ns` is
+/// steady-clock nanoseconds (per-process epoch); `tid` is a dense id assigned
+/// in thread-registration order.
+struct TraceRecord {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  char phase = 'B';
+};
+
+namespace detail {
+
+extern std::atomic<int> g_trace_level;
+
+struct TraceRing;
+
+/// Returns (creating on first use) the calling thread's ring.
+TraceRing* ring_for_this_thread();
+
+void record(TraceRing* ring, const char* name, char phase);
+
+}  // namespace detail
+
+/// RAII span.  When the level at construction is below `min_level` the
+/// constructor is a single relaxed load; otherwise B/E records are written to
+/// the calling thread's ring.  The E record is always written once the B was
+/// (even if the level drops mid-span), so drained rings stay well nested.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, int min_level = 1) {
+    if (detail::g_trace_level.load(std::memory_order_relaxed) < min_level) {
+      return;
+    }
+    name_ = name;
+    ring_ = detail::ring_for_this_thread();
+    detail::record(ring_, name_, 'B');
+  }
+  ~TraceSpan() {
+    if (ring_ != nullptr) detail::record(ring_, name_, 'E');
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  detail::TraceRing* ring_ = nullptr;
+};
+
+/// Everything recorded since the last drain, concatenated per thread (so the
+/// slice for one tid is in timestamp order).  `dropped` counts records lost
+/// to ring overflow.
+struct TraceBuffer {
+  std::vector<TraceRecord> records;
+  std::uint64_t dropped = 0;
+
+  bool empty() const { return records.empty(); }
+};
+
+/// Snapshots and clears every thread's ring.  Call only while no span is
+/// open (the runner drains after the trainer returns and the pool is idle).
+TraceBuffer drain_trace();
+
+/// Number of distinct threads that have ever recorded a span.
+std::size_t trace_thread_count();
+
+/// Writes the records as a Chrome trace-event / Perfetto JSON document
+/// ({"traceEvents": [...]}).  Orphaned records from ring overflow are
+/// repaired: only matched B/E pairs are emitted, timestamps are rebased to
+/// the earliest record and emitted in microseconds.
+void write_chrome_trace(std::ostream& out, const TraceBuffer& buffer);
+
+/// Flat per-phase profile: total = sum of span durations, self = total minus
+/// time spent in nested child spans (on the same thread).
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// Aggregates matched spans per name, sorted by self time descending.
+std::vector<PhaseStat> self_time(const std::vector<TraceRecord>& records);
+
+/// Renders a flat table ("--profile" output).  No-op on an empty profile.
+void write_profile(std::ostream& out, const std::vector<PhaseStat>& stats);
+
+}  // namespace bcl::obs
+
+#ifdef BCL_OBS_DISABLED
+#define BCL_TRACE_SPAN(name)
+#define BCL_TRACE_SPAN_FINE(name)
+#else
+#define BCL_OBS_CONCAT_INNER(a, b) a##b
+#define BCL_OBS_CONCAT(a, b) BCL_OBS_CONCAT_INNER(a, b)
+/// Phase-level span: records at trace=spans and trace=full.
+#define BCL_TRACE_SPAN(name) \
+  ::bcl::obs::TraceSpan BCL_OBS_CONCAT(bcl_trace_span_, __LINE__)(name)
+/// Hot-path span (event-engine internals): records only at trace=full.
+#define BCL_TRACE_SPAN_FINE(name) \
+  ::bcl::obs::TraceSpan BCL_OBS_CONCAT(bcl_trace_span_, __LINE__)(name, 2)
+#endif

@@ -1,14 +1,30 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <deque>
 #include <iostream>
 #include <mutex>
 
 namespace bcl {
 
 namespace {
+
+constexpr std::size_t kLogRingCapacity = 256;
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<std::uint64_t> g_counts[4] = {};
+
 std::mutex g_io_mu;
+// Guarded by g_io_mu.  Heap-allocated so process teardown order is benign.
+LogSink& sink_slot() {
+  static auto* sink = new LogSink();
+  return *sink;
+}
+std::deque<LogRecord>& ring() {
+  static auto* records = new std::deque<LogRecord>();
+  return *records;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Debug: return "DEBUG";
@@ -18,16 +34,84 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  sink_slot() = std::move(sink);
+}
+
+std::vector<LogRecord> recent_log_records() {
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  return {ring().begin(), ring().end()};
+}
+
+void clear_log_records() {
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  ring().clear();
+}
+
+std::uint64_t log_count(LogLevel level) {
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return 0;
+  return g_counts[idx].load(std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
+  const int idx = static_cast<int>(level);
+  if (idx >= 0 && idx <= 3) {
+    g_counts[idx].fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(g_io_mu);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  ring().push_back(LogRecord{level, message});
+  if (ring().size() > kLogRingCapacity) ring().pop_front();
+  if (sink_slot()) {
+    sink_slot()(ring().back());
+  } else {
+    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  }
+}
+
+struct ScopedLogCapture::State {
+  mutable std::mutex mu;
+  std::vector<LogRecord> records;
+};
+
+ScopedLogCapture::ScopedLogCapture() : state_(std::make_shared<State>()) {
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  previous_ = sink_slot();
+  auto state = state_;
+  sink_slot() = [state](const LogRecord& record) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    state->records.push_back(record);
+  };
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  sink_slot() = std::move(previous_);
+}
+
+std::vector<LogRecord> ScopedLogCapture::records() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->records;
+}
+
+bool ScopedLogCapture::contains(LogLevel level,
+                                const std::string& needle) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (const LogRecord& r : state_->records) {
+    if (r.level == level && r.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace bcl

@@ -1,10 +1,20 @@
 #pragma once
-// Minimal leveled logging to stderr.  Thread-safe: each log call emits one
-// atomic line.  Default level is Info; benches lower it to Warn to keep
-// table output clean.
+// Minimal leveled logging through a capturable sink.  Thread-safe: each log
+// call emits one atomic record.  Default level is Info; benches lower it to
+// Warn to keep table output clean.
+//
+// Every accepted record passes through one sink (stderr by default).  Tests
+// swap the sink with ScopedLogCapture to assert on warnings instead of
+// scraping stderr; the registry layer reads log_count() deltas to surface
+// warning/error counts per scenario.  A small bounded ring of recent records
+// is kept regardless of sink, for post-mortem inspection.
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace bcl {
 
@@ -14,8 +24,46 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line: "[LEVEL] message".
+struct LogRecord {
+  LogLevel level = LogLevel::Info;
+  std::string message;
+};
+
+/// Sink invoked (serially, under the log mutex) for every accepted record.
+/// Passing nullptr restores the default stderr sink ("[LEVEL] message").
+using LogSink = std::function<void(const LogRecord&)>;
+void set_log_sink(LogSink sink);
+
+/// Last few hundred accepted records, oldest first (bounded ring — kept even
+/// when a custom sink is installed).
+std::vector<LogRecord> recent_log_records();
+void clear_log_records();
+
+/// Total records accepted at exactly `level` since process start.  Per-cell
+/// consumers (the scenario runner) diff this around a run.
+std::uint64_t log_count(LogLevel level);
+
+/// Routes a record through threshold, counters, ring, and sink.
 void log_message(LogLevel level, const std::string& message);
+
+/// RAII test hook: installs a collecting sink (suppressing stderr) and
+/// restores the previous sink on destruction.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  std::vector<LogRecord> records() const;
+  /// True when any captured record at `level` contains `needle`.
+  bool contains(LogLevel level, const std::string& needle) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  LogSink previous_;
+};
 
 namespace detail {
 class LogLine {

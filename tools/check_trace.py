@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validates flight-recorder trace artifacts (Chrome trace-event JSON).
+
+Checks, per file:
+  - the document parses and has a "traceEvents" list
+  - every event carries name/ph/ts/pid/tid with sane types, ph is B or E
+  - within each (pid, tid), timestamps are non-decreasing
+  - within each (pid, tid), B/E events nest: every E closes the innermost
+    open B with the same name, and nothing stays open at the end
+
+Then prints a per-phase self-time table (self = total minus time spent in
+nested child spans on the same thread) and, with --min-coverage, fails
+unless the summed self time covers at least that fraction of the trace's
+wall span (CI uses 0.9 to enforce that traced cells attribute their time).
+
+Usage:
+  python3 tools/check_trace.py trace_dir/trace_*.json [--min-coverage 0.9]
+
+Exits 0 when every file validates, 1 otherwise.  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate_events(path, events):
+    """Schema + ordering + nesting checks.  Returns (ok, spans) where spans
+    is a list of (name, tid, begin_ts, end_ts, depth)."""
+    ok = True
+    last_ts = {}  # (pid, tid) -> ts
+    stacks = {}  # (pid, tid) -> [(name, ts)]
+    spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(path, f"event {i} is not an object"), []
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                return fail(path, f"event {i} lacks '{key}'"), []
+        name, ph, ts = ev["name"], ev["ph"], ev["ts"]
+        if not isinstance(name, str) or not name:
+            return fail(path, f"event {i}: name must be a non-empty string"), []
+        if ph not in ("B", "E"):
+            return fail(path, f"event {i}: ph '{ph}' is not B or E"), []
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(path, f"event {i}: ts {ts!r} is not a number >= 0"), []
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            return fail(path, f"event {i}: pid/tid must be integers"), []
+        if ev["pid"] < 0 or ev["tid"] < 0:
+            return fail(path, f"event {i}: negative pid/tid"), []
+
+        key = (ev["pid"], ev["tid"])
+        if key in last_ts and ts < last_ts[key]:
+            ok = fail(
+                path,
+                f"event {i}: ts {ts} < previous ts {last_ts[key]} on "
+                f"pid/tid {key} (per-thread order must be non-decreasing)",
+            )
+        last_ts[key] = ts
+
+        stack = stacks.setdefault(key, [])
+        if ph == "B":
+            stack.append((name, ts))
+        else:
+            if not stack:
+                ok = fail(path, f"event {i}: E '{name}' with no open B")
+                continue
+            open_name, begin_ts = stack.pop()
+            if open_name != name:
+                ok = fail(
+                    path,
+                    f"event {i}: E '{name}' closes open span "
+                    f"'{open_name}' (B/E pairs must nest)",
+                )
+                continue
+            spans.append((name, key[1], begin_ts, ts, len(stack)))
+    for key, stack in stacks.items():
+        if stack:
+            names = ", ".join(name for name, _ in stack)
+            ok = fail(path, f"pid/tid {key}: unclosed span(s): {names}")
+    return ok, spans
+
+
+def self_times(spans):
+    """Per-phase (count, total_us, self_us).  Self time subtracts the child
+    spans' totals: children of a span are the spans on the same tid fully
+    inside it one nesting level deeper."""
+    totals = {}
+    for name, _tid, begin, end, _depth in spans:
+        count, total, self_t = totals.get(name, (0, 0.0, 0.0))
+        totals[name] = (count + 1, total + (end - begin), self_t)
+    # Child time per parent: sort per tid by begin; maintain an open-span
+    # stack keyed on depth.
+    child = {}
+    by_tid = {}
+    for span in spans:
+        by_tid.setdefault(span[1], []).append(span)
+    for tid_spans in by_tid.values():
+        tid_spans.sort(key=lambda s: (s[2], -s[3]))
+        stack = []
+        for name, _tid, begin, end, depth in tid_spans:
+            while stack and stack[-1][1] <= begin:
+                stack.pop()
+            if stack:
+                parent = stack[-1][0]
+                child[parent] = child.get(parent, 0.0) + (end - begin)
+            stack.append((name, end))
+    result = {}
+    for name, (count, total, _) in totals.items():
+        result[name] = (count, total, total - child.get(name, 0.0))
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="trace JSON files")
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.0,
+        help="fail unless summed self time >= this fraction of the "
+        "trace's wall span (0 disables the check)",
+    )
+    args = parser.parse_args()
+
+    all_ok = True
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            all_ok = fail(path, f"cannot parse: {error}")
+            continue
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            all_ok = fail(path, "'traceEvents' missing or not a list")
+            continue
+        if not events:
+            all_ok = fail(path, "empty trace (no events recorded)")
+            continue
+        ok, spans = validate_events(path, events)
+        all_ok = all_ok and ok
+        if not spans:
+            all_ok = fail(path, "no complete spans")
+            continue
+
+        stats = self_times(spans)
+        wall = max(s[3] for s in spans) - min(s[2] for s in spans)
+        total_self = sum(self_t for _, _, self_t in stats.values())
+        print(f"{path}: {len(events)} events, {len(spans)} spans, "
+              f"{len(stats)} phases, wall {wall / 1e3:.3f} ms")
+        print(f"  {'phase':<24} {'count':>8} {'total ms':>12} "
+              f"{'self ms':>12} {'self %':>8}")
+        for name in sorted(stats, key=lambda n: -stats[n][2]):
+            count, total, self_t = stats[name]
+            pct = 100.0 * self_t / wall if wall > 0 else 0.0
+            print(f"  {name:<24} {count:>8} {total / 1e3:>12.3f} "
+                  f"{self_t / 1e3:>12.3f} {pct:>7.1f}%")
+        if args.min_coverage > 0.0:
+            coverage = total_self / wall if wall > 0 else 0.0
+            if coverage < args.min_coverage:
+                all_ok = fail(
+                    path,
+                    f"self-time coverage {coverage:.3f} below required "
+                    f"{args.min_coverage:.3f} (phases fail to account for "
+                    f"the cell's wall time)",
+                )
+            else:
+                print(f"  coverage {coverage:.3f} >= {args.min_coverage:.3f}")
+
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

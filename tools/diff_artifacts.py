@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compares two bcl_run JSON artifacts modulo wall-clock noise.
+
+CI builds bcl_run twice — default and -DBCL_OBS_DISABLED (flight-recorder
+span macros compiled out) — runs the same reduced sweep through both, and
+requires the artifacts to be bitwise identical except for wall-clock derived
+fields: every "seconds" value and the round.wall_seconds histogram (whose
+moments are wall-clock samples).  Any other difference means the recorder
+perturbed the computation and fails the build.
+
+Usage: python3 tools/diff_artifacts.py a.json b.json
+Exits 0 when equivalent, 1 with a unified diff otherwise.  Stdlib only.
+"""
+
+import difflib
+import re
+import sys
+
+WALL_PATTERNS = [
+    re.compile(r'"seconds": [0-9.eE+-]+'),
+    re.compile(r'"round\.wall_seconds": \{[^}]*\}'),
+]
+
+
+def normalize(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    for pattern in WALL_PATTERNS:
+        text = pattern.sub("<wall-clock>", text)
+    return text
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    a_path, b_path = sys.argv[1], sys.argv[2]
+    a, b = normalize(a_path), normalize(b_path)
+    if a == b:
+        print(f"diff_artifacts: {a_path} == {b_path} "
+              "(modulo wall-clock fields)")
+        return 0
+    print(f"diff_artifacts: {a_path} != {b_path}:", file=sys.stderr)
+    for line in difflib.unified_diff(
+            a.splitlines(), b.splitlines(),
+            fromfile=a_path, tofile=b_path, lineterm=""):
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
